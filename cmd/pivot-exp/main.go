@@ -1,0 +1,79 @@
+// Command pivot-exp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	pivot-exp [-quick] [-cores n] list
+//	pivot-exp [-quick] [-cores n] <experiment-id>...
+//	pivot-exp [-quick] [-cores n] all
+//
+// Each experiment prints a text table whose rows/series mirror the paper's
+// figure; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pivot/internal/exp"
+	"pivot/internal/machine"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the fast (coarser) simulation scale")
+	cores := flag.Int("cores", 8, "simulated core count")
+	quiet := flag.Bool("quiet", false, "suppress calibration progress notes")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	scale := exp.Full()
+	if *quick {
+		scale = exp.Quick()
+	}
+	ctx := exp.NewContext(machine.KunpengConfig(*cores), scale)
+	if !*quiet {
+		ctx.Out = os.Stderr
+	}
+
+	reg := exp.Registry()
+	if args[0] == "list" {
+		for _, id := range exp.IDs() {
+			fmt.Printf("%-10s %s\n", id, reg[id].Brief)
+		}
+		return
+	}
+
+	ids := args
+	if args[0] == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		e, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pivot-exp: unknown experiment %q (try 'list')\n", id)
+			os.Exit(2)
+		}
+		for _, t := range e.Run(ctx) {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] <list | all | experiment-id...>
+
+Regenerates the paper's figures/tables as text tables. Experiment ids:
+fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig12 fig13 fig13emu fig14 fig15 fig16
+fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 sens table1 table2
+table3 storage`)
+}

@@ -1,0 +1,55 @@
+// Command pivot-profile runs PIVOT's offline profiling phase (§IV-B) for an
+// LC application and prints the selected potential-critical set together
+// with the per-load statistics it was derived from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pivot"
+	"pivot/internal/machine"
+	"pivot/internal/profile"
+	"pivot/internal/sim"
+)
+
+func main() {
+	lcName := flag.String("lc", pivot.Masstree, "LC application to profile")
+	threads := flag.Int("stress-threads", 7, "stress-copy BE thread count")
+	cores := flag.Int("cores", 8, "core count")
+	cycles := flag.Uint64("cycles", uint64(machine.ProfileCycles), "profiling duration in cycles")
+	execFreq := flag.Float64("min-exec-freq", 0.005, "minimal execution frequency")
+	missRate := flag.Float64("min-miss-rate", 0.10, "minimal LLC miss rate")
+	stallFrac := flag.Float64("top-stall", 0.05, "top stall-cycle ranking fraction")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	top := flag.Int("top", 20, "per-load statistics rows to print")
+	flag.Parse()
+
+	app, ok := pivot.LCApps()[*lcName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pivot-profile: unknown LC app %q\n", *lcName)
+		os.Exit(2)
+	}
+
+	prof := machine.RunProfiler(machine.KunpengConfig(*cores), app, *threads, *seed, sim.Cycle(*cycles))
+	params := profile.Params{
+		MinExecFreq:    *execFreq,
+		MinLLCMissRate: *missRate,
+		TopStallFrac:   *stallFrac,
+	}
+	set := prof.Select(params)
+
+	fmt.Printf("app                 %s\n", *lcName)
+	fmt.Printf("loads observed      %d (static: %d)\n", prof.TotalLoads(), len(prof.Stats()))
+	fmt.Printf("potential-critical  %d static loads\n\n", len(set))
+
+	fmt.Printf("%-12s %10s %9s %12s %9s\n", "pc", "execs", "missRate", "stallCycles", "critical")
+	for i, s := range prof.Stats() {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%#-12x %10d %9.3f %12d %9v\n",
+			s.PC, s.Execs, s.MissRate(), s.StallCycles, set.Contains(s.PC))
+	}
+}

@@ -1,0 +1,127 @@
+// Command pivotsim runs a single co-location simulation and reports the
+// metrics the paper uses: per-LC p95 latency, BE throughput, and memory
+// bandwidth utilisation.
+//
+// Example: one Masstree LC task at a 4000-cycle mean inter-arrival,
+// co-located with 7 iBench threads under PIVOT:
+//
+//	pivotsim -lc masstree -ia 4000 -be ibench -threads 7 -policy pivot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pivot"
+	"pivot/internal/mem"
+	"pivot/internal/metrics"
+)
+
+var policies = map[string]pivot.Policy{
+	"default":      pivot.PolicyDefault,
+	"mba":          pivot.PolicyMBA,
+	"mpam":         pivot.PolicyMPAM,
+	"fullpath":     pivot.PolicyFullPath,
+	"pivot":        pivot.PolicyPIVOT,
+	"cbp":          pivot.PolicyCBP,
+	"cbp-fullpath": pivot.PolicyCBPFullPath,
+}
+
+func main() {
+	lcName := flag.String("lc", pivot.Masstree, "LC application (img-dnn|moses|xapian|silo|masstree)")
+	ia := flag.Float64("ia", 4000, "mean request inter-arrival in cycles (0 = closed loop)")
+	beName := flag.String("be", pivot.IBench, "BE application")
+	threads := flag.Int("threads", 7, "BE thread count")
+	policyName := flag.String("policy", "pivot", "partitioning policy: "+strings.Join(keys(), "|"))
+	cores := flag.Int("cores", 8, "core count")
+	warmup := flag.Uint64("warmup", 400_000, "warm-up cycles")
+	measure := flag.Uint64("measure", 600_000, "measured cycles")
+	neoverse := flag.Bool("neoverse", false, "use the ARM Neoverse-like configuration (Table III)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	asJSON := flag.Bool("json", false, "emit a machine-readable snapshot instead of text")
+	sample := flag.Int("sample", 0, "print the memory-path cycle split of the first N LC requests")
+	flag.Parse()
+
+	pol, ok := policies[*policyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pivotsim: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	lcApp, ok := pivot.LCApps()[*lcName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pivotsim: unknown LC app %q\n", *lcName)
+		os.Exit(2)
+	}
+	beApp, ok := pivot.BEApps()[*beName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pivotsim: unknown BE app %q\n", *beName)
+		os.Exit(2)
+	}
+
+	cfg := pivot.KunpengConfig(*cores)
+	if *neoverse {
+		cfg = pivot.NeoverseConfig(*cores)
+	}
+
+	var potential pivot.CriticalSet
+	if pol == pivot.PolicyPIVOT {
+		fmt.Fprintf(os.Stderr, "running offline profiling for %s ...\n", *lcName)
+		potential = pivot.ProfileLC(cfg, lcApp, *threads, *seed)
+		fmt.Fprintf(os.Stderr, "potential-critical set: %d static loads\n", len(potential))
+	}
+
+	tasks := []pivot.TaskSpec{{
+		Kind: pivot.TaskLC, LC: lcApp,
+		MeanInterarrival: *ia, Potential: potential, Seed: *seed,
+	}}
+	for i := 0; i < *threads && len(tasks) < *cores; i++ {
+		tasks = append(tasks, pivot.TaskSpec{Kind: pivot.TaskBE, BE: beApp,
+			Seed: *seed + uint64(10+i)})
+	}
+
+	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pol, SampleRequests: *sample}, tasks)
+	m.Run(pivot.Cycle(*warmup), pivot.Cycle(*measure))
+
+	if *asJSON {
+		if err := m.Snapshot().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	src := m.LCTasks()[0].Source
+	fmt.Printf("policy            %s\n", pol)
+	fmt.Printf("lc app            %s (inter-arrival %.0f cycles)\n", *lcName, *ia)
+	fmt.Printf("be app            %s x%d\n", *beName, *threads)
+	fmt.Printf("requests done     %d\n", src.Completed())
+	fmt.Printf("lc p95 latency    %d cycles\n", m.LCp95(0))
+	fmt.Printf("be throughput     %.4f instructions/cycle\n",
+		float64(m.BECommitted())/float64(m.MeasuredCycles()))
+	fmt.Printf("bandwidth util    %.3f of peak (%.2f GB/s)\n", m.BWUtil(), m.AvgBandwidthGBs())
+	fmt.Printf("\nrequest latency distribution (cycles):\n%s",
+		metrics.Histogram(src.Latencies(), 12, 40))
+
+	if recs := m.SampledRequests(); len(recs) > 0 {
+		fmt.Printf("\nsampled LC memory requests (cycles per component):\n")
+		fmt.Printf("%-12s %-8s %-6s %-6s %-6s %-6s %-8s %-6s %-6s\n",
+			"pc", "critical", "L2", "IC", "Bus", "BWC", "MemCtrl", "DRAM", "total")
+		for _, r := range recs {
+			fmt.Printf("%#-12x %-8v %-6d %-6d %-6d %-6d %-8d %-6d %-6d\n",
+				r.PC, r.Critical,
+				r.Split[mem.CompL2], r.Split[mem.CompInterconnect],
+				r.Split[mem.CompBus], r.Split[mem.CompBWCtrl],
+				r.Split[mem.CompMemCtrl], r.Split[mem.CompDRAM],
+				r.TotalCycles())
+		}
+	}
+}
+
+func keys() []string {
+	out := make([]string, 0, len(policies))
+	for k := range policies {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package pivot_test
+
+import (
+	"fmt"
+	"os"
+
+	"pivot"
+)
+
+// Example demonstrates the full PIVOT workflow: offline profiling, machine
+// construction, and reading the paper's metrics. (Compile-checked; run the
+// examples/ programs for live output.)
+func Example() {
+	cfg := pivot.KunpengConfig(8)
+	apps := pivot.LCApps()
+
+	// Phase 1 — offline: profile the LC task against the stress workload.
+	potential := pivot.ProfileLC(cfg, apps[pivot.Masstree], 7, 1)
+
+	// Phase 2 — online: co-locate under PIVOT.
+	tasks := []pivot.TaskSpec{{
+		Kind: pivot.TaskLC, LC: apps[pivot.Masstree],
+		MeanInterarrival: 4000, Potential: potential, Seed: 1,
+	}}
+	for i := 0; i < 7; i++ {
+		tasks = append(tasks, pivot.TaskSpec{
+			Kind: pivot.TaskBE, BE: pivot.BEApps()[pivot.IBench], Seed: uint64(10 + i),
+		})
+	}
+	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pivot.PolicyPIVOT}, tasks)
+	m.Run(400_000, 500_000)
+
+	fmt.Printf("p95=%d cycles, bandwidth=%.0f%% of peak\n", m.LCp95(0), 100*m.BWUtil())
+}
+
+// ExampleMachine_Snapshot exports a machine's measurements as JSON.
+func ExampleMachine_Snapshot() {
+	m := pivot.MustNewMachine(pivot.KunpengConfig(4),
+		pivot.Options{Policy: pivot.PolicyDefault},
+		[]pivot.TaskSpec{{Kind: pivot.TaskBE, BE: pivot.BEApps()[pivot.IBench], Seed: 1}})
+	m.Run(10_000, 50_000)
+	_ = m.Snapshot().WriteJSON(os.Stdout)
+}
+
+// ExampleRunManaged drives a machine under the CLITE resource manager.
+func ExampleRunManaged() {
+	m := pivot.MustNewMachine(pivot.KunpengConfig(4),
+		pivot.Options{Policy: pivot.PolicyManaged},
+		[]pivot.TaskSpec{
+			{Kind: pivot.TaskLC, LC: pivot.LCApps()[pivot.Xapian], MeanInterarrival: 5000, Seed: 1},
+			{Kind: pivot.TaskBE, BE: pivot.BEApps()[pivot.GraphAn], Seed: 2},
+		})
+	pivot.RunManaged(pivot.NewCLITE([]uint32{20_000}), m, 100_000, 200_000, 25_000)
+	fmt.Println(m.LCTasks()[0].Source.Completed() > 0)
+	// Output: true
+}

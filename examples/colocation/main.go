@@ -1,0 +1,72 @@
+// Colocation: a warehouse-style mix — two latency-critical services (online
+// search + inference) sharing a node with a CloudSuite analytics job — swept
+// across the resource managers the paper compares: PARTIES, CLITE, and
+// PIVOT. Prints each manager's LC tails, BE throughput and bandwidth.
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+
+	"pivot"
+)
+
+func main() {
+	cfg := pivot.KunpengConfig(8)
+	apps := pivot.LCApps()
+	xapian, imgdnn := apps[pivot.Xapian], apps[pivot.ImgDNN]
+	analytics := pivot.BEApps()[pivot.DataAn]
+
+	// Offline profiles for PIVOT (one per LC application).
+	potXP := pivot.ProfileLC(cfg, xapian, 6, 1)
+	potID := pivot.ProfileLC(cfg, imgdnn, 6, 1)
+
+	// QoS targets: loose knee proxies for this demo (the experiment harness
+	// derives them from real load-latency sweeps; see cmd/pivot-exp fig12).
+	buildTasks := func() []pivot.TaskSpec {
+		tasks := []pivot.TaskSpec{
+			{Kind: pivot.TaskLC, LC: xapian, MeanInterarrival: 3000, Potential: potXP, Seed: 1},
+			{Kind: pivot.TaskLC, LC: imgdnn, MeanInterarrival: 2000, Potential: potID, Seed: 2},
+		}
+		for i := 0; i < 6; i++ {
+			tasks = append(tasks, pivot.TaskSpec{Kind: pivot.TaskBE, BE: analytics, Seed: uint64(10 + i)})
+		}
+		return tasks
+	}
+
+	// Measure run-alone tails to set targets.
+	targets := make([]uint32, 2)
+	for i, spec := range buildTasks()[:2] {
+		m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pivot.PolicyDefault},
+			[]pivot.TaskSpec{spec})
+		m.Run(200_000, 300_000)
+		targets[i] = m.LCp95(0) * 3
+	}
+	fmt.Printf("QoS targets: xapian %d cycles, img-dnn %d cycles\n\n", targets[0], targets[1])
+
+	fmt.Printf("%-8s %10s %10s %14s %8s\n", "manager", "xapian", "img-dnn", "BE instr/cyc", "BW util")
+	report := func(name string, m *pivot.Machine) {
+		fmt.Printf("%-8s %10d %10d %14.4f %8.3f\n", name,
+			m.LCp95(0), m.LCp95(1),
+			float64(m.BECommitted())/float64(m.MeasuredCycles()), m.BWUtil())
+	}
+
+	// PARTIES and CLITE drive CAT+MBA knobs over the managed policy.
+	for _, name := range []string{"PARTIES", "CLITE"} {
+		m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pivot.PolicyManaged}, buildTasks())
+		var mgr pivot.Manager
+		if name == "PARTIES" {
+			mgr = pivot.NewPARTIES(targets)
+		} else {
+			mgr = pivot.NewCLITE(targets)
+		}
+		pivot.RunManaged(mgr, m, 400_000, 500_000, 50_000)
+		report(name, m)
+	}
+
+	// PIVOT needs no manager: the criticality mechanism is the policy.
+	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pivot.PolicyPIVOT}, buildTasks())
+	m.Run(400_000, 500_000)
+	report("PIVOT", m)
+}

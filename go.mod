@@ -1,0 +1,3 @@
+module pivot
+
+go 1.22

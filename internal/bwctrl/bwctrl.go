@@ -1,0 +1,162 @@
+// Package bwctrl implements the memory bandwidth controller MSC, including
+// the ARM MPAM mechanism the paper reimplements in gem5 (§IV-E): each
+// partition (PARTID) declares an expected bandwidth range; a monitor measures
+// usage over 100 000-cycle windows; requests are classified into three
+// priority classes — high when the partition is under its minimum allocation,
+// low when it is over its maximum, medium otherwise — and the queue serves
+// higher classes first.
+package bwctrl
+
+import (
+	"pivot/internal/interconnect"
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// Allocation is a partition's expected bandwidth range, as fractions of the
+// channel's peak bandwidth.
+type Allocation struct {
+	Min float64
+	Max float64
+}
+
+// Class is an MPAM priority class.
+type Class int
+
+// MPAM priority classes; lower value = served first.
+const (
+	ClassHigh Class = iota
+	ClassMedium
+	ClassLow
+)
+
+// Config sets the controller geometry and monitoring.
+type Config struct {
+	Station interconnect.Config
+	// WindowCycles is the bandwidth-monitor window (100 000 cycles on
+	// Kunpeng 920, which the paper follows).
+	WindowCycles sim.Cycle
+	// PeakLinesPerWindow is the channel's peak deliverable lines per window,
+	// used to turn counted lines into a usage fraction.
+	PeakLinesPerWindow float64
+}
+
+// Controller is the bandwidth-controller MSC. It embeds a Station, so it is
+// an interconnect.Acceptor and a sim.Ticker.
+type Controller struct {
+	*interconnect.Station
+	cfg Config
+
+	// MPAMEnabled turns class-based selection on (MPAM, FullPath, PIVOT all
+	// keep MPAM at this component; Default and MBA do not).
+	MPAMEnabled bool
+
+	alloc   [8]Allocation
+	counted [8]uint64 // lines accepted this window
+	usage   [8]float64
+	class   [8]Class
+
+	windowStart sim.Cycle
+	windowsDone uint64
+}
+
+// New wires a controller that forwards into down.
+func New(cfg Config, down interconnect.Acceptor) *Controller {
+	if cfg.WindowCycles == 0 {
+		cfg.WindowCycles = 100_000
+	}
+	c := &Controller{
+		Station: interconnect.New(cfg.Station, down),
+		cfg:     cfg,
+	}
+	for i := range c.class {
+		c.class[i] = ClassMedium
+	}
+	c.Station.Classify = c.classify
+	return c
+}
+
+// SetAllocation declares PartID p's expected bandwidth range.
+func (c *Controller) SetAllocation(p mem.PartID, a Allocation) {
+	if int(p) < len(c.alloc) {
+		c.alloc[p] = a
+	}
+}
+
+// Allocation returns PartID p's declared range.
+func (c *Controller) Allocation(p mem.PartID) Allocation {
+	if int(p) < len(c.alloc) {
+		return c.alloc[p]
+	}
+	return Allocation{}
+}
+
+// Usage returns p's bandwidth usage fraction measured in the last completed
+// window. PIVOT's adaptive RRBP threshold reads this.
+func (c *Controller) Usage(p mem.PartID) float64 {
+	if int(p) < len(c.usage) {
+		return c.usage[p]
+	}
+	return 0
+}
+
+// ClassOf returns p's current MPAM class.
+func (c *Controller) ClassOf(p mem.PartID) Class {
+	if int(p) < len(c.class) {
+		return c.class[p]
+	}
+	return ClassMedium
+}
+
+func (c *Controller) classify(r *mem.Req) int {
+	if !c.MPAMEnabled {
+		return 0
+	}
+	return int(c.ClassOf(r.Part))
+}
+
+// Accept counts the request against its partition's monitor, then enqueues.
+func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
+	ok := c.Station.Accept(r, now)
+	if ok && int(r.Part) < len(c.counted) {
+		c.counted[r.Part]++
+	}
+	return ok
+}
+
+// Tick rolls the monitoring window and forwards queued requests.
+func (c *Controller) Tick(now sim.Cycle) {
+	if now-c.windowStart >= c.cfg.WindowCycles {
+		c.rollWindow()
+		c.windowStart = now
+	}
+	c.Station.Tick(now)
+}
+
+// WindowsDone reports how many monitoring windows have completed; usage
+// readings are meaningless before the first.
+func (c *Controller) WindowsDone() uint64 { return c.windowsDone }
+
+func (c *Controller) rollWindow() {
+	c.windowsDone++
+	peak := c.cfg.PeakLinesPerWindow
+	if peak <= 0 {
+		peak = 1
+	}
+	for p := range c.counted {
+		u := float64(c.counted[p]) / peak
+		c.usage[p] = u
+		c.counted[p] = 0
+		a := c.alloc[p]
+		switch {
+		case a.Min == 0 && a.Max == 0:
+			c.class[p] = ClassMedium // unconfigured partition
+		case u < a.Min:
+			c.class[p] = ClassHigh
+		case a.Max > 0 && u > a.Max:
+			c.class[p] = ClassLow
+		default:
+			c.class[p] = ClassMedium
+		}
+	}
+}

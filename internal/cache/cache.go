@@ -1,0 +1,237 @@
+// Package cache implements the set-associative cache model used for the
+// private L1/L2 caches and the shared, way-partitionable LLC, plus the MSHR
+// file that bounds outstanding misses. Only tags are modelled; the simulator
+// never moves data, it moves timing.
+package cache
+
+import (
+	"fmt"
+
+	"pivot/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	HitCycles int // lookup latency on a hit
+	MSHRs     int // max outstanding misses
+}
+
+// Validate reports a descriptive error for impossible geometries.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	default:
+		sets := c.SizeBytes / (c.Ways * c.LineBytes)
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+		}
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	part  mem.PartID
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Stats counts per-cache accesses, split by LC/BE origin so experiments can
+// report per-task miss rates.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Cache is a set-associative, LRU, write-back (timing-only) cache.
+// It is not safe for concurrent use; the simulator is single-goroutine.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	stamp    uint64
+
+	// wayMask[p] restricts which ways PartID p may *allocate* into
+	// (lookups hit in any way, matching Intel CAT semantics).
+	// A zero mask means "all ways allowed".
+	wayMask [256]uint64
+
+	Stats     Stats
+	PartStats [8]Stats // indexed by PartID for small machines
+}
+
+// New builds a cache from cfg. It panics on invalid geometry; configurations
+// are programmer-supplied constants, not user input.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetWayMask restricts PartID p to allocate only into ways whose bit is set
+// in mask. Passing 0 restores "all ways". This models Intel CAT / MPAM cache
+// portion partitioning.
+func (c *Cache) SetWayMask(p mem.PartID, mask uint64) {
+	full := uint64(1)<<uint(c.cfg.Ways) - 1
+	c.wayMask[p] = mask & full
+}
+
+// WayMask returns the allocation mask for PartID p (0 = unrestricted).
+func (c *Cache) WayMask(p mem.PartID) uint64 { return c.wayMask[p] }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineBits
+	return blk & c.setMask, blk >> 0 // full block address as tag: simple and unambiguous
+}
+
+func (c *Cache) bumpStats(p mem.PartID, hit bool) {
+	if hit {
+		c.Stats.Hits++
+	} else {
+		c.Stats.Misses++
+	}
+	if int(p) < len(c.PartStats) {
+		if hit {
+			c.PartStats[p].Hits++
+		} else {
+			c.PartStats[p].Misses++
+		}
+	}
+}
+
+// Lookup probes the cache for addr, updating LRU on a hit.
+// It returns whether the access hit.
+func (c *Cache) Lookup(addr uint64, p mem.PartID) bool {
+	set, tag := c.index(addr)
+	c.stamp++
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.stamp
+			c.bumpStats(p, true)
+			return true
+		}
+	}
+	c.bumpStats(p, false)
+	return false
+}
+
+// Contains probes without updating LRU or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr into the cache on behalf of PartID p, honouring p's way
+// mask, and returns the evicted block address and whether an eviction of a
+// valid line occurred.
+func (c *Cache) Insert(addr uint64, p mem.PartID, dirty bool) (evicted uint64, wasValid bool) {
+	set, tag := c.index(addr)
+	c.stamp++
+	allowed := c.wayMask[p]
+	if allowed == 0 {
+		allowed = uint64(1)<<uint(c.cfg.Ways) - 1
+	}
+
+	// Already present (e.g. a racing fill): refresh.
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.stamp
+			ln.dirty = ln.dirty || dirty
+			return 0, false
+		}
+	}
+
+	victim := -1
+	var victimLRU uint64 = ^uint64(0)
+	for i := range c.sets[set] {
+		if allowed&(1<<uint(i)) == 0 {
+			continue
+		}
+		ln := &c.sets[set][i]
+		if !ln.valid {
+			victim = i
+			victimLRU = 0
+			break
+		}
+		if ln.lru < victimLRU {
+			victim = i
+			victimLRU = ln.lru
+		}
+	}
+	if victim < 0 {
+		// Mask excluded every way; fall back to way 0 to stay functional.
+		victim = 0
+	}
+	ln := &c.sets[set][victim]
+	if ln.valid {
+		evicted = ln.tag << c.lineBits
+		wasValid = true
+	}
+	*ln = line{tag: tag, valid: true, dirty: dirty, part: p, lru: c.stamp}
+	return evicted, wasValid
+}
+
+// Invalidate removes addr if present, returning whether it was there.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			ln.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/(hits+misses), or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// ResetStats zeroes the access counters (used between warm-up and the
+// measured region of a simulation).
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	for i := range c.PartStats {
+		c.PartStats[i] = Stats{}
+	}
+}

@@ -1,0 +1,55 @@
+package cache
+
+// MSHRFile tracks outstanding misses for one cache. Each entry coalesces all
+// waiters for the same line; when the file is full the cache must stall new
+// misses, which is one of the back-pressure points that lets bandwidth
+// contention propagate toward the core.
+type MSHRFile struct {
+	max     int
+	entries map[uint64]*MSHREntry
+}
+
+// MSHREntry is one outstanding miss with its coalesced waiters.
+type MSHREntry struct {
+	Addr    uint64
+	Waiters []any // opaque to the cache; the owner interprets them
+}
+
+// NewMSHRFile returns an MSHR file with capacity max.
+func NewMSHRFile(max int) *MSHRFile {
+	return &MSHRFile{max: max, entries: make(map[uint64]*MSHREntry, max)}
+}
+
+// Full reports whether a new (non-coalescing) allocation would fail.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.max }
+
+// Len reports the number of live entries.
+func (m *MSHRFile) Len() int { return len(m.entries) }
+
+// Lookup returns the entry for addr, or nil.
+func (m *MSHRFile) Lookup(addr uint64) *MSHREntry { return m.entries[addr] }
+
+// Allocate returns the entry for addr, creating it if needed. The boolean is
+// true when a new entry was created (i.e. a downstream request must be sent)
+// and false when the miss coalesced onto an existing entry. If the file is
+// full and addr has no entry, Allocate returns (nil, false).
+func (m *MSHRFile) Allocate(addr uint64) (*MSHREntry, bool) {
+	if e, ok := m.entries[addr]; ok {
+		return e, false
+	}
+	if m.Full() {
+		return nil, false
+	}
+	e := &MSHREntry{Addr: addr}
+	m.entries[addr] = e
+	return e, true
+}
+
+// Fill removes and returns the entry for addr (nil if absent).
+func (m *MSHRFile) Fill(addr uint64) *MSHREntry {
+	e := m.entries[addr]
+	if e != nil {
+		delete(m.entries, addr)
+	}
+	return e
+}

@@ -1,0 +1,108 @@
+// Package cbp reimplements the Criticality-Based Prediction baseline of
+// Ghose et al. (ISCA'13) as used in the paper's §VI-B comparison: a purely
+// runtime load-criticality predictor near the ROB, with no offline profiling.
+// Two variants are modelled:
+//
+//   - BlockCount: counts how many times each (aliased) table entry's loads
+//     stalled the ROB; a load is critical when its count passes a threshold.
+//   - Binary: a load is critical if its entry has stalled the ROB at all
+//     since the last refresh.
+//
+// Because CBP observes *every* load — without PIVOT's offline filtering —
+// data-center instruction footprints alias heavily in the small table, which
+// is exactly the failure mode the paper describes (§VIII-B).
+package cbp
+
+import "pivot/internal/sim"
+
+// Variant selects the CBP flavour.
+type Variant int
+
+// CBP variants.
+const (
+	BlockCount Variant = iota
+	Binary
+)
+
+// Config sets the predictor's geometry.
+type Config struct {
+	Entries       int
+	Variant       Variant
+	Threshold     uint8 // BlockCount flagging threshold
+	CounterMax    uint8
+	RefreshCycles sim.Cycle // periodic clear, like hardware ageing
+}
+
+// DefaultConfig returns a 64-entry BlockCount predictor comparable in
+// storage to PIVOT's RRBP.
+func DefaultConfig() Config {
+	return Config{Entries: 64, Variant: BlockCount, Threshold: 2, CounterMax: 63, RefreshCycles: 1_000_000}
+}
+
+// Predictor is the CBP table.
+type Predictor struct {
+	cfg         Config
+	counters    []uint8
+	lastRefresh sim.Cycle
+
+	LongStalls uint64
+	Flagged    uint64
+	Lookups    uint64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 64
+	}
+	if cfg.CounterMax == 0 {
+		cfg.CounterMax = 63
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 1
+	}
+	return &Predictor{cfg: cfg, counters: make([]uint8, cfg.Entries)}
+}
+
+func (p *Predictor) index(pc uint64) int {
+	h := (pc >> 2) ^ (pc >> 14)
+	return int(h % uint64(len(p.counters)))
+}
+
+// RecordStall notes a ROB stall caused by the load at pc. Unlike PIVOT's
+// RRBP, every load updates the table — there is no potential-set filter.
+func (p *Predictor) RecordStall(pc uint64) {
+	p.LongStalls++
+	i := p.index(pc)
+	if p.counters[i] < p.cfg.CounterMax {
+		p.counters[i]++
+	}
+}
+
+// IsCritical reports the prediction for the load at pc.
+func (p *Predictor) IsCritical(pc uint64) bool {
+	p.Lookups++
+	c := p.counters[p.index(pc)]
+	var crit bool
+	switch p.cfg.Variant {
+	case Binary:
+		crit = c > 0
+	default:
+		crit = c >= p.cfg.Threshold
+	}
+	if crit {
+		p.Flagged++
+	}
+	return crit
+}
+
+// MaybeRefresh ages the table.
+func (p *Predictor) MaybeRefresh(now sim.Cycle) {
+	if p.cfg.RefreshCycles == 0 || now-p.lastRefresh < p.cfg.RefreshCycles {
+		return
+	}
+	p.lastRefresh = now
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+}

@@ -1,0 +1,81 @@
+package cbp
+
+import "testing"
+
+func TestBlockCountThreshold(t *testing.T) {
+	p := New(Config{Entries: 16, Variant: BlockCount, Threshold: 3, CounterMax: 63})
+	pc := uint64(0x400000)
+	p.RecordStall(pc)
+	p.RecordStall(pc)
+	if p.IsCritical(pc) {
+		t.Fatal("flagged below threshold")
+	}
+	p.RecordStall(pc)
+	if !p.IsCritical(pc) {
+		t.Fatal("not flagged at threshold")
+	}
+}
+
+func TestBinaryVariant(t *testing.T) {
+	p := New(Config{Entries: 16, Variant: Binary, Threshold: 10, CounterMax: 63})
+	pc := uint64(0x400000)
+	if p.IsCritical(pc) {
+		t.Fatal("untouched entry critical")
+	}
+	p.RecordStall(pc)
+	if !p.IsCritical(pc) {
+		t.Fatal("binary variant needs only one stall")
+	}
+}
+
+// TestAliasingFailureMode pins the §VIII-B argument: with a data-center-size
+// instruction footprint, unrelated loads hash onto hot entries and are
+// mispredicted as critical.
+func TestAliasingFailureMode(t *testing.T) {
+	p := New(Config{Entries: 4, Variant: BlockCount, Threshold: 1, CounterMax: 63})
+	for pc := uint64(0); pc < 64; pc += 4 {
+		p.RecordStall(0x1000 + pc)
+	}
+	aliased := 0
+	for pc := uint64(0); pc < 64; pc += 4 {
+		if p.IsCritical(0x9000 + pc) { // PCs that never stalled
+			aliased++
+		}
+	}
+	if aliased == 0 {
+		t.Fatal("small table showed no aliasing under a large footprint")
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	p := New(Config{Entries: 8, Variant: BlockCount, Threshold: 1, CounterMax: 63, RefreshCycles: 100})
+	p.RecordStall(0x40)
+	if !p.IsCritical(0x40) {
+		t.Fatal("setup failed")
+	}
+	p.MaybeRefresh(50)
+	if !p.IsCritical(0x40) {
+		t.Fatal("refresh fired early")
+	}
+	p.MaybeRefresh(150)
+	if p.IsCritical(0x40) {
+		t.Fatal("refresh did not clear")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	p := New(Config{Entries: 1, Variant: BlockCount, Threshold: 1, CounterMax: 2})
+	for i := 0; i < 100; i++ {
+		p.RecordStall(0x40)
+	}
+	if p.counters[0] != 2 {
+		t.Fatalf("counter = %d, want saturated at 2", p.counters[0])
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Config{})
+	if len(p.counters) != 64 {
+		t.Fatalf("default entries = %d, want 64", len(p.counters))
+	}
+}

@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"pivot/internal/sim"
+)
+
+// Config sets a core's pipeline geometry (Table II / Table III in the paper).
+type Config struct {
+	ROBSize     int
+	FetchWidth  int // dispatch width into the ROB
+	IssueWidth  int
+	CommitWidth int
+	LQSize      int
+	SQSize      int
+
+	// LongStall is the ROB-stall-cycle threshold above which a stall counts
+	// as "long" for the RRBP (exceeding the LLC access time, §IV-C).
+	LongStall sim.Cycle
+}
+
+// Hooks are the observation and decision points the machine wires into a
+// core. Nil hooks are skipped.
+type Hooks struct {
+	// IsCritical decides, when a load enters the load queue, whether its
+	// memory request carries the critical bit (PIVOT reads the RRBP here;
+	// FullPath returns true for every LC load; CBP consults its own table).
+	IsCritical func(pc uint64) bool
+
+	// OnLoadRetire fires when a load commits, with the ROB-head stall cycles
+	// attributed to it and whether it missed the LLC. The offline profiler
+	// and the RRBP updater both observe this.
+	OnLoadRetire func(pc uint64, stall sim.Cycle, llcMiss bool)
+
+	// OnReqEnd fires when an op flagged FlagReqEnd commits; the load
+	// generator computes request latency from it.
+	OnReqEnd func(reqID uint64, now sim.Cycle)
+}
+
+// LoadRequest is what the core hands to the memory port for one load.
+type LoadRequest struct {
+	Addr     uint64
+	PC       uint64
+	Critical bool
+	// Done must be called exactly once when the value is back in the core.
+	Done func(llcMiss bool, now sim.Cycle)
+}
+
+// MemPort is the core's window into the memory hierarchy (its private L1D
+// and everything behind it). Implementations return false to signal
+// "structural hazard, retry next cycle".
+type MemPort interface {
+	Load(r LoadRequest, now sim.Cycle) bool
+	// Store is fire-and-forget: stores retire through the write buffer
+	// (§III-B: store instructions rarely stall the ROB) but still consume
+	// memory bandwidth downstream.
+	Store(addr, pc uint64, now sim.Cycle) bool
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota // deps outstanding
+	stReady                     // ready to issue
+	stIssued                    // executing / memory access in flight
+	stDone                      // result available, waiting to commit
+)
+
+type robEntry struct {
+	op      MicroOp
+	seq     uint64
+	state   entryState
+	doneAt  sim.Cycle // for ALU ops: completion time
+	pending int       // outstanding source deps
+	waiters []uint64  // seqs woken when this entry completes
+	stall   sim.Cycle // ROB-head stall cycles attributed to this entry
+	llcMiss bool
+}
+
+// Stats aggregates a core's activity.
+type Stats struct {
+	Committed     uint64
+	Loads         uint64
+	Stores        uint64
+	StallCycles   uint64 // cycles commit made no progress with a non-empty ROB
+	LoadStallCyc  uint64 // subset attributed to a load at the ROB head
+	IdleCycles    uint64 // cycles with an empty ROB and no op available
+	DispatchStall uint64 // cycles dispatch blocked on a full ROB/LQ/SQ
+}
+
+// Core is one out-of-order CPU.
+type Core struct {
+	ID   int
+	cfg  Config
+	mem  MemPort
+	src  Stream
+	hook Hooks
+
+	rob     []robEntry // ring buffer
+	head    int
+	count   int
+	nextSeq uint64
+	headSeq uint64 // seq of the entry at rob[head]
+
+	lastWriter [NumRegs]uint64 // seq producing each register; 0 = none
+
+	readyQ   []uint64 // seqs ready to issue (FIFO)
+	retryQ   []uint64 // mem ops refused by the port, retried first
+	lqUsed   int
+	sqUsed   int
+	fetchBuf MicroOp
+	fetched  bool
+
+	// aluWheel is a 256-slot timing wheel of ALU completions: issuing an ALU
+	// op with latency L (≤ 255) appends its seq to the slot for now+L, and
+	// each Tick drains only the current slot — O(completions) rather than
+	// O(ROB) per cycle.
+	aluWheel [256][]uint64
+
+	Stats Stats
+}
+
+// New builds a core reading from src and accessing memory through port.
+func New(id int, cfg Config, src Stream, port MemPort, hook Hooks) *Core {
+	if cfg.ROBSize <= 0 {
+		panic("cpu: ROBSize must be positive")
+	}
+	return &Core{
+		ID:   id,
+		cfg:  cfg,
+		mem:  port,
+		src:  src,
+		hook: hook,
+		rob:  make([]robEntry, cfg.ROBSize),
+	}
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// SetStream replaces the instruction source (used when restarting phases).
+func (c *Core) SetStream(s Stream) { c.src = s }
+
+func (c *Core) slotOf(seq uint64) *robEntry {
+	if seq < c.headSeq || seq >= c.headSeq+uint64(c.count) {
+		return nil
+	}
+	idx := (c.head + int(seq-c.headSeq)) % c.cfg.ROBSize
+	return &c.rob[idx]
+}
+
+// depReady reports whether the producer of seq has completed (or retired).
+func (c *Core) depReady(seq uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	e := c.slotOf(seq)
+	if e == nil {
+		return true // already retired
+	}
+	return e.state == stDone
+}
+
+// Tick advances the core one cycle: commit, issue, dispatch.
+func (c *Core) Tick(now sim.Cycle) {
+	c.commit(now)
+	c.issue(now)
+	c.dispatch(now)
+}
+
+func (c *Core) commit(now sim.Cycle) {
+	if c.count == 0 {
+		return
+	}
+	committed := 0
+	for committed < c.cfg.CommitWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.state != stDone {
+			break
+		}
+		// Retire.
+		if e.op.Kind == OpLoad {
+			c.Stats.Loads++
+			if c.hook.OnLoadRetire != nil {
+				c.hook.OnLoadRetire(e.op.PC, e.stall, e.llcMiss)
+			}
+			c.lqUsed--
+		} else if e.op.Kind == OpStore {
+			c.Stats.Stores++
+			c.sqUsed--
+		}
+		if e.op.Flags&FlagReqEnd != 0 && c.hook.OnReqEnd != nil {
+			c.hook.OnReqEnd(e.op.ReqID, now)
+		}
+		if c.lastWriter[e.op.Dest] == e.seq {
+			c.lastWriter[e.op.Dest] = 0
+		}
+		e.waiters = nil
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.headSeq++
+		c.count--
+		committed++
+		c.Stats.Committed++
+	}
+	if committed == 0 && c.count > 0 {
+		// ROB-head stall: attribute to the head instruction.
+		c.Stats.StallCycles++
+		e := &c.rob[c.head]
+		e.stall++
+		if e.op.Kind == OpLoad {
+			c.Stats.LoadStallCyc++
+		}
+	}
+}
+
+// complete marks seq done and wakes its dependents.
+func (c *Core) complete(seq uint64, now sim.Cycle) {
+	e := c.slotOf(seq)
+	if e == nil || e.state == stDone {
+		return
+	}
+	e.state = stDone
+	for _, w := range e.waiters {
+		we := c.slotOf(w)
+		if we == nil {
+			continue
+		}
+		we.pending--
+		if we.pending == 0 && we.state == stWaiting {
+			we.state = stReady
+			c.readyQ = append(c.readyQ, w)
+		}
+	}
+	e.waiters = e.waiters[:0]
+	_ = now
+}
+
+func (c *Core) issue(now sim.Cycle) {
+	issued := 0
+
+	// Retry memory ops the port refused before consuming new ready ops.
+	for issued < c.cfg.IssueWidth && len(c.retryQ) > 0 {
+		seq := c.retryQ[0]
+		if !c.tryIssueMem(seq, now) {
+			break // port still busy; preserve order
+		}
+		c.retryQ = c.retryQ[1:]
+		issued++
+	}
+
+	for issued < c.cfg.IssueWidth && len(c.readyQ) > 0 {
+		seq := c.readyQ[0]
+		c.readyQ = c.readyQ[1:]
+		e := c.slotOf(seq)
+		if e == nil || e.state != stReady {
+			continue
+		}
+		switch e.op.Kind {
+		case OpALU:
+			e.state = stIssued
+			lat := sim.Cycle(e.op.Lat)
+			if lat == 0 {
+				lat = 1
+			}
+			e.doneAt = now + lat
+			slot := int(e.doneAt) & 255
+			c.aluWheel[slot] = append(c.aluWheel[slot], seq)
+			issued++
+		case OpLoad, OpStore:
+			e.state = stIssued
+			if !c.tryIssueMem(seq, now) {
+				c.retryQ = append(c.retryQ, seq)
+			}
+			issued++
+		}
+	}
+
+	c.drainALUWheel(now)
+}
+
+// drainALUWheel completes every ALU op scheduled for this cycle.
+func (c *Core) drainALUWheel(now sim.Cycle) {
+	slot := int(now) & 255
+	pend := c.aluWheel[slot]
+	if len(pend) == 0 {
+		return
+	}
+	c.aluWheel[slot] = pend[:0]
+	for _, seq := range pend {
+		e := c.slotOf(seq)
+		if e != nil && e.state == stIssued && e.op.Kind == OpALU && e.doneAt <= now {
+			c.complete(seq, now)
+		}
+	}
+}
+
+func (c *Core) tryIssueMem(seq uint64, now sim.Cycle) bool {
+	e := c.slotOf(seq)
+	if e == nil {
+		return true
+	}
+	switch e.op.Kind {
+	case OpLoad:
+		crit := false
+		if c.hook.IsCritical != nil {
+			crit = c.hook.IsCritical(e.op.PC)
+		}
+		ok := c.mem.Load(LoadRequest{
+			Addr:     e.op.Addr,
+			PC:       e.op.PC,
+			Critical: crit,
+			Done: func(llcMiss bool, at sim.Cycle) {
+				if le := c.slotOf(seq); le != nil {
+					le.llcMiss = llcMiss
+				}
+				c.complete(seq, at)
+			},
+		}, now)
+		return ok
+	case OpStore:
+		ok := c.mem.Store(e.op.Addr, e.op.PC, now)
+		if ok {
+			// Stores complete through the write buffer immediately.
+			c.complete(seq, now)
+		}
+		return ok
+	}
+	return true
+}
+
+func (c *Core) dispatch(now sim.Cycle) {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count >= c.cfg.ROBSize {
+			c.Stats.DispatchStall++
+			return
+		}
+		if !c.fetched {
+			if !c.src.Next(&c.fetchBuf) {
+				if c.count == 0 {
+					c.Stats.IdleCycles++
+				}
+				return
+			}
+			c.fetched = true
+		}
+		op := c.fetchBuf
+		if op.Kind == OpLoad && c.lqUsed >= c.cfg.LQSize {
+			c.Stats.DispatchStall++
+			return
+		}
+		if op.Kind == OpStore && c.sqUsed >= c.cfg.SQSize {
+			c.Stats.DispatchStall++
+			return
+		}
+		c.fetched = false
+
+		c.nextSeq++
+		seq := c.nextSeq
+		idx := (c.head + c.count) % c.cfg.ROBSize
+		if c.count == 0 {
+			c.headSeq = seq
+			c.head = idx
+		}
+		e := &c.rob[idx]
+		*e = robEntry{op: op, seq: seq, state: stWaiting}
+
+		// Resolve source dependences.
+		deps := 0
+		for _, r := range [2]RegID{op.Src1, op.Src2} {
+			if r == 0 {
+				continue
+			}
+			p := c.lastWriter[r]
+			if p == 0 || c.depReady(p) {
+				continue
+			}
+			pe := c.slotOf(p)
+			pe.waiters = append(pe.waiters, seq)
+			deps++
+		}
+		e.pending = deps
+		if op.Dest != 0 {
+			c.lastWriter[op.Dest] = seq
+		}
+		if op.Kind == OpLoad {
+			c.lqUsed++
+		} else if op.Kind == OpStore {
+			c.sqUsed++
+		}
+		c.count++
+		if deps == 0 {
+			e.state = stReady
+			c.readyQ = append(c.readyQ, seq)
+		}
+	}
+}
+
+// ROBOccupancy reports the number of in-flight instructions.
+func (c *Core) ROBOccupancy() int { return c.count }
+
+// IPC returns committed instructions per cycle over elapsed cycles.
+func (c *Core) IPC(elapsed sim.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.Stats.Committed) / float64(elapsed)
+}
+
+// ResetStats zeroes the counters (between warm-up and measurement).
+func (c *Core) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,59 @@
+// Package cpu implements the out-of-order core model: a reorder buffer with
+// in-order commit, register dependence tracking with wakeup lists, load/store
+// queues, and — the signal PIVOT is built on — per-static-load attribution of
+// ROB-head stall cycles.
+//
+// The model deliberately omits branch prediction and speculation: the
+// workload generators emit already-resolved instruction streams, so there is
+// nothing to squash. Every experiment in the paper measures memory-system
+// behaviour, which is unaffected by this simplification (documented in
+// DESIGN.md).
+package cpu
+
+// OpKind classifies a micro-op.
+type OpKind uint8
+
+// Micro-op kinds.
+const (
+	OpALU OpKind = iota
+	OpLoad
+	OpStore
+)
+
+// Flags on a micro-op.
+const (
+	// FlagReqEnd marks the last op of a latency-critical request; its commit
+	// timestamp determines the request's service latency.
+	FlagReqEnd uint8 = 1 << iota
+	// FlagPotentialCritical is the extra instruction bit PIVOT's offline
+	// profiler sets via binary rewriting (§IV-B): only loads carrying it are
+	// measured by the online RRBP mechanism.
+	FlagPotentialCritical
+)
+
+// RegID names one of the core's architectural registers. Register 0 reads as
+// always-ready and is never a real destination (like the zero register).
+type RegID uint8
+
+// NumRegs is the architectural register count visible to workload generators.
+const NumRegs = 32
+
+// MicroOp is one instruction as produced by a workload generator.
+type MicroOp struct {
+	PC    uint64
+	Kind  OpKind
+	Dest  RegID
+	Src1  RegID
+	Src2  RegID
+	Addr  uint64 // effective address for loads/stores
+	Lat   uint8  // execution latency for ALU ops (cycles)
+	Flags uint8
+	ReqID uint64 // request identifier when FlagReqEnd is set
+}
+
+// Stream supplies micro-ops to a core. Next fills op and returns true, or
+// returns false when no instruction is available this cycle (an LC core
+// idling between requests). A stream may resume returning true later.
+type Stream interface {
+	Next(op *MicroOp) bool
+}

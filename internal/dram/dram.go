@@ -1,0 +1,432 @@
+// Package dram models the memory controller and DRAM device: per-bank row
+// buffers, FR-FCFS scheduling, a shared data bus that sets the peak
+// bandwidth, finite request queues, and — for PIVOT — a priority queue with a
+// maximum-wait starvation guard (§IV-D: 8 000 DRAM cycles for the memory
+// controller).
+//
+// The model is deliberately simpler than a full DDR4 state machine but keeps
+// the three properties the paper's results rest on: (1) streaming row-hit
+// traffic achieves near-peak bus utilisation, (2) interleaved random traffic
+// closes rows and costs activate/precharge time, and (3) a saturated
+// controller queue back-pressures the bandwidth controller upstream.
+package dram
+
+import (
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// Config describes the controller and device timing, all in CPU cycles.
+type Config struct {
+	// Channels is the number of independent memory channels, interleaved at
+	// line granularity; each has its own data bus and Banks banks. 0 = 1.
+	Channels    int
+	Banks       int       // banks per channel
+	ColumnLines int       // cache lines per row (row size / line size)
+	TBurst      sim.Cycle // data-bus occupancy per line (peak: 1 line / TBurst)
+	TCAS        sim.Cycle // column access latency once the row is open
+	TRP         sim.Cycle // precharge
+	TRCD        sim.Cycle // activate
+	CapNormal   int       // normal queue capacity
+	CapPrio     int       // priority queue capacity
+	MaxWait     sim.Cycle // starvation guard for normal requests (0 = off)
+	RespLatency sim.Cycle // fixed return-path latency to the core side
+
+	// RefreshInterval (tREFI) triggers an all-bank refresh every so many
+	// cycles; 0 disables refresh. RefreshLatency (tRFC) blocks every bank
+	// and the data bus for its duration and closes all rows.
+	RefreshInterval sim.Cycle
+	RefreshLatency  sim.Cycle
+}
+
+// KunpengDDR4 approximates one channel of DDR4-2400 x64 behind a 2.4 GHz
+// core: 64 B line = 8 CPU cycles of data bus, CAS ~ 33 cycles, activate and
+// precharge ~ 32 cycles each, 16 banks, 8 KiB rows (128 lines).
+func KunpengDDR4() Config {
+	return Config{
+		Banks:       16,
+		ColumnLines: 128,
+		TBurst:      8,
+		TCAS:        33,
+		TRP:         32,
+		TRCD:        32,
+		CapNormal:   48,
+		CapPrio:     16,
+		MaxWait:     16000, // 8000 DRAM cycles at a 1:2 clock ratio
+		RespLatency: 20,
+	}
+}
+
+// prioActivateWindow is how many priority-queue entries may hold bank
+// activations concurrently (near-FIFO strictness; see startActivates).
+const prioActivateWindow = 4
+
+type bankState struct {
+	openRow int64 // -1 = closed; set to the incoming row at activate time
+	readyAt sim.Cycle
+}
+
+type entry struct {
+	req  *mem.Req
+	enq  sim.Cycle
+	bank int
+	row  int64
+}
+
+// Stats captures controller activity for the bandwidth-utilisation figures.
+type Stats struct {
+	Served       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	LinesMoved   uint64 // total lines transferred on the data bus
+	BusyCycles   uint64 // data-bus busy cycles
+	Promoted     uint64 // starvation-guard promotions
+	Refreshes    uint64 // all-bank refreshes performed
+	Refused      uint64
+	CritServed   uint64
+	WaitCyclesLC uint64
+	WaitCyclesBE uint64
+}
+
+// Controller is the memory controller + DRAM device model. It implements
+// interconnect.Acceptor on the request side and delivers completions through
+// the Respond callback.
+type Controller struct {
+	cfg   Config
+	banks []bankState
+
+	normal []entry
+	prio   []entry
+
+	// PriorityEnabled routes critical requests to the dedicated queue.
+	PriorityEnabled bool
+
+	// Classify, when non-nil, ranks row-open normal-queue candidates
+	// (lower = served first; FCFS within a rank). PIVOT and FullPath hook
+	// MPAM's class function here so LC tasks' non-critical requests are
+	// ordered ahead of BE traffic inside the normal queue (§IV-D).
+	Classify func(r *mem.Req) int
+
+	busFreeAt []sim.Cycle // per channel
+
+	// Respond is invoked when a request's data has returned to the core side
+	// (after RespLatency). Set by the machine during wiring.
+	Respond func(r *mem.Req, now sim.Cycle)
+
+	// pendingResp holds completed requests waiting out the response latency,
+	// kept sorted by due cycle (appends are naturally in order because
+	// completions are issued in bus order).
+	pendingResp []respEntry
+
+	claimed     []bool // per-bank activation ownership, reused across ticks
+	lineBits    uint
+	nextRefresh sim.Cycle
+
+	Stats Stats
+}
+
+type respEntry struct {
+	req *mem.Req
+	due sim.Cycle
+}
+
+// New builds a controller. lineBytes sets the address-to-bank/row mapping.
+func New(cfg Config, lineBytes int) *Controller {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	c := &Controller{
+		cfg:       cfg,
+		banks:     make([]bankState, cfg.Banks*cfg.Channels),
+		busFreeAt: make([]sim.Cycle, cfg.Channels),
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	for b := lineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// decode maps a line address to (bank, row). Address layout, line-granular:
+// [ row | bank | column | channel ]: channels interleave at line granularity
+// and streaming addresses sweep a row's columns before moving to the next
+// bank. The returned bank id is global (channel * Banks + bank-in-channel).
+func (c *Controller) decode(addr uint64) (bank int, row int64) {
+	line := addr >> c.lineBits
+	ch := int(line % uint64(c.cfg.Channels))
+	rest := line / uint64(c.cfg.Channels)
+	rest /= uint64(c.cfg.ColumnLines)
+	bank = ch*c.cfg.Banks + int(rest%uint64(c.cfg.Banks))
+	row = int64(rest / uint64(c.cfg.Banks))
+	return bank, row
+}
+
+// channelOf maps a global bank id back to its channel.
+func (c *Controller) channelOf(bank int) int { return bank / c.cfg.Banks }
+
+// Accept implements the MSC queue interface.
+func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
+	bank, row := c.decode(r.Addr)
+	e := entry{req: r, enq: now, bank: bank, row: row}
+	if c.PriorityEnabled && r.Critical {
+		if len(c.prio) >= c.cfg.CapPrio {
+			c.Stats.Refused++
+			return false
+		}
+		c.prio = append(c.prio, e)
+		return true
+	}
+	if len(c.normal) >= c.cfg.CapNormal {
+		c.Stats.Refused++
+		return false
+	}
+	c.normal = append(c.normal, e)
+	return true
+}
+
+// QueueLen reports queue occupancy (normal, priority).
+func (c *Controller) QueueLen() (int, int) { return len(c.normal), len(c.prio) }
+
+// pendingFor reports whether any queued request targets bank b's pending row.
+func (c *Controller) rowOpenFor(e *entry, now sim.Cycle) bool {
+	b := &c.banks[e.bank]
+	return b.openRow == e.row && b.readyAt <= now
+}
+
+// startActivates opens rows for queued requests. Each bank is owned by at
+// most one claimant per cycle — the starved head first, then priority
+// requests, then normal requests in FCFS order — so a younger request can
+// never close a row an older request is about to use (that would livelock
+// two same-bank requests into perpetually re-activating each other's rows).
+func (c *Controller) startActivates(now sim.Cycle) {
+	if c.claimed == nil || len(c.claimed) < len(c.banks) {
+		c.claimed = make([]bool, len(c.banks))
+	} else {
+		for i := range c.claimed {
+			c.claimed[i] = false
+		}
+	}
+	if c.cfg.MaxWait > 0 && len(c.normal) > 0 && now-c.normal[0].enq > c.cfg.MaxWait {
+		c.claim(&c.normal[0], now)
+	}
+	// Priority service is near-FIFO: only the first few priority entries may
+	// open new rows. This is the §III-B cost of prioritisation — a strict
+	// scheduler cannot freely reorder priority traffic for row locality the
+	// way FR-FCFS reorders best-effort traffic, so each prioritised row miss
+	// loses activation overlap. Policies that prioritise more traffic
+	// (FullPath) therefore pay more idle bus time than ones that prioritise
+	// a sliver (PIVOT).
+	for i := 0; i < len(c.prio) && i < prioActivateWindow; i++ {
+		c.claim(&c.prio[i], now)
+	}
+	if c.Classify != nil {
+		// Class-ordered activation: high-class (LC) normal requests claim
+		// their banks ahead of best-effort traffic.
+		for i := range c.normal {
+			if c.Classify(c.normal[i].req) == 0 {
+				c.claim(&c.normal[i], now)
+			}
+		}
+	}
+	for i := range c.normal {
+		c.claim(&c.normal[i], now)
+	}
+}
+
+// claim lets e control its bank's row this cycle if no older request already
+// did, activating e's row when needed.
+func (c *Controller) claim(e *entry, now sim.Cycle) {
+	if c.claimed[e.bank] {
+		return
+	}
+	c.claimed[e.bank] = true
+	b := &c.banks[e.bank]
+	if b.readyAt > now || b.openRow == e.row {
+		return
+	}
+	pen := c.cfg.TRCD
+	if b.openRow >= 0 {
+		pen += c.cfg.TRP
+	}
+	b.openRow = e.row
+	b.readyAt = now + pen
+	c.Stats.RowMisses++
+}
+
+// pick selects the next request to put on the data bus:
+//  1. a starved normal request whose row is open (§IV-D guard);
+//  2. if the priority queue is non-empty, a priority request with an open
+//     row — and if none is ready, the controller *waits* for the priority
+//     activations instead of slipping row-hit normal requests underneath.
+//     This strict service is what makes prioritisation conflict with the
+//     row-hit-first default scheduling (§III-B): every prioritised row miss
+//     costs idle data-bus cycles, so the more loads a policy prioritises,
+//     the lower the achieved bandwidth;
+//  3. otherwise FR-FCFS over the normal queue (first row-open request).
+func (c *Controller) pick(now sim.Cycle, ch int) (q *[]entry, idx int) {
+	// Starvation guard.
+	if c.cfg.MaxWait > 0 && len(c.normal) > 0 {
+		e := &c.normal[0]
+		if c.channelOf(e.bank) == ch && now-e.enq > c.cfg.MaxWait && c.rowOpenFor(e, now) {
+			c.Stats.Promoted++
+			return &c.normal, 0
+		}
+	}
+	if c.PriorityEnabled && len(c.prio) > 0 {
+		prioOnCh := false
+		for i := range c.prio {
+			if c.channelOf(c.prio[i].bank) != ch {
+				continue
+			}
+			prioOnCh = true
+			if c.rowOpenFor(&c.prio[i], now) {
+				return &c.prio, i
+			}
+		}
+		if prioOnCh {
+			// While priority rows activate, only top-class (LC) normal
+			// requests with open rows may slip under — best-effort traffic
+			// waits. This keeps the strict-priority cost of FullPath (which
+			// prioritises the LC task's whole stream, leaving nothing to
+			// slip) without making PIVOT idle the bus when co-located LC
+			// tasks' non-critical traffic could use it.
+			if c.Classify != nil {
+				for i := range c.normal {
+					if c.channelOf(c.normal[i].bank) == ch &&
+						c.Classify(c.normal[i].req) == 0 && c.rowOpenFor(&c.normal[i], now) {
+						return &c.normal, i
+					}
+				}
+			}
+			return nil, -1 // this channel idles while its priority rows activate
+		}
+	}
+	best, bestRank := -1, int(^uint(0)>>1)
+	for i := range c.normal {
+		if c.channelOf(c.normal[i].bank) != ch || !c.rowOpenFor(&c.normal[i], now) {
+			continue
+		}
+		if c.Classify == nil {
+			return &c.normal, i // plain FR-FCFS: first ready in age order
+		}
+		if r := c.Classify(c.normal[i].req); r < bestRank {
+			best, bestRank = i, r
+		}
+	}
+	if best >= 0 {
+		return &c.normal, best
+	}
+	return nil, -1
+}
+
+func remove(q *[]entry, i int) entry {
+	e := (*q)[i]
+	copy((*q)[i:], (*q)[i+1:])
+	*q = (*q)[:len(*q)-1]
+	return e
+}
+
+// maybeRefresh runs the periodic all-bank refresh: every RefreshInterval
+// cycles, every row closes and banks plus the data bus block for
+// RefreshLatency cycles. Per-request this is rare but it bounds the
+// worst-case latency any scheduler can promise.
+func (c *Controller) maybeRefresh(now sim.Cycle) {
+	if c.cfg.RefreshInterval == 0 {
+		return
+	}
+	if c.nextRefresh == 0 {
+		c.nextRefresh = c.cfg.RefreshInterval
+	}
+	if now < c.nextRefresh {
+		return
+	}
+	c.nextRefresh = now + c.cfg.RefreshInterval
+	c.Stats.Refreshes++
+	until := now + c.cfg.RefreshLatency
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].readyAt = until
+	}
+	for ch := range c.busFreeAt {
+		if c.busFreeAt[ch] < until {
+			c.busFreeAt[ch] = until
+		}
+	}
+}
+
+// Tick advances the controller one cycle: deliver due responses, start row
+// activates, and, when the data bus is free, move one request's line.
+func (c *Controller) Tick(now sim.Cycle) {
+	// Deliver responses whose return latency elapsed.
+	for len(c.pendingResp) > 0 && c.pendingResp[0].due <= now {
+		r := c.pendingResp[0].req
+		copy(c.pendingResp, c.pendingResp[1:])
+		c.pendingResp = c.pendingResp[:len(c.pendingResp)-1]
+		if c.Respond != nil {
+			c.Respond(r, now)
+		}
+	}
+
+	c.maybeRefresh(now)
+	c.startActivates(now)
+
+	for ch := range c.busFreeAt {
+		if c.busFreeAt[ch] > now {
+			c.Stats.BusyCycles++
+			continue
+		}
+		q, i := c.pick(now, ch)
+		if q == nil {
+			continue
+		}
+		e := remove(q, i)
+		c.Stats.Served++
+		c.Stats.RowHits++ // row was open by construction of pick
+		c.Stats.LinesMoved++
+		if e.req.Critical {
+			c.Stats.CritServed++
+		}
+		wait := uint64(now - e.enq)
+		if e.req.LCTask {
+			c.Stats.WaitCyclesLC += wait
+		} else {
+			c.Stats.WaitCyclesBE += wait
+		}
+
+		c.busFreeAt[ch] = now + c.cfg.TBurst
+		c.Stats.BusyCycles++
+		done := now + c.cfg.TCAS + c.cfg.TBurst
+		e.req.AddSplit(mem.CompMemCtrl, now-e.enq)
+		e.req.AddSplit(mem.CompDRAM, done-now)
+		e.req.AddSplit(mem.CompResp, c.cfg.RespLatency)
+		c.pendingResp = append(c.pendingResp, respEntry{req: e.req, due: done + c.cfg.RespLatency})
+	}
+}
+
+// Drained reports whether all queues and in-flight responses are empty.
+func (c *Controller) Drained() bool {
+	return len(c.normal) == 0 && len(c.prio) == 0 && len(c.pendingResp) == 0
+}
+
+// PeakLinesPerCycle returns the aggregate data-bus peak rate in lines per
+// cycle across all channels.
+func (c *Controller) PeakLinesPerCycle() float64 {
+	return float64(c.cfg.Channels) / float64(c.cfg.TBurst)
+}
+
+// Utilisation returns achieved/peak bandwidth over elapsed cycles.
+func (c *Controller) Utilisation(elapsed sim.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	peak := float64(elapsed) * c.PeakLinesPerCycle()
+	return float64(c.Stats.LinesMoved) / peak
+}
+
+// ResetStats zeroes the counters (between warm-up and measurement).
+func (c *Controller) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,239 @@
+// Package exp is the experiment harness: one function per figure and table
+// of the paper, each returning a text table with the same rows/series the
+// paper reports. The harness shares a Context that caches the expensive
+// common work — offline profiles and the per-application load-latency
+// calibration (Figure 12) from which QoS targets, max loads and expected
+// bandwidths derive.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pivot/internal/machine"
+	"pivot/internal/metrics"
+	"pivot/internal/profile"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// Scale sets simulation lengths. Full() drives the CLI; Quick() keeps unit
+// tests and benchmarks fast (coarser, noisier, same shapes).
+type Scale struct {
+	Warmup  sim.Cycle
+	Measure sim.Cycle
+	// CalMeasure is the measured region for calibration sweeps (LC alone).
+	CalMeasure sim.Cycle
+	// LoadFracs is the sweep grid for load-latency curves, as fractions of
+	// the closed-loop saturation throughput.
+	LoadFracs []float64
+	// Epoch is the manager decision interval.
+	Epoch sim.Cycle
+	// MaxBEThreads bounds the iBench thread sweeps.
+	MaxBEThreads int
+	// Seed is the base RNG seed for every run.
+	Seed uint64
+}
+
+// Full returns the scale used by cmd/pivot-exp.
+func Full() Scale {
+	return Scale{
+		Warmup:       400_000,
+		Measure:      600_000,
+		CalMeasure:   500_000,
+		LoadFracs:    []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Epoch:        50_000,
+		MaxBEThreads: 7,
+		Seed:         1,
+	}
+}
+
+// Quick returns the scale used by tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		Warmup:       250_000,
+		Measure:      250_000,
+		CalMeasure:   200_000,
+		LoadFracs:    []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Epoch:        25_000,
+		MaxBEThreads: 7,
+		Seed:         1,
+	}
+}
+
+// CurvePoint is one load-latency sweep measurement (LC running alone).
+type CurvePoint struct {
+	LoadFrac float64 // fraction of closed-loop saturation throughput
+	RPMC     float64 // requests per million cycles offered
+	P95      uint32
+	Mean     float64
+	IPC      float64
+	BWUtil   float64
+	Complete uint64
+}
+
+// AppCalib is the run-alone calibration of one LC application.
+type AppCalib struct {
+	Name    string
+	App     workload.LCParams
+	SatRPMC float64 // closed-loop saturation throughput
+	Curve   []CurvePoint
+	// QoSTarget is the knee-derived tail-latency target (cycles).
+	QoSTarget uint32
+	// MaxLoad is the maximum offered RPMC meeting QoSTarget (Fig 12's
+	// vertical line); experiment loads are percentages of it.
+	MaxLoad float64
+}
+
+// MeanIAAt returns the arrival mean (cycles) for a percentage of max load.
+func (c *AppCalib) MeanIAAt(pct int) float64 {
+	rpmc := c.MaxLoad * float64(pct) / 100
+	if rpmc <= 0 {
+		return 0
+	}
+	return 1e6 / rpmc
+}
+
+// AloneBWAt interpolates the task's run-alone bandwidth usage at a
+// percentage of max load, for calibrating TaskSpec.ExpectedBW.
+func (c *AppCalib) AloneBWAt(pct int) float64 {
+	target := c.MaxLoad * float64(pct) / 100
+	// The curve is sorted by RPMC; find the bracketing points.
+	if len(c.Curve) == 0 {
+		return 0
+	}
+	if target <= c.Curve[0].RPMC {
+		return c.Curve[0].BWUtil
+	}
+	for i := 1; i < len(c.Curve); i++ {
+		a, b := c.Curve[i-1], c.Curve[i]
+		if target <= b.RPMC {
+			f := (target - a.RPMC) / (b.RPMC - a.RPMC)
+			return a.BWUtil + f*(b.BWUtil-a.BWUtil)
+		}
+	}
+	return c.Curve[len(c.Curve)-1].BWUtil
+}
+
+// Context carries the machine config, scale, and caches shared across
+// experiments.
+type Context struct {
+	Cfg   machine.Config
+	Scale Scale
+	Out   io.Writer // progress notes; nil silences them
+
+	calib map[string]*AppCalib
+	pots  map[string]profile.CriticalSet
+	// beAlone caches the standalone throughput (committed instructions per
+	// cycle) of n threads of a BE app.
+	beAlone map[string]float64
+}
+
+// NewContext builds a harness context over cfg at the given scale.
+func NewContext(cfg machine.Config, scale Scale) *Context {
+	return &Context{
+		Cfg:     cfg,
+		Scale:   scale,
+		calib:   make(map[string]*AppCalib),
+		pots:    make(map[string]profile.CriticalSet),
+		beAlone: make(map[string]float64),
+	}
+}
+
+func (ctx *Context) logf(format string, args ...any) {
+	if ctx.Out != nil {
+		fmt.Fprintf(ctx.Out, format+"\n", args...)
+	}
+}
+
+// Potential returns (computing and caching) the offline-profiled potential
+// set for an LC app.
+func (ctx *Context) Potential(app string) profile.CriticalSet {
+	if s, ok := ctx.pots[app]; ok {
+		return s
+	}
+	ctx.logf("offline profiling %s ...", app)
+	s := machine.ProfileLC(ctx.Cfg, workload.LCApps()[app], ctx.Scale.MaxBEThreads, ctx.Scale.Seed)
+	ctx.pots[app] = s
+	return s
+}
+
+// Calib returns (computing and caching) the run-alone calibration of an LC
+// app: the Figure 12 load-latency sweep, the knee-derived QoS target and
+// the max load.
+func (ctx *Context) Calib(app string) *AppCalib {
+	if c, ok := ctx.calib[app]; ok {
+		return c
+	}
+	ctx.logf("calibrating %s (load-latency sweep)...", app)
+	params := workload.LCApps()[app]
+	c := &AppCalib{Name: app, App: params}
+
+	// Closed-loop saturation throughput.
+	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault},
+		[]machine.TaskSpec{{Kind: machine.TaskLC, LC: params, MeanInterarrival: 0, Seed: ctx.Scale.Seed}})
+	m.Run(ctx.Scale.Warmup/2, ctx.Scale.CalMeasure)
+	c.SatRPMC = float64(m.LCTasks()[0].Source.Completed()) / float64(ctx.Scale.CalMeasure) * 1e6
+	if c.SatRPMC <= 0 {
+		panic(fmt.Sprintf("exp: %s completed no requests closed-loop", app))
+	}
+
+	for _, f := range ctx.Scale.LoadFracs {
+		rpmc := c.SatRPMC * f
+		mm := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault},
+			[]machine.TaskSpec{{Kind: machine.TaskLC, LC: params,
+				MeanInterarrival: 1e6 / rpmc, Seed: ctx.Scale.Seed}})
+		mm.Run(ctx.Scale.Warmup/2, ctx.Scale.CalMeasure)
+		src := mm.LCTasks()[0].Source
+		c.Curve = append(c.Curve, CurvePoint{
+			LoadFrac: f,
+			RPMC:     rpmc,
+			P95:      mm.LCp95(0),
+			Mean:     metrics.Mean(src.Latencies()),
+			IPC:      mm.Cores[0].IPC(mm.MeasuredCycles()),
+			BWUtil:   mm.BWUtil(),
+			Complete: src.Completed(),
+		})
+	}
+	sort.Slice(c.Curve, func(i, j int) bool { return c.Curve[i].RPMC < c.Curve[j].RPMC })
+
+	// Knee: tail latency at low load sets the floor; the QoS target is the
+	// conventional knee multiple of it, and max load is the highest offered
+	// load still under target (following the PARTIES/Tailbench method the
+	// paper cites).
+	floor := c.Curve[0].P95
+	c.QoSTarget = floor * 3
+	for _, pt := range c.Curve {
+		if pt.P95 <= c.QoSTarget && pt.RPMC > c.MaxLoad {
+			c.MaxLoad = pt.RPMC
+		}
+	}
+	if c.MaxLoad == 0 {
+		c.MaxLoad = c.Curve[0].RPMC
+	}
+	ctx.logf("  %s: sat=%.1f RPMC, QoS=%d cycles, maxLoad=%.1f RPMC",
+		app, c.SatRPMC, c.QoSTarget, c.MaxLoad)
+	ctx.calib[app] = c
+	return c
+}
+
+// BEAloneIPC returns (computing and caching) the standalone aggregate IPC of
+// `threads` copies of a BE app — the normalisation baseline for BE
+// throughput figures.
+func (ctx *Context) BEAloneIPC(app string, threads int) float64 {
+	key := fmt.Sprintf("%s/%d", app, threads)
+	if v, ok := ctx.beAlone[key]; ok {
+		return v
+	}
+	be := workload.BEApps()[app]
+	var tasks []machine.TaskSpec
+	for i := 0; i < threads; i++ {
+		tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: ctx.Scale.Seed + uint64(10+i)})
+	}
+	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault}, tasks)
+	m.Run(ctx.Scale.Warmup/2, ctx.Scale.Measure/2)
+	v := float64(m.BECommitted()) / float64(m.MeasuredCycles())
+	ctx.beAlone[key] = v
+	return v
+}

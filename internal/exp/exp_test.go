@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"pivot/internal/machine"
+	"pivot/internal/workload"
+)
+
+// tinyScale keeps exp-layer tests fast; shapes get noisy but structural
+// invariants (knees found, QoS gates applied, tables well-formed) hold.
+func tinyScale() Scale {
+	s := Quick()
+	s.Warmup = 150_000
+	s.Measure = 150_000
+	s.CalMeasure = 120_000
+	s.LoadFracs = []float64{0.2, 0.6}
+	s.MaxBEThreads = 3
+	return s
+}
+
+func tinyCtx() *Context {
+	return NewContext(machine.KunpengConfig(4), tinyScale())
+}
+
+func TestCalibrationProducesKnee(t *testing.T) {
+	ctx := tinyCtx()
+	cal := ctx.Calib(workload.Silo)
+	if cal.SatRPMC <= 0 {
+		t.Fatal("no saturation throughput")
+	}
+	if cal.QoSTarget == 0 || cal.MaxLoad <= 0 {
+		t.Fatalf("degenerate calibration: %+v", cal)
+	}
+	if cal.MaxLoad > cal.SatRPMC {
+		t.Fatal("max load exceeds saturation throughput")
+	}
+	if ia := cal.MeanIAAt(50); ia <= 0 {
+		t.Fatalf("MeanIAAt(50) = %v", ia)
+	}
+	if ia70, ia10 := cal.MeanIAAt(70), cal.MeanIAAt(10); ia70 >= ia10 {
+		t.Fatal("higher load must mean shorter inter-arrivals")
+	}
+	// Calibration is cached.
+	if ctx.Calib(workload.Silo) != cal {
+		t.Fatal("calibration not cached")
+	}
+}
+
+func TestAloneBWInterpolation(t *testing.T) {
+	ctx := tinyCtx()
+	cal := ctx.Calib(workload.ImgDNN)
+	low, high := cal.AloneBWAt(10), cal.AloneBWAt(90)
+	if low < 0 || high <= 0 {
+		t.Fatalf("bandwidth interpolation broken: %v, %v", low, high)
+	}
+	if high < low {
+		t.Fatal("bandwidth should not fall with load")
+	}
+}
+
+func TestRunGatesQoS(t *testing.T) {
+	ctx := tinyCtx()
+	// Default under heavy contention must violate; PIVOT must not.
+	lcs := []LCSpec{{App: workload.Masstree, LoadPct: 70}}
+	bes := []BESpec{{App: workload.IBench, Threads: 3}}
+	def := ctx.Run(RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
+	piv := ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
+	if def.AllQoS {
+		t.Error("Default met QoS under heavy contention (unexpected at this scale)")
+	}
+	if !piv.AllQoS {
+		t.Errorf("PIVOT violated QoS: p95=%v target=%v", piv.P95, ctx.Calib(workload.Masstree).QoSTarget)
+	}
+	if piv.BEIPC <= 0 {
+		t.Error("no BE throughput measured")
+	}
+}
+
+func TestEMUComputation(t *testing.T) {
+	ctx := tinyCtx()
+	r := RunResult{AllQoS: true, BEIPC: 0.05}
+	base := ctx.BEAloneIPC(workload.IBench, 3)
+	got := ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r)
+	want := 70 + r.BEIPC/base*100
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("EMU = %v, want %v", got, want)
+	}
+	r.AllQoS = false
+	if ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r) != 0 {
+		t.Fatal("violated EMU must be 0")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	ctx := tinyCtx()
+	for _, tb := range []interface{ String() string }{
+		ctx.Table1(), ctx.Table2(), ctx.Storage(),
+	} {
+		s := tb.String()
+		if len(s) == 0 || !strings.Contains(s, "==") {
+			t.Fatalf("malformed table output: %q", s)
+		}
+	}
+	if !strings.Contains(ctx.Storage().String(), "1045") {
+		t.Fatal("storage table missing the 1045-bit total")
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	ctx := tinyCtx()
+	tbl := ctx.Fig08()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig8 rows = %d, want silo and moses", len(tbl.Rows))
+	}
+	// top-50% coverage column must read (close to) 1.
+	for _, row := range tbl.Rows {
+		last := row[len(row)-1]
+		if !strings.HasPrefix(last, "1.000") && !strings.HasPrefix(last, "0.9") {
+			t.Fatalf("top-50%% stall share = %s, want ~1", last)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "sens", "fig23", "fig24", "fig25",
+		"table1", "table2", "table3", "storage"} {
+		e, ok := reg[id]
+		if !ok {
+			t.Errorf("experiment %s missing from registry", id)
+			continue
+		}
+		if e.Run == nil || e.Brief == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}
+
+func TestMaxSecondLoadMonotoneGate(t *testing.T) {
+	ctx := tinyCtx()
+	// With PIVOT, two light LC tasks co-locate: the frontier must be > 0.
+	got := ctx.maxSecondLoad(MethodPIVOT(), workload.Silo, 30, workload.Xapian)
+	if got == 0 {
+		t.Fatal("PIVOT frontier empty even at light load")
+	}
+}
+
+func TestExtensionsProduceTables(t *testing.T) {
+	ctx := tinyCtx()
+	for name, fn := range map[string]func() string{
+		"noprofile": func() string { return ctx.NoProfile().String() },
+		"prefetch":  func() string { return ctx.PrefetchAblation().String() },
+	} {
+		out := fn()
+		if !strings.Contains(out, "==") || len(strings.Split(out, "\n")) < 5 {
+			t.Errorf("%s table malformed:\n%s", name, out)
+		}
+	}
+}
+
+func TestAloneMeanInterpolation(t *testing.T) {
+	ctx := tinyCtx()
+	cal := ctx.Calib(workload.Silo)
+	lo, hi := cal.AloneMeanAt(10), cal.AloneMeanAt(90)
+	if lo <= 0 || hi < lo {
+		t.Fatalf("mean interpolation broken: %v, %v", lo, hi)
+	}
+}

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+
+	"pivot/internal/machine"
+	"pivot/internal/manager"
+	"pivot/internal/metrics"
+	"pivot/internal/workload"
+)
+
+// The experiments in this file go beyond the paper's evaluation: they
+// implement and measure the directions §VII sketches as future work, plus an
+// ablation of the prefetcher substitution documented in DESIGN.md §6.1.
+
+// AloneMeanAt interpolates the run-alone mean latency at a percentage of max
+// load (the hybrid controller's average-latency baseline).
+func (c *AppCalib) AloneMeanAt(pct int) float64 {
+	target := c.MaxLoad * float64(pct) / 100
+	if len(c.Curve) == 0 {
+		return 0
+	}
+	if target <= c.Curve[0].RPMC {
+		return c.Curve[0].Mean
+	}
+	for i := 1; i < len(c.Curve); i++ {
+		a, b := c.Curve[i-1], c.Curve[i]
+		if target <= b.RPMC {
+			f := (target - a.RPMC) / (b.RPMC - a.RPMC)
+			return a.Mean + f*(b.Mean-a.Mean)
+		}
+	}
+	return c.Curve[len(c.Curve)-1].Mean
+}
+
+// Hybrid — §VII: PIVOT's weak isolation can raise LC *average* latency in
+// some co-locations; the hybrid controller trades strong isolation back in
+// when a mean-latency target is at risk. Reports mean and p95 latency and BE
+// throughput for PIVOT alone vs PIVOT+Hybrid.
+func (ctx *Context) Hybrid() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Extension (§VII): hybrid strong isolation — mean/p95/BE throughput",
+		Headers: []string{"app", "method", "mean", "mean target", "p95", "BE ipc", "MBA lvl"},
+	}
+	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
+	for _, app := range []string{workload.Masstree, workload.Moses} {
+		cal := ctx.Calib(app)
+		meanTarget := 1.5 * cal.AloneMeanAt(70)
+
+		// PIVOT alone.
+		r := ctx.Run(RunSpec{Method: MethodPIVOT(),
+			LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes})
+		t.AddRow(app, "PIVOT",
+			fmt.Sprintf("%.0f", r.MeanLat[0]), fmt.Sprintf("%.0f", meanTarget),
+			fmt.Sprint(r.P95[0]), fmt.Sprintf("%.4f", r.BEIPC), "100")
+
+		// PIVOT + hybrid strong isolation.
+		hr, lvl := ctx.runHybrid(app, 70, bes, meanTarget)
+		t.AddRow(app, "PIVOT+Hybrid",
+			fmt.Sprintf("%.0f", hr.MeanLat[0]), fmt.Sprintf("%.0f", meanTarget),
+			fmt.Sprint(hr.P95[0]), fmt.Sprintf("%.4f", hr.BEIPC), fmt.Sprint(lvl))
+	}
+	return t
+}
+
+// runHybrid builds a PIVOT machine and drives it under the hybrid manager.
+func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget float64) (RunResult, int) {
+	cal := ctx.Calib(app)
+	tasks := []machine.TaskSpec{{
+		Kind: machine.TaskLC, LC: cal.App,
+		MeanInterarrival: cal.MeanIAAt(pct),
+		Potential:        ctx.Potential(app),
+		ExpectedBW:       0.9 * cal.AloneBWAt(pct),
+		Seed:             ctx.Scale.Seed,
+	}}
+	for _, be := range bes {
+		a := workload.BEApps()[be.App]
+		for i := 0; i < be.Threads && len(tasks) < ctx.Cfg.Cores; i++ {
+			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: a,
+				Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
+		}
+	}
+	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyPIVOT}, tasks)
+	h := manager.NewHybrid([]float64{meanTarget})
+	manager.Run(h, m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+
+	src := m.LCTasks()[0].Source
+	var r RunResult
+	r.P95 = []uint32{m.LCp95(0)}
+	r.MeanLat = []float64{src.RecentMean(0)}
+	r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
+	r.BWUtil = m.BWUtil()
+	return r, h.Level()
+}
+
+// NoProfile — §VII: multi-tenant clouds cannot offline-profile unknown LC
+// tasks. Running PIVOT with no potential set (every load measured online)
+// works for small-instruction-footprint microservices but degrades for
+// data-center-size footprints, where unfiltered loads alias destructively in
+// the 64-entry RRBP.
+func (ctx *Context) NoProfile() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Extension (§VII): PIVOT without offline profiling",
+		Headers: []string{"app", "footprint", "variant", "p95/QoS", "QoS", "BE ipc"},
+	}
+	for _, app := range []string{workload.Microservice, workload.Moses} {
+		cal := ctx.Calib(app)
+		footprint := fmt.Sprint(len(workload.NewReqGen(cal.App, 0, nil).ChasePCs())+
+			cal.App.PayloadPCs) + " loads"
+
+		run := func(withProfile bool) RunResult {
+			tasks := []machine.TaskSpec{{
+				Kind: machine.TaskLC, LC: cal.App,
+				MeanInterarrival: cal.MeanIAAt(70),
+				ExpectedBW:       0.9 * cal.AloneBWAt(70),
+				Seed:             ctx.Scale.Seed,
+			}}
+			if withProfile {
+				tasks[0].Potential = ctx.Potential(app)
+			}
+			for i := 0; i < ctx.Scale.MaxBEThreads && len(tasks) < ctx.Cfg.Cores; i++ {
+				tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE,
+					BE:   workload.BEApps()[workload.IBench],
+					Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
+			}
+			m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyPIVOT}, tasks)
+			m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+			var r RunResult
+			p95 := m.LCp95(0)
+			r.P95 = []uint32{p95}
+			r.AllQoS = p95 != 0 && p95 <= cal.QoSTarget
+			r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
+			return r
+		}
+		for _, variant := range []struct {
+			name string
+			with bool
+		}{{"two-phase (profiled)", true}, {"online-only", false}} {
+			r := run(variant.with)
+			t.AddRow(app, footprint, variant.name,
+				fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)),
+				qosMark(r), fmt.Sprintf("%.4f", r.BEIPC))
+		}
+	}
+	return t
+}
+
+// PrefetchAblation — DESIGN.md §6.1 folds hardware-prefetch concurrency into
+// the L1 miss buffers; this ablation turns the explicit stride prefetcher on
+// and reports what it changes for a streaming-payload LC task under PIVOT.
+func (ctx *Context) PrefetchAblation() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Ablation: explicit stride prefetcher (DESIGN.md §6.1)",
+		Headers: []string{"app", "prefetch", "p95/QoS", "BE ipc", "BW util"},
+	}
+	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
+	for _, app := range []string{workload.ImgDNN, workload.Masstree} {
+		cal := ctx.Calib(app)
+		for _, pf := range []bool{false, true} {
+			r := ctx.Run(RunSpec{Method: MethodPIVOT(),
+				LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes,
+				Opt: machine.Options{Prefetch: pf}})
+			t.AddRow(app, fmt.Sprint(pf),
+				fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)),
+				fmt.Sprintf("%.4f", r.BEIPC),
+				fmt.Sprintf("%.3f", r.BWUtil))
+		}
+	}
+	return t
+}

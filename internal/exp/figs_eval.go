@@ -1,0 +1,292 @@
+package exp
+
+import (
+	"fmt"
+
+	"pivot/internal/metrics"
+	"pivot/internal/workload"
+)
+
+// loadSweep is the LC load grid of §VI-A1 (percent of max load).
+var loadSweep = []int{10, 30, 50, 70, 90}
+
+// Fig13 — co-location of 1 LC task and iBench: max BE throughput (% of
+// 7-thread-alone) at each LC load, per method, with QoS met.
+func (ctx *Context) Fig13() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 13: max iBench throughput (%) vs LC load, QoS met",
+		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
+	}
+	n := ctx.Scale.MaxBEThreads
+	for _, app := range workload.LCNames() {
+		for _, pct := range loadSweep {
+			lcs := []LCSpec{{App: app, LoadPct: pct}}
+			cells := []string{app, fmt.Sprintf("%d%%", pct)}
+			for _, mth := range fig13Methods() {
+				v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, n)
+				cells = append(cells, fmt.Sprintf("%.0f", v*100))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// Fig13EMU — the EMU summary quoted in §VI-A1 (Default 86.1%, PARTIES
+// 116.0%, CLITE 116.3%, PIVOT 133.2% in the paper).
+func (ctx *Context) Fig13EMU() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 13 summary: average EMU (%) across apps and loads",
+		Headers: []string{"Default", "PARTIES", "CLITE", "PIVOT"},
+	}
+	n := ctx.Scale.MaxBEThreads
+	sums := make([]float64, 4)
+	count := 0
+	for _, app := range workload.LCNames() {
+		for _, pct := range loadSweep {
+			lcs := []LCSpec{{App: app, LoadPct: pct}}
+			for mi, mth := range fig13Methods() {
+				v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, n)
+				emu := 0.0
+				if v > 0 {
+					emu = float64(pct) + v*100
+				}
+				sums[mi] += emu
+			}
+			count++
+		}
+	}
+	cells := make([]string, 4)
+	for i := range sums {
+		cells[i] = fmt.Sprintf("%.1f", sums[i]/float64(count))
+	}
+	t.AddRow(cells...)
+	return t
+}
+
+// Fig14 — the LC tail latency behind Figure 13: normalized p95 at each load
+// with the full 7-thread iBench stressor.
+func (ctx *Context) Fig14() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 14: normalized p95 with 7-thread iBench (<=1.00 meets QoS)",
+		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
+	}
+	for _, app := range workload.LCNames() {
+		cal := ctx.Calib(app)
+		for _, pct := range loadSweep {
+			lcs := []LCSpec{{App: app, LoadPct: pct}}
+			bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
+			cells := []string{app, fmt.Sprintf("%d%%", pct)}
+			for _, mth := range fig13Methods() {
+				r := ctx.Run(RunSpec{Method: mth, LCs: lcs, BEs: bes})
+				cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// fig15Scenarios are the 2-LC + iBench heatmaps of Figure 15.
+func fig15Scenarios() [][2]string {
+	return [][2]string{
+		{workload.Xapian, workload.ImgDNN},
+		{workload.Moses, workload.ImgDNN},
+	}
+}
+
+// gridLoads is the 2-D load grid used for the heatmap figures.
+func (ctx *Context) gridLoads() []int {
+	if len(ctx.Scale.LoadFracs) <= 5 {
+		return []int{30, 70}
+	}
+	return []int{30, 60, 90}
+}
+
+// Fig15 — 2 LC tasks + iBench: max BE throughput (% of 6-thread alone) per
+// (load1, load2) cell and method, both LC tasks meeting QoS.
+func (ctx *Context) Fig15() []*metrics.Table {
+	var out []*metrics.Table
+	grid := ctx.gridLoads()
+	for _, sc := range fig15Scenarios() {
+		t := &metrics.Table{
+			Title: fmt.Sprintf("Figure 15: %s + %s + iBench — max BE throughput (%%)",
+				sc[0], sc[1]),
+			Headers: []string{sc[0], sc[1], "Default", "PARTIES", "CLITE", "PIVOT"},
+		}
+		for _, l1 := range grid {
+			for _, l2 := range grid {
+				lcs := []LCSpec{{App: sc[0], LoadPct: l1}, {App: sc[1], LoadPct: l2}}
+				cells := []string{fmt.Sprintf("%d%%", l1), fmt.Sprintf("%d%%", l2)}
+				for _, mth := range fig13Methods() {
+					v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, 6)
+					cells = append(cells, fmt.Sprintf("%.0f", v*100))
+				}
+				t.AddRow(cells...)
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// fig16Scenarios pair an LC mix with a single CloudSuite BE task.
+func fig16Scenarios() []struct {
+	LC1, LC2, BE string
+} {
+	return []struct{ LC1, LC2, BE string }{
+		{workload.Xapian, workload.ImgDNN, workload.DataAn},
+		{workload.Moses, workload.Silo, workload.GraphAn},
+		{workload.Masstree, workload.Xapian, workload.InMemAn},
+	}
+}
+
+// Fig16 — throughput of a single CloudSuite BE task (normalised to running
+// alone on the same thread count) and average memory bandwidth, co-located
+// with 2 LC tasks at 50% load.
+func (ctx *Context) Fig16() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 16: CloudSuite BE throughput (norm) + avg bandwidth, 2 LC @40%",
+		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
+	}
+	ctx.fig16Body(t, fig13Methods()[1:]) // PARTIES, CLITE, PIVOT
+	return t
+}
+
+func (ctx *Context) fig16Body(t *metrics.Table, methods []Method) {
+	beThreads := ctx.Cfg.Cores - 2
+	for _, sc := range fig16Scenarios() {
+		base := ctx.BEAloneIPC(sc.BE, beThreads)
+		for _, mth := range methods {
+			r := ctx.Run(RunSpec{Method: mth,
+				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
+				BEs: []BESpec{{App: sc.BE, Threads: beThreads}}})
+			t.AddRow(fmt.Sprintf("%s+%s/%s", sc.LC1, sc.LC2, sc.BE), mth.Name,
+				fmt.Sprintf("%.2f", r.BEIPC/base),
+				fmt.Sprintf("%.3f", r.BWUtil),
+				qosMark(r))
+		}
+	}
+}
+
+// fig17Scenarios pair an LC mix with two CloudSuite BE tasks.
+func fig17Scenarios() []struct {
+	LC1, LC2, BE1, BE2 string
+} {
+	return []struct{ LC1, LC2, BE1, BE2 string }{
+		{workload.Xapian, workload.ImgDNN, workload.DataAn, workload.GraphAn},
+		{workload.Moses, workload.Silo, workload.GraphAn, workload.InMemAn},
+		{workload.Masstree, workload.Xapian, workload.DataAn, workload.InMemAn},
+	}
+}
+
+// Fig17 — 2 LC + 2 BE CloudSuite tasks: normalised throughput of the two BE
+// tasks and average bandwidth.
+func (ctx *Context) Fig17() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 17: 2 LC + 2 BE (CloudSuite) — BE throughput (norm) + bandwidth",
+		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
+	}
+	ctx.fig17Body(t, fig13Methods()[1:])
+	return t
+}
+
+func (ctx *Context) fig17Body(t *metrics.Table, methods []Method) {
+	per := (ctx.Cfg.Cores - 2) / 2
+	for _, sc := range fig17Scenarios() {
+		base := ctx.BEAloneIPC(sc.BE1, per) + ctx.BEAloneIPC(sc.BE2, per)
+		for _, mth := range methods {
+			r := ctx.Run(RunSpec{Method: mth,
+				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
+				BEs: []BESpec{{App: sc.BE1, Threads: per}, {App: sc.BE2, Threads: per}}})
+			t.AddRow(fmt.Sprintf("%s+%s/%s+%s", sc.LC1, sc.LC2, sc.BE1, sc.BE2), mth.Name,
+				fmt.Sprintf("%.2f", r.BEIPC/base),
+				fmt.Sprintf("%.3f", r.BWUtil),
+				qosMark(r))
+		}
+	}
+}
+
+func qosMark(r RunResult) string {
+	if r.AllQoS {
+		return "met"
+	}
+	return "VIOLATED"
+}
+
+// fig18Pairs are the five representative 2-LC co-locations of Figure 18.
+func fig18Pairs() [][2]string {
+	return [][2]string{
+		{workload.Xapian, workload.ImgDNN},
+		{workload.Moses, workload.ImgDNN},
+		{workload.Silo, workload.Masstree},
+		{workload.Moses, workload.Silo},
+		{workload.ImgDNN, workload.Moses},
+	}
+}
+
+// Fig18 — 2-LC co-location frontier: with the first task at a given load,
+// the maximum load (% of max) the second task can run at with both meeting
+// QoS.
+func (ctx *Context) Fig18() []*metrics.Table {
+	var out []*metrics.Table
+	for _, pair := range fig18Pairs() {
+		t := &metrics.Table{
+			Title:   fmt.Sprintf("Figure 18: max %s load (%%) vs %s load", pair[1], pair[0]),
+			Headers: []string{pair[0] + " load", "Default", "PARTIES", "CLITE", "PIVOT"},
+		}
+		for _, l1 := range ctx.gridLoads() {
+			cells := []string{fmt.Sprintf("%d%%", l1)}
+			for _, mth := range fig13Methods() {
+				cells = append(cells, fmt.Sprintf("%d", ctx.maxSecondLoad(mth, pair[0], l1, pair[1])))
+			}
+			t.AddRow(cells...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// maxSecondLoad sweeps the second LC task's load downward (100%..10%) and
+// returns the highest percentage at which both tasks meet QoS (0 if none).
+func (ctx *Context) maxSecondLoad(mth Method, app1 string, load1 int, app2 string) int {
+	for l2 := 100; l2 >= 10; l2 -= 15 {
+		r := ctx.Run(RunSpec{Method: mth,
+			LCs: []LCSpec{{App: app1, LoadPct: load1}, {App: app2, LoadPct: l2}}})
+		if r.AllQoS {
+			return l2
+		}
+	}
+	return 0
+}
+
+// Fig19 — 3-LC co-location: the (Xapian, Masstree) frontier with Img-DNN at
+// low (10%) and high (70%) load.
+func (ctx *Context) Fig19() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Figure 19: max Masstree load (%) vs Xapian load, with Img-DNN",
+		Headers: []string{"imgdnn", "xapian", "Default", "PARTIES", "CLITE", "PIVOT"},
+	}
+	for _, imgLoad := range []int{10, 70} {
+		for _, xpLoad := range ctx.gridLoads() {
+			cells := []string{fmt.Sprintf("%d%%", imgLoad), fmt.Sprintf("%d%%", xpLoad)}
+			for _, mth := range fig13Methods() {
+				best := 0
+				for l := 100; l >= 10; l -= 15 {
+					r := ctx.Run(RunSpec{Method: mth, LCs: []LCSpec{
+						{App: workload.Xapian, LoadPct: xpLoad},
+						{App: workload.Masstree, LoadPct: l},
+						{App: workload.ImgDNN, LoadPct: imgLoad},
+					}})
+					if r.AllQoS {
+						best = l
+						break
+					}
+				}
+				cells = append(cells, fmt.Sprint(best))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}

@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/manager"
+	"pivot/internal/mem"
+	"pivot/internal/workload"
+)
+
+// LCSpec places one LC app at a percentage of its calibrated max load.
+type LCSpec struct {
+	App     string
+	LoadPct int
+}
+
+// BESpec places n threads of one BE app.
+type BESpec struct {
+	App     string
+	Threads int
+}
+
+// Method is a partitioning approach as named in the paper's figures: either
+// a hardware policy or a software manager over the managed policy.
+type Method struct {
+	Name    string
+	Policy  machine.Policy
+	Manager string // "PARTIES" or "CLITE" (Policy must be PolicyManaged)
+	// MBALevel, for PolicyMBA, fixes the static BE throttle; 0 lets
+	// RunBestMBA search for the best level meeting QoS.
+	MBALevel int
+}
+
+// Named method sets used across figures.
+func MethodDefault() Method { return Method{Name: "Default", Policy: machine.PolicyDefault} }
+func MethodMBA(lvl int) Method {
+	return Method{Name: "MBA", Policy: machine.PolicyMBA, MBALevel: lvl}
+}
+func MethodMPAM() Method     { return Method{Name: "MPAM", Policy: machine.PolicyMPAM} }
+func MethodFullPath() Method { return Method{Name: "FullPath", Policy: machine.PolicyFullPath} }
+func MethodPIVOT() Method    { return Method{Name: "PIVOT", Policy: machine.PolicyPIVOT} }
+func MethodPARTIES() Method {
+	return Method{Name: "PARTIES", Policy: machine.PolicyManaged, Manager: "PARTIES"}
+}
+func MethodCLITE() Method {
+	return Method{Name: "CLITE", Policy: machine.PolicyManaged, Manager: "CLITE"}
+}
+
+// fig13Methods are the co-location comparison methods of §VI-A.
+func fig13Methods() []Method {
+	return []Method{MethodDefault(), MethodPARTIES(), MethodCLITE(), MethodPIVOT()}
+}
+
+// RunSpec is one co-location simulation.
+type RunSpec struct {
+	Method Method
+	LCs    []LCSpec
+	BEs    []BESpec
+
+	// Extra policy options (leave-one-out MSC, RRBP overrides, ...).
+	Opt machine.Options
+}
+
+// RunResult summarises one simulation.
+type RunResult struct {
+	P95     []uint32 // per LC task
+	QoSMet  []bool
+	AllQoS  bool
+	MeanLat []float64
+	BEIPC   float64 // aggregate BE instructions per cycle
+	BWUtil  float64
+	Split   [mem.NumComponents]float64
+	SplitN  uint64
+	LCIPC   []float64
+}
+
+// Run executes one co-location scenario and evaluates QoS against the
+// calibrated knee targets.
+func (ctx *Context) Run(spec RunSpec) RunResult {
+	opt := spec.Opt
+	opt.Policy = spec.Method.Policy
+
+	var tasks []machine.TaskSpec
+	var targets []uint32
+	for _, lc := range spec.LCs {
+		cal := ctx.Calib(lc.App)
+		tasks = append(tasks, machine.TaskSpec{
+			Kind:             machine.TaskLC,
+			LC:               cal.App,
+			MeanInterarrival: cal.MeanIAAt(lc.LoadPct),
+			Potential:        ctx.potentialFor(spec.Method, lc.App),
+			ExpectedBW:       0.9 * cal.AloneBWAt(lc.LoadPct),
+			Seed:             ctx.Scale.Seed,
+		})
+		targets = append(targets, cal.QoSTarget)
+	}
+	for _, be := range spec.BEs {
+		app := workload.BEApps()[be.App]
+		for i := 0; i < be.Threads && len(tasks) < ctx.Cfg.Cores; i++ {
+			tasks = append(tasks, machine.TaskSpec{
+				Kind: machine.TaskBE, BE: app,
+				Seed: ctx.Scale.Seed + uint64(10+len(tasks)),
+			})
+		}
+	}
+
+	m := machine.MustNew(ctx.Cfg, opt, tasks)
+	if spec.Method.Policy == machine.PolicyMBA && spec.Method.MBALevel > 0 {
+		for i, t := range tasks {
+			if t.Kind == machine.TaskBE {
+				m.MBA().SetLevel(mem.PartID(i), spec.Method.MBALevel)
+			}
+		}
+	}
+
+	switch spec.Method.Manager {
+	case "PARTIES":
+		manager.Run(manager.NewPARTIES(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+	case "CLITE":
+		manager.Run(manager.NewCLITE(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+	default:
+		m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+	}
+
+	res := RunResult{AllQoS: true}
+	for i, lc := range spec.LCs {
+		p95 := m.LCp95(i)
+		src := m.LCTasks()[i].Source
+		// An open-loop source whose backlog keeps growing has saturated even
+		// if too few requests completed to show it in p95 yet.
+		saturated := src.QueueDepth() > 32
+		met := p95 != 0 && p95 <= ctx.Calib(lc.App).QoSTarget && !saturated
+		res.P95 = append(res.P95, p95)
+		res.QoSMet = append(res.QoSMet, met)
+		res.MeanLat = append(res.MeanLat, meanOf(src.Latencies()))
+		res.LCIPC = append(res.LCIPC, m.Cores[i].IPC(m.MeasuredCycles()))
+		if !met {
+			res.AllQoS = false
+		}
+	}
+	res.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
+	res.BWUtil = m.BWUtil()
+	res.Split, res.SplitN = m.SplitAverages()
+	return res
+}
+
+func meanOf(lat []uint32) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range lat {
+		s += float64(v)
+	}
+	return s / float64(len(lat))
+}
+
+// potentialFor computes the potential set only for the methods that use it.
+func (ctx *Context) potentialFor(mth Method, app string) map[uint64]bool {
+	switch mth.Policy {
+	case machine.PolicyPIVOT:
+		return ctx.Potential(app)
+	default:
+		return nil
+	}
+}
+
+// mbaLevels is the descending throttle ladder RunBestMBA searches.
+var mbaLevels = []int{100, 80, 60, 40, 20, 10, 5, 2}
+
+// RunBestMBA finds the least-throttled static MBA level that still meets
+// QoS (what an operator tuning MBA would deploy) and returns its result
+// together with the chosen level. If no level protects QoS it returns the
+// most throttled attempt.
+func (ctx *Context) RunBestMBA(lcs []LCSpec, bes []BESpec) (RunResult, int) {
+	var last RunResult
+	lastLvl := mbaLevels[len(mbaLevels)-1]
+	for _, lvl := range mbaLevels {
+		r := ctx.Run(RunSpec{Method: MethodMBA(lvl), LCs: lcs, BEs: bes})
+		last, lastLvl = r, lvl
+		if r.AllQoS {
+			return r, lvl
+		}
+	}
+	return last, lastLvl
+}
+
+// MaxBEThroughput sweeps the BE thread count downward and returns the best
+// normalised BE throughput achieved with QoS met (the Fig 3/13 metric),
+// normalising against `normThreads` threads running alone. It returns 0
+// when no thread count (including 1) meets QoS.
+func (ctx *Context) MaxBEThroughput(mth Method, lcs []LCSpec, beApp string, normThreads int) float64 {
+	base := ctx.BEAloneIPC(beApp, normThreads)
+	if base <= 0 {
+		return 0
+	}
+	for n := ctx.Scale.MaxBEThreads; n >= 1; n-- {
+		if len(lcs)+n > ctx.Cfg.Cores {
+			continue
+		}
+		r := ctx.Run(RunSpec{Method: mth, LCs: lcs, BEs: []BESpec{{App: beApp, Threads: n}}})
+		if r.AllQoS {
+			return r.BEIPC / base
+		}
+	}
+	return 0
+}
+
+// MaxBEThroughputMBA is MaxBEThroughput for the static-MBA method, which
+// additionally searches the throttle level at each thread count.
+func (ctx *Context) MaxBEThroughputMBA(lcs []LCSpec, beApp string, normThreads int) float64 {
+	base := ctx.BEAloneIPC(beApp, normThreads)
+	if base <= 0 {
+		return 0
+	}
+	best := 0.0
+	for n := ctx.Scale.MaxBEThreads; n >= 1; n-- {
+		if len(lcs)+n > ctx.Cfg.Cores {
+			continue
+		}
+		r, _ := ctx.RunBestMBA(lcs, []BESpec{{App: beApp, Threads: n}})
+		if r.AllQoS {
+			v := r.BEIPC / base
+			if v > best {
+				best = v
+			}
+			return best // thread counts below n only lose throughput
+		}
+	}
+	return best
+}
+
+// EMU computes effective machine utilisation for a co-location result: the
+// summed normalised loads of all tasks, zero if any LC task violates QoS.
+func (ctx *Context) EMU(lcs []LCSpec, beApp string, beThreads, normThreads int, r RunResult) float64 {
+	if !r.AllQoS {
+		return 0
+	}
+	var sum float64
+	for _, lc := range lcs {
+		sum += float64(lc.LoadPct) / 100
+	}
+	if beThreads > 0 {
+		base := ctx.BEAloneIPC(beApp, normThreads)
+		if base > 0 {
+			sum += r.BEIPC / base
+		}
+	}
+	return sum * 100
+}

@@ -1,0 +1,234 @@
+// Package interconnect provides the queued Station model used for the shared
+// memory-system components (MSCs) on the memory path: the L2<->LLC
+// interconnect and the coherent memory bus, and (wrapped by package bwctrl)
+// the memory bandwidth controller.
+//
+// A Station has a finite normal queue, an optional finite priority queue for
+// requests carrying PIVOT's critical bit, a per-cycle forwarding bandwidth,
+// and a fixed traversal latency. When the downstream component refuses a
+// request (its queue is full), the head blocks — this back-pressure is what
+// makes queueing propagate upstream under bandwidth contention (the paper's
+// Figure 4 root cause).
+package interconnect
+
+import (
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// Acceptor is anything a Station can forward requests into.
+type Acceptor interface {
+	// Accept takes ownership of r if it returns true; false means "queue
+	// full, retry later" and the caller keeps the request.
+	Accept(r *mem.Req, now sim.Cycle) bool
+}
+
+// AcceptorFunc adapts a function to the Acceptor interface.
+type AcceptorFunc func(r *mem.Req, now sim.Cycle) bool
+
+// Accept calls f.
+func (f AcceptorFunc) Accept(r *mem.Req, now sim.Cycle) bool { return f(r, now) }
+
+type entry struct {
+	req   *mem.Req
+	ready sim.Cycle // enqueue time + latency: earliest forwarding cycle
+	enq   sim.Cycle
+}
+
+// Config sets a Station's geometry and timing.
+type Config struct {
+	Name      string
+	Component mem.Component
+	Latency   sim.Cycle // traversal latency once enqueued
+	Bandwidth int       // max requests forwarded per cycle
+	CapNormal int       // normal queue capacity
+	CapPrio   int       // priority queue capacity (used when priority enabled)
+
+	// MaxWait is the starvation guard from §IV-D: a normal request waiting
+	// longer than this is served ahead of the priority queue. Zero disables
+	// the guard.
+	MaxWait sim.Cycle
+}
+
+// Stats counts a station's traffic.
+type Stats struct {
+	Accepted  uint64
+	Forwarded uint64
+	Refused   uint64 // offers rejected because the target queue was full
+	Promoted  uint64 // normal requests served via the starvation guard
+	// WaitCycles accumulates queue residency so tests can check fairness.
+	WaitCycles uint64
+}
+
+// Station is a single queued hop on the memory path.
+type Station struct {
+	cfg  Config
+	down Acceptor
+
+	normal []entry
+	prio   []entry
+
+	// PriorityEnabled selects whether requests with the critical bit use the
+	// dedicated priority queue (PIVOT / FullPath) or share the normal queue.
+	PriorityEnabled bool
+
+	// Classify, when non-nil, ranks normal-queue requests for selection
+	// (lower rank = served first). The MPAM bandwidth controller uses this
+	// to implement its high/medium/low classes. Requests of equal rank are
+	// served FCFS.
+	Classify func(r *mem.Req) int
+
+	Stats Stats
+}
+
+// New builds a station that forwards into down.
+func New(cfg Config, down Acceptor) *Station {
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = 1
+	}
+	if cfg.CapNormal <= 0 {
+		cfg.CapNormal = 1
+	}
+	if cfg.CapPrio <= 0 {
+		cfg.CapPrio = cfg.CapNormal
+	}
+	return &Station{
+		cfg:    cfg,
+		down:   down,
+		normal: make([]entry, 0, cfg.CapNormal),
+		prio:   make([]entry, 0, cfg.CapPrio),
+	}
+}
+
+// Config returns the station's configuration.
+func (s *Station) Config() Config { return s.cfg }
+
+// SetDownstream replaces the downstream acceptor (used when wiring machines).
+func (s *Station) SetDownstream(a Acceptor) { s.down = a }
+
+// QueueLen reports current normal- and priority-queue occupancy.
+func (s *Station) QueueLen() (normal, prio int) { return len(s.normal), len(s.prio) }
+
+// Accept implements Acceptor: enqueue r if there is space.
+func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
+	usePrio := s.PriorityEnabled && r.Critical
+	if usePrio {
+		if len(s.prio) >= s.cfg.CapPrio {
+			// The paper's priority queue exists precisely so critical loads
+			// are not blocked by a full normal queue; if even the priority
+			// queue is full, fall back to refusing.
+			s.Stats.Refused++
+			return false
+		}
+		s.prio = append(s.prio, entry{req: r, ready: now + s.cfg.Latency, enq: now})
+		s.Stats.Accepted++
+		return true
+	}
+	if len(s.normal) >= s.cfg.CapNormal {
+		s.Stats.Refused++
+		return false
+	}
+	s.normal = append(s.normal, entry{req: r, ready: now + s.cfg.Latency, enq: now})
+	s.Stats.Accepted++
+	return true
+}
+
+// pickNormal returns the index of the next normal-queue entry to serve under
+// the Classify ranking (FCFS within a rank), or -1 when nothing is ready.
+func (s *Station) pickNormal(now sim.Cycle) int {
+	best := -1
+	bestRank := int(^uint(0) >> 1)
+	for i := range s.normal {
+		e := &s.normal[i]
+		if e.ready > now {
+			continue
+		}
+		rank := 0
+		if s.Classify != nil {
+			rank = s.Classify(e.req)
+		}
+		if rank < bestRank {
+			best, bestRank = i, rank
+		}
+	}
+	return best
+}
+
+// starvedNormal returns the index of the oldest over-waited normal entry, or
+// -1. Serving it first implements the §IV-D starvation guard.
+func (s *Station) starvedNormal(now sim.Cycle) int {
+	if s.cfg.MaxWait == 0 || len(s.normal) == 0 {
+		return -1
+	}
+	e := &s.normal[0] // FCFS: index 0 is the oldest
+	if e.ready <= now && now-e.enq > s.cfg.MaxWait {
+		return 0
+	}
+	return -1
+}
+
+func (s *Station) removeNormal(i int, now sim.Cycle) *mem.Req {
+	r := s.normal[i].req
+	s.Stats.WaitCycles += uint64(now - s.normal[i].enq)
+	copy(s.normal[i:], s.normal[i+1:])
+	s.normal = s.normal[:len(s.normal)-1]
+	return r
+}
+
+func (s *Station) removePrio(now sim.Cycle) *mem.Req {
+	r := s.prio[0].req
+	s.Stats.WaitCycles += uint64(now - s.prio[0].enq)
+	copy(s.prio, s.prio[1:])
+	s.prio = s.prio[:len(s.prio)-1]
+	return r
+}
+
+// Tick forwards up to Bandwidth ready requests into the downstream acceptor.
+// Priority-queue requests go first, except that a starved normal request is
+// promoted ahead of them.
+func (s *Station) Tick(now sim.Cycle) {
+	for n := 0; n < s.cfg.Bandwidth; n++ {
+		var r *mem.Req
+		var fromPrio bool
+		var idx int
+
+		if i := s.starvedNormal(now); i >= 0 {
+			idx, fromPrio = i, false
+			r = s.normal[i].req
+			s.Stats.Promoted++
+		} else if len(s.prio) > 0 && s.prio[0].ready <= now {
+			r = s.prio[0].req
+			fromPrio = true
+		} else if i := s.pickNormal(now); i >= 0 {
+			idx = i
+			r = s.normal[i].req
+		} else {
+			return // nothing ready
+		}
+
+		var enq sim.Cycle
+		if fromPrio {
+			enq = s.prio[0].enq
+		} else {
+			enq = s.normal[idx].enq
+		}
+		if !s.down.Accept(r, now) {
+			return // head-of-line blocking: downstream full
+		}
+		// Charge the residency only on successful hand-off: the downstream
+		// Accept may already have stamped the request into its own stage.
+		r.AddSplit(s.cfg.Component, now-enq)
+		if fromPrio {
+			s.removePrio(now)
+		} else {
+			s.removeNormal(idx, now)
+		}
+		s.Stats.Forwarded++
+	}
+}
+
+// Drain reports whether both queues are empty.
+func (s *Station) Drain() bool { return len(s.normal) == 0 && len(s.prio) == 0 }
+
+// ResetStats zeroes the counters.
+func (s *Station) ResetStats() { s.Stats = Stats{} }

@@ -1,0 +1,170 @@
+// Package loadgen drives latency-critical cores with an open-loop Poisson
+// request arrival process and measures per-request service latency, from
+// which the experiment harness derives 95th-percentile tail latency,
+// load-latency curves, QoS knees and max load (Fig 12).
+package loadgen
+
+import (
+	"sort"
+
+	"pivot/internal/cpu"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// Source is an LC core's instruction stream: it queues Poisson request
+// arrivals and emits each queued request's program in FIFO order. It
+// implements cpu.Stream; wire OnReqEnd into the core's hooks.
+type Source struct {
+	gen *workload.ReqGen
+	rng *sim.RNG
+	now func() sim.Cycle
+
+	meanInterarrival float64 // cycles; 0 = closed loop (back-to-back)
+	nextArrival      sim.Cycle
+
+	backlog []uint64 // reqIDs awaiting service
+	arrival []sim.Cycle
+
+	buf    []cpu.MicroOp
+	bufPos int
+
+	latencies []uint32 // completed request latencies (cycles)
+	started   uint64
+	completed uint64
+	dropAfter int // cap on recorded latencies to bound memory
+}
+
+// New builds a source. meanInterarrival is the mean cycles between request
+// arrivals (0 = closed loop: a new request arrives the moment the previous
+// one is dequeued). clock supplies the current cycle.
+func New(gen *workload.ReqGen, rng *sim.RNG, meanInterarrival float64, clock func() sim.Cycle) *Source {
+	s := &Source{
+		gen: gen, rng: rng, now: clock,
+		meanInterarrival: meanInterarrival,
+		dropAfter:        1 << 20,
+	}
+	if meanInterarrival > 0 {
+		s.nextArrival = sim.Cycle(rng.Exp(meanInterarrival))
+	}
+	return s
+}
+
+// RecentMean returns the mean latency over the last n completed requests
+// (0 when nothing completed). The hybrid isolation controller (§VII future
+// work) regulates on this: PIVOT protects the tail, strong isolation the
+// average.
+func (s *Source) RecentMean(n int) float64 {
+	lat := s.latencies
+	if len(lat) == 0 {
+		return 0
+	}
+	if n > 0 && len(lat) > n {
+		lat = lat[len(lat)-n:]
+	}
+	var sum float64
+	for _, v := range lat {
+		sum += float64(v)
+	}
+	return sum / float64(len(lat))
+}
+
+// RatePerMCycle converts the source's arrival rate to requests per million
+// cycles, the load unit used throughout the experiments.
+func (s *Source) RatePerMCycle() float64 {
+	if s.meanInterarrival <= 0 {
+		return 0
+	}
+	return 1e6 / s.meanInterarrival
+}
+
+func (s *Source) pump(now sim.Cycle) {
+	if s.meanInterarrival <= 0 {
+		// Closed loop: keep exactly one request queued.
+		if len(s.backlog) == 0 && s.bufPos >= len(s.buf) {
+			s.admit(now)
+		}
+		return
+	}
+	for s.nextArrival <= now {
+		s.admit(s.nextArrival)
+		s.nextArrival += sim.Cycle(s.rng.Exp(s.meanInterarrival)) + 1
+	}
+}
+
+func (s *Source) admit(at sim.Cycle) {
+	id := uint64(len(s.arrival))
+	s.arrival = append(s.arrival, at)
+	s.backlog = append(s.backlog, id)
+	s.started++
+}
+
+// Next implements cpu.Stream.
+func (s *Source) Next(op *cpu.MicroOp) bool {
+	now := s.now()
+	s.pump(now)
+	if s.bufPos >= len(s.buf) {
+		if len(s.backlog) == 0 {
+			return false // idle between requests
+		}
+		id := s.backlog[0]
+		copy(s.backlog, s.backlog[1:])
+		s.backlog = s.backlog[:len(s.backlog)-1]
+		s.buf = s.gen.Generate(s.buf[:0], id)
+		s.bufPos = 0
+	}
+	*op = s.buf[s.bufPos]
+	s.bufPos++
+	return true
+}
+
+// OnReqEnd records a completed request. Matches cpu.Hooks.OnReqEnd.
+func (s *Source) OnReqEnd(reqID uint64, now sim.Cycle) {
+	if reqID >= uint64(len(s.arrival)) {
+		return
+	}
+	s.completed++
+	if len(s.latencies) >= s.dropAfter {
+		return
+	}
+	lat := now - s.arrival[reqID]
+	s.latencies = append(s.latencies, uint32(lat))
+}
+
+// Latencies returns the recorded request latencies in completion order.
+func (s *Source) Latencies() []uint32 { return s.latencies }
+
+// RecentP95 returns the 95th-percentile latency over the last n completed
+// requests — the online QoS signal software resource managers (PARTIES,
+// CLITE) sample each decision epoch. It returns 0 when nothing completed.
+func (s *Source) RecentP95(n int) uint32 {
+	lat := s.latencies
+	if len(lat) == 0 {
+		return 0
+	}
+	if n > 0 && len(lat) > n {
+		lat = lat[len(lat)-n:]
+	}
+	sorted := make([]uint32, len(lat))
+	copy(sorted, lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(0.95*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Completed reports the number of completed requests.
+func (s *Source) Completed() uint64 { return s.completed }
+
+// QueueDepth reports requests admitted but not yet dequeued — a saturation
+// signal: an open-loop source past the knee grows this without bound.
+func (s *Source) QueueDepth() int { return len(s.backlog) }
+
+// ResetMeasurement clears recorded latencies (end of warm-up) while leaving
+// the arrival process undisturbed.
+func (s *Source) ResetMeasurement() {
+	s.latencies = s.latencies[:0]
+	s.completed = 0
+}

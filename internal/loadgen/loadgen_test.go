@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"testing"
+
+	"pivot/internal/cpu"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+func newSource(meanIA float64, clock *sim.Cycle) *Source {
+	gen := workload.NewReqGen(workload.LCApps()[workload.Silo], 0, sim.NewRNG(1))
+	return New(gen, sim.NewRNG(2), meanIA, func() sim.Cycle { return *clock })
+}
+
+func TestOpenLoopArrivalRate(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(1000, &now)
+	var op cpu.MicroOp
+	// Drain everything over a long horizon, consuming ops as fast as they
+	// exist so arrivals, not service, bound the request count.
+	for now = 0; now < 1_000_000; now++ {
+		for s.Next(&op) {
+			if op.Flags&cpu.FlagReqEnd != 0 {
+				s.OnReqEnd(op.ReqID, now)
+			}
+		}
+	}
+	got := float64(s.started)
+	if got < 900 || got > 1100 {
+		t.Fatalf("arrivals = %.0f over 1M cycles at mean 1000, want ~1000", got)
+	}
+	if s.Completed() != s.started {
+		t.Fatalf("completed %d != started %d with instant service", s.Completed(), s.started)
+	}
+}
+
+func TestClosedLoopKeepsOneRequest(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(0, &now)
+	var op cpu.MicroOp
+	for now = 0; now < 10_000; now++ {
+		if !s.Next(&op) {
+			t.Fatal("closed-loop source ran dry")
+		}
+		if op.Flags&cpu.FlagReqEnd != 0 {
+			s.OnReqEnd(op.ReqID, now)
+		}
+		if s.QueueDepth() > 1 {
+			t.Fatalf("closed loop queued %d requests", s.QueueDepth())
+		}
+	}
+	if s.Completed() == 0 {
+		t.Fatal("closed loop completed nothing")
+	}
+}
+
+func TestLatencyIncludesQueueing(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(100, &now)
+	var op cpu.MicroOp
+	// Serve nothing for 10k cycles: requests pile up.
+	now = 10_000
+	if !s.Next(&op) {
+		t.Fatal("no op after arrivals accumulated")
+	}
+	if s.QueueDepth() < 50 {
+		t.Fatalf("queue depth %d, want ~100 backlogged arrivals", s.QueueDepth())
+	}
+	// Complete the first request now: latency spans the wait.
+	for {
+		if op.Flags&cpu.FlagReqEnd != 0 {
+			s.OnReqEnd(op.ReqID, now)
+			break
+		}
+		if !s.Next(&op) {
+			t.Fatal("request ops ran out before ReqEnd")
+		}
+	}
+	lat := s.Latencies()
+	if len(lat) != 1 {
+		t.Fatalf("latencies recorded = %d, want 1", len(lat))
+	}
+	if lat[0] < 9000 {
+		t.Fatalf("latency %d does not include queueing delay", lat[0])
+	}
+}
+
+func TestResetMeasurement(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(0, &now)
+	var op cpu.MicroOp
+	for now = 0; now < 5000; now++ {
+		s.Next(&op)
+		if op.Flags&cpu.FlagReqEnd != 0 {
+			s.OnReqEnd(op.ReqID, now)
+			op.Flags = 0
+		}
+	}
+	if len(s.Latencies()) == 0 {
+		t.Fatal("setup: no latencies before reset")
+	}
+	s.ResetMeasurement()
+	if len(s.Latencies()) != 0 || s.Completed() != 0 {
+		t.Fatal("reset left measurement state")
+	}
+}
+
+func TestRecentP95(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(0, &now)
+	// Inject synthetic latencies directly.
+	for i := 1; i <= 100; i++ {
+		s.latencies = append(s.latencies, uint32(i))
+	}
+	if got := s.RecentP95(0); got != 95 {
+		t.Fatalf("RecentP95(all) = %d, want 95", got)
+	}
+	// Window of the last 10 (91..100): p95 ≈ 100.
+	if got := s.RecentP95(10); got < 99 {
+		t.Fatalf("RecentP95(10) = %d, want ~100", got)
+	}
+	s.latencies = nil
+	if got := s.RecentP95(10); got != 0 {
+		t.Fatalf("RecentP95 on empty = %d, want 0", got)
+	}
+}
+
+func TestRatePerMCycle(t *testing.T) {
+	var now sim.Cycle
+	if got := newSource(2000, &now).RatePerMCycle(); got != 500 {
+		t.Fatalf("rate = %v, want 500", got)
+	}
+	if got := newSource(0, &now).RatePerMCycle(); got != 0 {
+		t.Fatalf("closed-loop rate = %v, want 0", got)
+	}
+}

@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/mem"
+	"pivot/internal/workload"
+)
+
+// TestQueuePropagationUnderContention pins the Figure 4 root cause: with a
+// saturating BE mix, queueing reaches back from the memory controller into
+// the bandwidth controller, bus and interconnect (back-pressure), rather
+// than staying at a single component.
+func TestQueuePropagationUnderContention(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Masstree, 4000)}
+	tasks = append(tasks, beTasks(workload.IBench, 7)...)
+	m := MustNew(KunpengConfig(8), Options{Policy: PolicyDefault}, tasks)
+	m.Engine.Step(200_000)
+
+	// Sample queue depths over a window; saturation is steady-state.
+	maxIC, maxBus, maxBW, maxMC := 0, 0, 0, 0
+	for i := 0; i < 50; i++ {
+		m.Engine.Step(2_000)
+		if n, _ := m.ic.QueueLen(); n > maxIC {
+			maxIC = n
+		}
+		if n, _ := m.bus.QueueLen(); n > maxBus {
+			maxBus = n
+		}
+		if n, _ := m.bw.Station.QueueLen(); n > maxBW {
+			maxBW = n
+		}
+		if n, _ := m.mc.QueueLen(); n > maxMC {
+			maxMC = n
+		}
+	}
+	t.Logf("max queue depths: ic=%d bus=%d bwctrl=%d memctrl=%d", maxIC, maxBus, maxBW, maxMC)
+	if maxMC < m.Cfg.DRAM.CapNormal/2 {
+		t.Fatalf("memory controller queue never filled (max %d)", maxMC)
+	}
+	if maxBW == 0 || maxBus == 0 {
+		t.Fatal("queueing did not propagate upstream of the memory controller")
+	}
+}
+
+// TestRunAloneNoQueueing: the same LC task alone keeps every shared queue
+// nearly empty — contention, not the machine, causes the Figure 4 effect.
+func TestRunAloneNoQueueing(t *testing.T) {
+	m := MustNew(KunpengConfig(8), Options{Policy: PolicyDefault},
+		[]TaskSpec{lcTask(workload.Masstree, 4000)})
+	m.Engine.Step(100_000)
+	maxMC := 0
+	for i := 0; i < 50; i++ {
+		m.Engine.Step(1_000)
+		if n, _ := m.mc.QueueLen(); n > maxMC {
+			maxMC = n
+		}
+	}
+	if maxMC > m.Cfg.DRAM.CapNormal/2 {
+		t.Fatalf("run-alone memory controller queue reached %d", maxMC)
+	}
+	if m.LCTasks()[0].Source.Completed() == 0 {
+		t.Fatal("no requests completed run-alone")
+	}
+}
+
+// TestRRBPConvergesToChaseLoads: under PIVOT in steady state, the RRBP
+// flags a selective subset and the DRAM's critical traffic stays well below
+// the LC task's total traffic (Insight #2 operating as designed).
+func TestRRBPConvergesToChaseLoads(t *testing.T) {
+	app := workload.LCApps()[workload.Moses]
+	pot := ProfileLC(KunpengConfig(8), app, 7, 1)
+	tasks := []TaskSpec{{Kind: TaskLC, LC: app, MeanInterarrival: 4000,
+		Potential: pot, ExpectedBW: 0.08, Seed: 1}}
+	tasks = append(tasks, beTasks(workload.IBench, 7)...)
+	m := MustNew(KunpengConfig(8), Options{Policy: PolicyPIVOT}, tasks)
+	m.Run(400_000, 400_000)
+
+	ds := m.DRAMStats()
+	critFrac := float64(ds.CritServed) / float64(ds.Served)
+	t.Logf("critical fraction of DRAM traffic: %.3f (threshold=%d)",
+		critFrac, m.LCTasks()[0].RRBP.Threshold())
+	if critFrac == 0 {
+		t.Fatal("no critical traffic at all — the RRBP never flagged the chase loads")
+	}
+	if critFrac > 0.2 {
+		t.Fatalf("critical fraction %.3f too high: PIVOT degenerated toward FullPath", critFrac)
+	}
+	if p95 := m.LCp95(0); p95 == 0 {
+		t.Fatal("no latency measured")
+	}
+	// MPAM classes must be active (multi-queue scheduling, §IV-D).
+	if m.BWController().ClassOf(mem.PartID(0)) != 0 {
+		t.Fatal("LC partition not classified high under PIVOT")
+	}
+}

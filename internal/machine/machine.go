@@ -1,0 +1,629 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"pivot/internal/bwctrl"
+	"pivot/internal/cache"
+	"pivot/internal/cbp"
+	"pivot/internal/cpu"
+	"pivot/internal/dram"
+	"pivot/internal/interconnect"
+	"pivot/internal/loadgen"
+	"pivot/internal/mba"
+	"pivot/internal/mem"
+	"pivot/internal/prefetch"
+	"pivot/internal/profile"
+	"pivot/internal/rrbp"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// TaskKind distinguishes latency-critical from best-effort tasks.
+type TaskKind int
+
+// Task kinds.
+const (
+	TaskLC TaskKind = iota
+	TaskBE
+)
+
+// TaskSpec pins one task to one core.
+type TaskSpec struct {
+	Kind TaskKind
+	LC   workload.LCParams // when Kind == TaskLC
+	BE   workload.BEParams // when Kind == TaskBE
+
+	// MeanInterarrival is the LC request inter-arrival mean in cycles
+	// (0 = closed loop, used for profiling and max-throughput probes).
+	MeanInterarrival float64
+
+	// Potential is the offline-profiled potential-critical set consumed by
+	// PolicyPIVOT. Nil under PIVOT means "no filter" (every load measured).
+	Potential profile.CriticalSet
+
+	// ExpectedBW is this LC task's user-specified expected bandwidth
+	// fraction (§II-B). The harness calibrates it from the task's run-alone
+	// bandwidth at its operating load. Zero falls back to
+	// Options.ExpectedLCBW.
+	ExpectedBW float64
+
+	// CustomStream overrides the generated instruction stream for a BE
+	// task — used for trace replay (internal/trace) and custom workloads.
+	// Ignored for LC tasks, whose stream is the request load generator.
+	CustomStream cpu.Stream
+
+	Seed uint64
+}
+
+// Options selects the policy and its parameters.
+type Options struct {
+	Policy Policy
+
+	// DisableMSC suppresses priority enforcement at one MSC for the Fig 7
+	// leave-one-out experiment. The zero value (CompL1) disables nothing.
+	DisableMSC mem.Component
+
+	// RRBP configures PIVOT's online table; zero value = rrbp.DefaultConfig.
+	RRBP rrbp.Config
+
+	// CBP configures the CBP baselines; zero value = cbp.DefaultConfig.
+	CBP cbp.Config
+
+	// Profile attaches a full offline profiler to every LC core (the
+	// offline phase measures ALL loads, which is what makes it 75× slow on
+	// real hardware; in the simulator it is free).
+	Profile bool
+
+	// ExpectedLCBW is each LC task's user-specified expected bandwidth
+	// fraction, driving PIVOT's adaptive RRBP threshold (§IV-C): while the
+	// task's measured usage is below it, PIVOT aggressively includes more
+	// potential-set loads; once usage recovers, only persistent long-stall
+	// loads stay prioritised. Default 0.08 — a typical LC task's standalone
+	// channel share. (MPAM's queue classification separately pins LC
+	// partitions at Min=1.0, the paper's §II-B setting.)
+	ExpectedLCBW float64
+
+	// NoStarvationGuard disables the §IV-D max-wait promotion (ablation).
+	NoStarvationGuard bool
+
+	// SampleRequests records the per-component cycle split of the first N
+	// LC demand requests completed in the measured region (request-flow
+	// debugging; see Machine.SampledRequests). 0 disables sampling.
+	SampleRequests int
+
+	// Prefetch enables the per-core stride/stream prefetcher. Off by
+	// default: the headline configuration folds prefetch concurrency into
+	// the effective L1 miss buffers (DESIGN.md §6.1); the ablation
+	// experiment turns this on to quantify explicit prefetching.
+	Prefetch bool
+
+	// PrefetchCfg overrides the prefetcher geometry (zero value = default).
+	PrefetchCfg prefetch.Config
+}
+
+// LCTask is the runtime state of one latency-critical task.
+type LCTask struct {
+	Core     int
+	Spec     TaskSpec
+	Gen      *workload.ReqGen
+	Source   *loadgen.Source
+	RRBP     *rrbp.Table
+	CBP      *cbp.Predictor
+	Profiler *profile.Profiler
+}
+
+// Machine is the simulated node.
+type Machine struct {
+	Cfg Config
+	Opt Options
+
+	Engine *sim.Engine
+	Cores  []*cpu.Core
+	ports  []*corePort
+
+	llc *cache.Cache
+	ic  *interconnect.Station
+	bus *interconnect.Station
+	bw  *bwctrl.Controller
+	mc  *dram.Controller
+	thr *mba.Throttle
+
+	delays delayQ
+
+	tasks []TaskSpec
+	lcs   []*LCTask
+
+	reqPool []*mem.Req
+
+	// statsSet optionally filters the per-component latency split (Fig 5)
+	// to requests from specific static loads (e.g. the chase PCs).
+	statsSet profile.CriticalSet
+
+	splitSum   [mem.NumComponents]float64
+	splitCount uint64
+	sampled    []RequestRecord
+
+	measureStart sim.Cycle
+	measured     sim.Cycle
+}
+
+// New assembles a machine running the given tasks under opt. Task i runs on
+// core i with PartID i; len(tasks) must not exceed cfg.Cores.
+func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
+	if len(tasks) > cfg.Cores {
+		return nil, fmt.Errorf("machine: %d tasks exceed %d cores", len(tasks), cfg.Cores)
+	}
+	if opt.ExpectedLCBW <= 0 {
+		opt.ExpectedLCBW = 0.05
+	}
+	if opt.RRBP == (rrbp.Config{}) {
+		opt.RRBP = rrbp.DefaultConfig()
+		// The paper refreshes every 1M cycles across 20-billion-cycle runs;
+		// our measured regions are ~10³× shorter, so the default refresh is
+		// scaled to keep the same windows-per-run ratio (EXPERIMENTS.md).
+		opt.RRBP.RefreshCycles = ScaledRRBPRefresh
+	}
+	if opt.CBP == (cbp.Config{}) {
+		opt.CBP = cbp.DefaultConfig()
+	}
+	m := &Machine{Cfg: cfg, Opt: opt, Engine: sim.NewEngine(), tasks: tasks}
+
+	// Memory side, downstream to upstream.
+	m.llc = cache.New(cfg.LLC)
+	m.mc = dram.New(applyGuard(cfg.DRAM, opt), cfg.L1.LineBytes)
+	m.mc.Respond = m.onResp
+	m.bw = bwctrl.New(guardBW(cfg.BW, opt), m.mc)
+	m.bus = interconnect.New(guardIC(cfg.Bus, opt), m.bw)
+	m.ic = interconnect.New(guardIC(cfg.IC, opt), interconnect.AcceptorFunc(m.llcAccept))
+	m.thr = mba.New(m.ic, cfg.DRAM.TBurst)
+
+	m.applyPolicy()
+
+	// Cores and tasks.
+	for i, spec := range tasks {
+		port := newCorePort(m, i, spec.Kind == TaskLC)
+		port.storeCritical = opt.Policy == PolicyFullPath && spec.Kind == TaskLC
+		m.ports = append(m.ports, port)
+
+		var stream cpu.Stream
+		hooks := cpu.Hooks{}
+		rng := sim.NewRNG(spec.Seed + uint64(i+1)*0x9E37)
+
+		if spec.Kind == TaskLC {
+			lc := &LCTask{Core: i, Spec: spec}
+			lc.Gen = workload.NewReqGen(spec.LC, i, rng.Fork())
+			lc.Source = loadgen.New(lc.Gen, rng.Fork(), spec.MeanInterarrival, m.Engine.Now)
+			stream = lc.Source
+			hooks.OnReqEnd = lc.Source.OnReqEnd
+			if opt.Profile {
+				lc.Profiler = profile.NewProfiler()
+			}
+			switch opt.Policy {
+			case PolicyPIVOT:
+				lc.RRBP = rrbp.New(opt.RRBP)
+			case PolicyCBP, PolicyCBPFullPath:
+				lc.CBP = cbp.New(opt.CBP)
+			}
+			hooks.IsCritical = m.criticalHook(lc)
+			hooks.OnLoadRetire = m.retireHook(lc)
+			m.lcs = append(m.lcs, lc)
+		} else if spec.CustomStream != nil {
+			stream = spec.CustomStream
+		} else {
+			stream = workload.NewBEStream(spec.BE, i, rng.Fork())
+		}
+
+		core := cpu.New(i, cfg.Core, stream, port, hooks)
+		m.Cores = append(m.Cores, core)
+	}
+
+	// Tick order: DRAM first so responses land before upstream moves, then
+	// MSCs downstream-to-upstream, then machine plumbing, then cores.
+	m.Engine.Register(sim.TickFunc(m.mc.Tick))
+	m.Engine.Register(sim.TickFunc(m.bw.Tick))
+	m.Engine.Register(m.bus)
+	m.Engine.Register(m.ic)
+	m.Engine.Register(sim.TickFunc(m.auxTick))
+	for _, c := range m.Cores {
+		m.Engine.Register(sim.TickFunc(c.Tick))
+	}
+	return m, nil
+}
+
+// MustNew is New panicking on error, for tests and examples.
+func MustNew(cfg Config, opt Options, tasks []TaskSpec) *Machine {
+	m, err := New(cfg, opt, tasks)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func applyGuard(d dram.Config, opt Options) dram.Config {
+	if opt.NoStarvationGuard {
+		d.MaxWait = 0
+	}
+	return d
+}
+
+func guardIC(c interconnect.Config, opt Options) interconnect.Config {
+	if opt.NoStarvationGuard {
+		c.MaxWait = 0
+	}
+	return c
+}
+
+func guardBW(c bwctrl.Config, opt Options) bwctrl.Config {
+	if opt.NoStarvationGuard {
+		c.Station.MaxWait = 0
+	}
+	return c
+}
+
+// applyPolicy configures priority queues, MPAM and LLC partitioning.
+func (m *Machine) applyPolicy() {
+	cfg, opt := m.Cfg, m.Opt
+
+	prioAll := false
+	switch opt.Policy {
+	case PolicyFullPath, PolicyPIVOT, PolicyCBPFullPath:
+		prioAll = true
+	}
+	if prioAll {
+		m.ic.PriorityEnabled = opt.DisableMSC != mem.CompInterconnect
+		m.bus.PriorityEnabled = opt.DisableMSC != mem.CompBus
+		m.bw.Station.PriorityEnabled = opt.DisableMSC != mem.CompBWCtrl
+		m.mc.PriorityEnabled = opt.DisableMSC != mem.CompMemCtrl
+	}
+	if opt.Policy == PolicyCBP {
+		// CBP guides only the memory controller (§VI-B).
+		m.mc.PriorityEnabled = true
+	}
+
+	switch opt.Policy {
+	case PolicyMPAM, PolicyFullPath, PolicyPIVOT:
+		m.bw.MPAMEnabled = true
+	}
+	if opt.Policy == PolicyFullPath || opt.Policy == PolicyPIVOT {
+		// §IV-D: within the normal (and priority) queues, scheduling still
+		// follows MPAM classes at every MSC — LC tasks' non-critical
+		// requests are ordered ahead of BE traffic inside the queues, they
+		// just don't get dedicated queue space or strict DRAM service.
+		rank := func(r *mem.Req) int { return int(m.bw.ClassOf(r.Part)) }
+		m.ic.Classify = rank
+		m.bus.Classify = rank
+		m.mc.Classify = rank
+	}
+
+	// LLC partitioning: every policy except Default reserves the LLC for LC
+	// tasks by restricting BE partitions to BEWays ways.
+	if opt.Policy != PolicyDefault {
+		beMask := uint64(1)<<uint(cfg.BEWays) - 1
+		for i, t := range m.tasks {
+			if t.Kind == TaskBE {
+				m.llc.SetWayMask(mem.PartID(i), beMask)
+			}
+		}
+	}
+
+	// MPAM allocations: LC partitions declare Min=100% (the paper's §II-B
+	// setting) so their requests always classify high; BE tasks are capped
+	// low so they classify as low priority under contention.
+	for i, t := range m.tasks {
+		p := mem.PartID(i)
+		if t.Kind == TaskLC {
+			m.bw.SetAllocation(p, bwctrl.Allocation{Min: 1.0, Max: 1.0})
+		} else {
+			m.bw.SetAllocation(p, bwctrl.Allocation{Min: 0, Max: 0.05})
+		}
+	}
+}
+
+// criticalHook builds the per-load criticality decision for an LC core.
+func (m *Machine) criticalHook(lc *LCTask) func(pc uint64) bool {
+	switch m.Opt.Policy {
+	case PolicyFullPath:
+		return func(uint64) bool { return true }
+	case PolicyPIVOT:
+		pot := lc.Spec.Potential
+		tbl := lc.RRBP
+		return func(pc uint64) bool {
+			if pot != nil && !pot.Contains(pc) {
+				return false // the extra instruction bit is not set
+			}
+			return tbl.IsCritical(pc)
+		}
+	case PolicyCBP, PolicyCBPFullPath:
+		pred := lc.CBP
+		return func(pc uint64) bool { return pred.IsCritical(pc) }
+	default:
+		return nil
+	}
+}
+
+// retireHook builds the per-load retire observer for an LC core.
+func (m *Machine) retireHook(lc *LCTask) func(pc uint64, stall sim.Cycle, llcMiss bool) {
+	long := m.Cfg.Core.LongStall
+	pot := lc.Spec.Potential
+	var fns []func(pc uint64, stall sim.Cycle, llcMiss bool)
+
+	if lc.Profiler != nil {
+		fns = append(fns, lc.Profiler.OnLoadRetire)
+	}
+	if lc.RRBP != nil {
+		tbl := lc.RRBP
+		fns = append(fns, func(pc uint64, stall sim.Cycle, llcMiss bool) {
+			// Online phase: only loads carrying the potential bit are
+			// measured (§IV-C) — this is what keeps the overhead minimal.
+			if pot != nil && !pot.Contains(pc) {
+				return
+			}
+			tbl.RecordRetire(pc, stall > long)
+		})
+	}
+	if lc.CBP != nil {
+		pred := lc.CBP
+		fns = append(fns, func(pc uint64, stall sim.Cycle, llcMiss bool) {
+			if stall > long {
+				pred.RecordStall(pc)
+			}
+		})
+	}
+	switch len(fns) {
+	case 0:
+		return nil
+	case 1:
+		return fns[0]
+	default:
+		return func(pc uint64, stall sim.Cycle, llcMiss bool) {
+			for _, f := range fns {
+				f(pc, stall, llcMiss)
+			}
+		}
+	}
+}
+
+// auxTick runs the machine-level plumbing each cycle: delayed completions,
+// per-core L2-miss egress, and (coarsely) predictor refresh and threshold
+// adaptation.
+func (m *Machine) auxTick(now sim.Cycle) {
+	m.delays.drain(now)
+	for _, p := range m.ports {
+		p.flush(now)
+	}
+	if now&1023 == 0 {
+		for _, lc := range m.lcs {
+			if lc.RRBP != nil {
+				lc.RRBP.MaybeRefresh(now)
+				// Usage readings are meaningless before the first completed
+				// monitor window; stay conservative until then.
+				if m.bw.WindowsDone() > 0 {
+					expected := lc.Spec.ExpectedBW
+					if expected <= 0 {
+						expected = m.Opt.ExpectedLCBW
+					}
+					usage := m.bw.Usage(mem.PartID(lc.Core))
+					lc.RRBP.SetUnderBandwidth(usage < expected)
+				}
+			}
+			if lc.CBP != nil {
+				lc.CBP.MaybeRefresh(now)
+			}
+		}
+	}
+}
+
+// llcAccept is the interconnect's downstream: the shared LLC lookup.
+func (m *Machine) llcAccept(r *mem.Req, now sim.Cycle) bool {
+	if !r.LLCChecked {
+		r.LLCChecked = true
+		if m.llc.Lookup(r.Addr, r.Part) {
+			r.AddSplit(mem.CompLLC, sim.Cycle(m.Cfg.LLC.HitCycles))
+			if r.IsWrite {
+				m.recycle(r)
+				return true
+			}
+			due := now + sim.Cycle(m.Cfg.LLC.HitCycles) + m.Cfg.LLCRespLatency
+			req := r
+			m.delays.after(due, func(at sim.Cycle) { m.deliver(req, at, false) })
+			return true
+		}
+		r.LLCMiss = true
+	}
+	// Miss (or previously determined miss, retried): toward the bus.
+	return m.bus.Accept(r, now)
+}
+
+// onResp handles a DRAM response: fill the caches and wake the core.
+func (m *Machine) onResp(r *mem.Req, now sim.Cycle) {
+	if r.IsWrite {
+		m.recycle(r)
+		return
+	}
+	m.llc.Insert(r.Addr, r.Part, false)
+	m.deliver(r, now, true)
+}
+
+// deliver fills the private caches, wakes MSHR waiters and recycles r.
+func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
+	p := m.ports[r.CoreID]
+	p.l2.Insert(r.Addr, r.Part, false)
+	p.l1.Insert(r.Addr, r.Part, false)
+	if e := p.mshr.Fill(r.Addr); e != nil {
+		for _, w := range e.Waiters {
+			w.(func(bool, sim.Cycle))(llcMiss, now)
+		}
+	}
+	if r.LCTask && !r.Prefetch && now >= m.measureStart {
+		if m.statsSet == nil || m.statsSet.Contains(r.PC) {
+			for c := 0; c < int(mem.NumComponents); c++ {
+				m.splitSum[c] += float64(r.Split[c])
+			}
+			m.splitCount++
+		}
+		if len(m.sampled) < m.Opt.SampleRequests {
+			m.sampled = append(m.sampled, RequestRecord{
+				PC: r.PC, Critical: r.Critical, CompletedAt: uint64(now), Split: r.Split,
+			})
+		}
+	}
+	m.recycle(r)
+}
+
+func (m *Machine) newReq() *mem.Req {
+	if n := len(m.reqPool); n > 0 {
+		r := m.reqPool[n-1]
+		m.reqPool = m.reqPool[:n-1]
+		r.Reset()
+		return r
+	}
+	return &mem.Req{}
+}
+
+func (m *Machine) recycle(r *mem.Req) { m.reqPool = append(m.reqPool, r) }
+
+// SetStatsFilter restricts the per-component latency split to requests whose
+// PC is in set (nil = all LC requests). Used by the Fig 5 harness.
+func (m *Machine) SetStatsFilter(set profile.CriticalSet) { m.statsSet = set }
+
+// RequestRecord is one sampled LC memory request's life on the memory path.
+type RequestRecord struct {
+	PC          uint64
+	Critical    bool
+	CompletedAt uint64
+	Split       [mem.NumComponents]uint32
+}
+
+// TotalCycles sums the record's per-component cycles.
+func (r RequestRecord) TotalCycles() uint64 {
+	var t uint64
+	for _, v := range r.Split {
+		t += uint64(v)
+	}
+	return t
+}
+
+// SampledRequests returns the request-flow samples collected in the measured
+// region (Options.SampleRequests bounds the count).
+func (m *Machine) SampledRequests() []RequestRecord { return m.sampled }
+
+// Run advances the machine through a warm-up region (statistics discarded)
+// and then a measured region.
+func (m *Machine) Run(warmup, measure sim.Cycle) {
+	m.Engine.Step(warmup)
+	m.ResetStats()
+	m.measureStart = m.Engine.Now()
+	m.Engine.Step(measure)
+	m.measured = measure
+}
+
+// ResetStats clears all statistics, marking the start of measurement.
+func (m *Machine) ResetStats() {
+	m.measureStart = m.Engine.Now()
+	m.measured = 0
+	for _, c := range m.Cores {
+		c.ResetStats()
+	}
+	for _, p := range m.ports {
+		p.l1.ResetStats()
+		p.l2.ResetStats()
+	}
+	m.llc.ResetStats()
+	m.ic.ResetStats()
+	m.bus.ResetStats()
+	m.bw.Station.ResetStats()
+	m.mc.ResetStats()
+	for _, lc := range m.lcs {
+		lc.Source.ResetMeasurement()
+	}
+	m.splitSum = [mem.NumComponents]float64{}
+	m.splitCount = 0
+	m.sampled = m.sampled[:0]
+}
+
+// MeasuredCycles reports the length of the measured region.
+func (m *Machine) MeasuredCycles() sim.Cycle { return m.measured }
+
+// MarkMeasured records the measured-region length for callers that drive
+// the engine directly (resource managers) instead of using Run.
+func (m *Machine) MarkMeasured(measure sim.Cycle) { m.measured = measure }
+
+// Tasks returns the task specifications in core order.
+func (m *Machine) Tasks() []TaskSpec { return m.tasks }
+
+// LCTasks returns the machine's LC tasks in core order.
+func (m *Machine) LCTasks() []*LCTask { return m.lcs }
+
+// LCp95 returns LC task i's 95th-percentile request latency in cycles.
+func (m *Machine) LCp95(i int) uint32 {
+	return p95(m.lcs[i].Source.Latencies())
+}
+
+// BECommitted sums instructions committed by BE cores in the measured region.
+func (m *Machine) BECommitted() uint64 {
+	var sum uint64
+	for i, t := range m.tasks {
+		if t.Kind == TaskBE {
+			sum += m.Cores[i].Stats.Committed
+		}
+	}
+	return sum
+}
+
+// BWUtil returns achieved/peak DRAM bandwidth over the measured region.
+func (m *Machine) BWUtil() float64 { return m.mc.Utilisation(m.measured) }
+
+// AvgBandwidthGBs converts measured bandwidth to GB/s at 2.4 GHz for the
+// figures that report absolute bandwidth.
+func (m *Machine) AvgBandwidthGBs() float64 {
+	if m.measured == 0 {
+		return 0
+	}
+	bytes := float64(m.mc.Stats.LinesMoved) * float64(m.Cfg.L1.LineBytes)
+	secs := float64(m.measured) / 2.4e9
+	return bytes / secs / 1e9
+}
+
+// SplitAverages returns the mean per-component cycles of tracked LC requests
+// and the number of requests aggregated.
+func (m *Machine) SplitAverages() ([mem.NumComponents]float64, uint64) {
+	var out [mem.NumComponents]float64
+	if m.splitCount == 0 {
+		return out, 0
+	}
+	for c := range out {
+		out[c] = m.splitSum[c] / float64(m.splitCount)
+	}
+	return out, m.splitCount
+}
+
+// DRAMStats exposes the memory controller counters.
+func (m *Machine) DRAMStats() dram.Stats { return m.mc.Stats }
+
+// LLC exposes the shared cache (managers adjust way masks through it).
+func (m *Machine) LLC() *cache.Cache { return m.llc }
+
+// MBA exposes the throttle (managers program per-part levels).
+func (m *Machine) MBA() *mba.Throttle { return m.thr }
+
+// BWController exposes the bandwidth controller (for usage monitoring).
+func (m *Machine) BWController() *bwctrl.Controller { return m.bw }
+
+func p95(samples []uint32) uint32 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]uint32, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(0.95*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,224 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/mem"
+	"pivot/internal/workload"
+)
+
+func lcTask(app string, ia float64) TaskSpec {
+	return TaskSpec{Kind: TaskLC, LC: workload.LCApps()[app], MeanInterarrival: ia, Seed: 1}
+}
+
+func beTasks(app string, n int) []TaskSpec {
+	var out []TaskSpec
+	for i := 0; i < n; i++ {
+		out = append(out, TaskSpec{Kind: TaskBE, BE: workload.BEApps()[app], Seed: uint64(10 + i)})
+	}
+	return out
+}
+
+func TestTooManyTasksRejected(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Silo, 5000)}, beTasks(workload.IBench, 8)...)
+	if _, err := New(KunpengConfig(8), Options{}, tasks); err == nil {
+		t.Fatal("9 tasks on 8 cores accepted")
+	}
+}
+
+func TestOfflineProfileRecoversChaseLoads(t *testing.T) {
+	app := workload.LCApps()[workload.Masstree]
+	set := ProfileLC(KunpengConfig(8), app, 7, 1)
+	if len(set) == 0 {
+		t.Fatal("empty potential set")
+	}
+	// Every chase PC must be selected: they are the critical loads by
+	// construction.
+	gen := workload.NewReqGen(app, 0, nil)
+	for _, pc := range gen.ChasePCs() {
+		if !set.Contains(pc) {
+			t.Errorf("chase PC %#x missing from the potential set", pc)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint32, uint64) {
+		tasks := append([]TaskSpec{lcTask(workload.Silo, 5000)}, beTasks(workload.IBench, 3)...)
+		m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+		m.Run(100_000, 200_000)
+		return m.LCp95(0), m.BECommitted()
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	if p1 != p2 || c1 != c2 {
+		t.Fatalf("identical runs diverged: (%d,%d) vs (%d,%d)", p1, c1, p2, c2)
+	}
+}
+
+func TestLLCPartitioningAppliedPerPolicy(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Silo, 5000)}, beTasks(workload.IBench, 2)...)
+
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+	if m.LLC().WayMask(1) != 0 {
+		t.Fatal("Default must not partition the LLC")
+	}
+	m = MustNew(KunpengConfig(4), Options{Policy: PolicyMPAM}, tasks)
+	if m.LLC().WayMask(1) == 0 {
+		t.Fatal("MPAM policy should restrict BE ways")
+	}
+	if m.LLC().WayMask(0) != 0 {
+		t.Fatal("LC partition must stay unrestricted")
+	}
+}
+
+func TestPriorityWiringPerPolicy(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 5000)}
+	check := func(pol Policy, ic, bus, bw, mc bool) {
+		m := MustNew(KunpengConfig(4), Options{Policy: pol}, tasks)
+		if m.ic.PriorityEnabled != ic || m.bus.PriorityEnabled != bus ||
+			m.bw.Station.PriorityEnabled != bw || m.mc.PriorityEnabled != mc {
+			t.Errorf("%v priority wiring = %v/%v/%v/%v, want %v/%v/%v/%v", pol,
+				m.ic.PriorityEnabled, m.bus.PriorityEnabled,
+				m.bw.Station.PriorityEnabled, m.mc.PriorityEnabled, ic, bus, bw, mc)
+		}
+	}
+	check(PolicyDefault, false, false, false, false)
+	check(PolicyMPAM, false, false, false, false)
+	check(PolicyFullPath, true, true, true, true)
+	check(PolicyPIVOT, true, true, true, true)
+	check(PolicyCBP, false, false, false, true) // memory controller only
+	check(PolicyCBPFullPath, true, true, true, true)
+}
+
+func TestDisableMSCLeaveOneOut(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 5000)}
+	m := MustNew(KunpengConfig(4),
+		Options{Policy: PolicyFullPath, DisableMSC: mem.CompBus}, tasks)
+	if m.bus.PriorityEnabled {
+		t.Fatal("disabled MSC still enforces priority")
+	}
+	if !m.ic.PriorityEnabled || !m.mc.PriorityEnabled {
+		t.Fatal("other MSCs lost priority")
+	}
+}
+
+func TestMPAMEnabledPerPolicy(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 5000)}
+	for pol, want := range map[Policy]bool{
+		PolicyDefault: false, PolicyMBA: false, PolicyMPAM: true,
+		PolicyFullPath: true, PolicyPIVOT: true,
+	} {
+		m := MustNew(KunpengConfig(4), Options{Policy: pol}, tasks)
+		if m.bw.MPAMEnabled != want {
+			t.Errorf("%v MPAMEnabled = %v, want %v", pol, m.bw.MPAMEnabled, want)
+		}
+	}
+}
+
+func TestSplitAveragesTrackLCRequests(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Masstree, 5000)}, beTasks(workload.IBench, 3)...)
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+	m.Run(50_000, 200_000)
+	split, n := m.SplitAverages()
+	if n == 0 {
+		t.Fatal("no LC requests aggregated")
+	}
+	if split[mem.CompMemCtrl] == 0 && split[mem.CompDRAM] == 0 {
+		t.Fatal("split has no memory-side cycles under contention")
+	}
+}
+
+func TestStatsFilterRestrictsSplit(t *testing.T) {
+	app := workload.LCApps()[workload.Masstree]
+	gen := workload.NewReqGen(app, 0, nil)
+	chase := map[uint64]bool{}
+	for _, pc := range gen.ChasePCs() {
+		chase[pc] = true
+	}
+	tasks := []TaskSpec{lcTask(workload.Masstree, 5000)}
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+	m.SetStatsFilter(chase)
+	m.Run(50_000, 200_000)
+	_, n := m.SplitAverages()
+	if n == 0 {
+		t.Fatal("filter excluded every chase request")
+	}
+	// Unfiltered run counts strictly more requests.
+	m2 := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+	m2.Run(50_000, 200_000)
+	_, n2 := m2.SplitAverages()
+	if n2 <= n {
+		t.Fatalf("unfiltered count %d not above filtered %d", n2, n)
+	}
+}
+
+func TestNeoverseConfigRuns(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Xapian, 4000)}, beTasks(workload.IBench, 3)...)
+	m := MustNew(NeoverseConfig(4), Options{Policy: PolicyPIVOT}, tasks)
+	m.Run(100_000, 200_000)
+	if m.LCTasks()[0].Source.Completed() == 0 {
+		t.Fatal("no requests completed on the Neoverse configuration")
+	}
+}
+
+func TestStarvationGuardAblation(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Masstree, 4000)}, beTasks(workload.IBench, 3)...)
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyFullPath, NoStarvationGuard: true}, tasks)
+	m.Run(100_000, 200_000)
+	if m.DRAMStats().Promoted != 0 {
+		t.Fatal("starvation guard fired while ablated")
+	}
+	// BE still makes progress (priority is not an absolute lockout because
+	// the LC task idles between requests).
+	if m.BECommitted() == 0 {
+		t.Fatal("BE completely starved")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, beTasks(workload.IBench, 4))
+	m.Run(50_000, 200_000)
+	bw := m.BWUtil()
+	if bw < 0.5 || bw > 1.0 {
+		t.Fatalf("4-thread iBench utilisation = %.2f, want high (>0.5) and <=1", bw)
+	}
+	if gbs := m.AvgBandwidthGBs(); gbs <= 0 {
+		t.Fatalf("absolute bandwidth = %v GB/s", gbs)
+	}
+}
+
+func TestMultiLCMPAMAllocations(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 5000), lcTask(workload.Xapian, 5000)}
+	tasks = append(tasks, beTasks(workload.IBench, 2)...)
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyPIVOT}, tasks)
+	for i := 0; i < 2; i++ {
+		if a := m.BWController().Allocation(mem.PartID(i)); a.Min != 1.0 {
+			t.Fatalf("LC part %d allocation %+v, want Min=1.0", i, a)
+		}
+	}
+	if a := m.BWController().Allocation(2); a.Max != 0.05 {
+		t.Fatalf("BE allocation %+v, want capped Max", a)
+	}
+	m.Run(100_000, 200_000)
+	if m.LCTasks()[0].Source.Completed() == 0 || m.LCTasks()[1].Source.Completed() == 0 {
+		t.Fatal("a co-located LC task completed nothing")
+	}
+}
+
+func TestRunResetSeparatesWarmup(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 3000)}
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyDefault}, tasks)
+	m.Engine.Step(100_000)
+	before := m.LCTasks()[0].Source.Completed()
+	if before == 0 {
+		t.Fatal("nothing completed during warm-up")
+	}
+	m.ResetStats()
+	if m.LCTasks()[0].Source.Completed() != 0 {
+		t.Fatal("ResetStats did not clear completions")
+	}
+	if m.Cores[0].Stats.Committed != 0 {
+		t.Fatal("ResetStats did not clear core stats")
+	}
+}

@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/mem"
+	"pivot/internal/workload"
+)
+
+// TestPolicyOrdering checks the paper's qualitative orderings (Figures 1-3):
+// MPAM fails to protect the tail under heavy contention; MBA protects it but
+// wastes bandwidth; FullPath protects it; PIVOT protects it with the highest
+// BE throughput among the protecting policies.
+func TestPolicyOrdering(t *testing.T) {
+	// Offline profile: Masstree + stress copy, closed loop.
+	pot := ProfileLC(KunpengConfig(8), workload.LCApps()[workload.Masstree], 7, 1)
+	t.Logf("potential set size = %d", len(pot))
+	if len(pot) == 0 {
+		t.Fatal("offline profiling selected no potential-critical loads")
+	}
+
+	lcApp := workload.LCApps()[workload.Masstree]
+	beApp := workload.BEApps()[workload.IBench]
+	build := func(pol Policy, opt Options) *Machine {
+		tasks := []TaskSpec{{Kind: TaskLC, LC: lcApp, MeanInterarrival: 4000, Seed: 1, Potential: pot}}
+		for i := 0; i < 7; i++ {
+			tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: beApp, Seed: uint64(10 + i)})
+		}
+		opt.Policy = pol
+		return MustNew(KunpengConfig(8), opt, tasks)
+	}
+	type res struct {
+		p95 uint32
+		ipc float64
+		bw  float64
+	}
+	run := func(pol Policy, opt Options) res {
+		m := build(pol, opt)
+		m.Run(100_000, 400_000)
+		return res{m.LCp95(0), float64(m.BECommitted()) / float64(m.MeasuredCycles()), m.BWUtil()}
+	}
+
+	alone := func() res {
+		m := MustNew(KunpengConfig(8), Options{Policy: PolicyDefault},
+			[]TaskSpec{{Kind: TaskLC, LC: lcApp, MeanInterarrival: 4000, Seed: 1}})
+		m.Run(100_000, 400_000)
+		return res{m.LCp95(0), 0, m.BWUtil()}
+	}()
+
+	dflt := run(PolicyDefault, Options{})
+	mpam := run(PolicyMPAM, Options{})
+	full := run(PolicyFullPath, Options{})
+	piv := run(PolicyPIVOT, Options{})
+	mba := func() res {
+		opt := Options{Policy: PolicyMBA}
+		m := build(PolicyMBA, opt)
+		for i := 1; i < 8; i++ {
+			m.MBA().SetLevel(mem.PartID(i), 10) // strong throttle
+		}
+		m.Run(100_000, 400_000)
+		return res{m.LCp95(0), float64(m.BECommitted()) / float64(m.MeasuredCycles()), m.BWUtil()}
+	}()
+
+	t.Logf("alone:    p95=%6d", alone.p95)
+	t.Logf("default:  p95=%6d ipc=%.3f bw=%.2f", dflt.p95, dflt.ipc, dflt.bw)
+	t.Logf("mpam:     p95=%6d ipc=%.3f bw=%.2f", mpam.p95, mpam.ipc, mpam.bw)
+	t.Logf("mba10:    p95=%6d ipc=%.3f bw=%.2f", mba.p95, mba.ipc, mba.bw)
+	t.Logf("fullpath: p95=%6d ipc=%.3f bw=%.2f", full.p95, full.ipc, full.bw)
+	t.Logf("pivot:    p95=%6d ipc=%.3f bw=%.2f", piv.p95, piv.ipc, piv.bw)
+
+	qos := alone.p95 * 5 / 2 // 2.5x proxy for the knee-based QoS target
+	if full.p95 > qos {
+		t.Errorf("FullPath should protect QoS: %d > %d", full.p95, qos)
+	}
+	if piv.p95 > qos {
+		t.Errorf("PIVOT should protect QoS: %d > %d", piv.p95, qos)
+	}
+	if mba.p95 > qos {
+		t.Errorf("MBA(10%%) should protect QoS: %d > %d", mba.p95, qos)
+	}
+	if mpam.p95 <= qos {
+		t.Logf("note: MPAM unexpectedly met QoS at this contention level")
+	}
+	if !(mba.bw < piv.bw) {
+		t.Errorf("MBA should underutilise bandwidth vs PIVOT: mba=%.2f pivot=%.2f", mba.bw, piv.bw)
+	}
+	if !(piv.ipc > mba.ipc) {
+		t.Errorf("PIVOT BE throughput should beat MBA: pivot=%.3f mba=%.3f", piv.ipc, mba.ipc)
+	}
+}

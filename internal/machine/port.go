@@ -1,0 +1,215 @@
+package machine
+
+import (
+	"pivot/internal/cache"
+	"pivot/internal/cpu"
+	"pivot/internal/mem"
+	"pivot/internal/prefetch"
+	"pivot/internal/sim"
+)
+
+// delayQ schedules fixed-latency callbacks on a 256-slot timing wheel. Every
+// latency scheduled through it (L1/L2 hits, LLC-hit responses) is far below
+// 256 cycles, so slot collisions across laps cannot occur.
+type delayQ struct {
+	wheel [256][]delayed
+}
+
+type delayed struct {
+	due sim.Cycle
+	fn  func(now sim.Cycle)
+}
+
+func (d *delayQ) after(due sim.Cycle, fn func(now sim.Cycle)) {
+	slot := int(due) & 255
+	d.wheel[slot] = append(d.wheel[slot], delayed{due: due, fn: fn})
+}
+
+func (d *delayQ) drain(now sim.Cycle) {
+	slot := int(now) & 255
+	pend := d.wheel[slot]
+	if len(pend) == 0 {
+		return
+	}
+	d.wheel[slot] = pend[:0]
+	for _, e := range pend {
+		e.fn(now)
+	}
+}
+
+// corePort is one core's private memory hierarchy (L1D + L2) and its egress
+// into the shared path. It implements cpu.MemPort.
+type corePort struct {
+	m    *Machine
+	id   int
+	isLC bool
+
+	// storeCritical marks this core's store misses as priority traffic:
+	// FullPath prioritises *all* LC memory accesses, stores included,
+	// whereas PIVOT deliberately never prioritises stores (§III-B).
+	storeCritical bool
+
+	l1   *cache.Cache
+	l2   *cache.Cache
+	mshr *cache.MSHRFile
+	pf   *prefetch.Prefetcher // nil unless Options.Prefetch
+
+	// out holds L2-miss requests awaiting acceptance by the MBA throttle /
+	// interconnect; bounded by Cfg.PortOutCap for back-pressure.
+	out []*mem.Req
+}
+
+func newCorePort(m *Machine, id int, isLC bool) *corePort {
+	p := &corePort{
+		m:    m,
+		id:   id,
+		isLC: isLC,
+		l1:   cache.New(m.Cfg.L1),
+		l2:   cache.New(m.Cfg.L2),
+		mshr: cache.NewMSHRFile(m.Cfg.L1.MSHRs),
+	}
+	if m.Opt.Prefetch {
+		cfg := m.Opt.PrefetchCfg
+		if cfg == (prefetch.Config{}) {
+			cfg = prefetch.DefaultConfig()
+			cfg.LineBytes = m.Cfg.L1.LineBytes
+		}
+		p.pf = prefetch.New(cfg)
+	}
+	return p
+}
+
+func (p *corePort) lineOf(addr uint64) uint64 {
+	return addr &^ uint64(p.m.Cfg.L1.LineBytes-1)
+}
+
+// Load implements cpu.MemPort.
+func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
+	line := p.lineOf(lr.Addr)
+	part := mem.PartID(p.id)
+	l1Hit := sim.Cycle(p.m.Cfg.L1.HitCycles)
+
+	if p.l1.Lookup(line, part) {
+		done := lr.Done
+		p.m.delays.after(now+l1Hit, func(at sim.Cycle) { done(false, at) })
+		return true
+	}
+	if e := p.mshr.Lookup(line); e != nil {
+		e.Waiters = append(e.Waiters, lr.Done)
+		return true
+	}
+	if p.mshr.Full() || len(p.out) >= p.m.Cfg.PortOutCap {
+		return false // structural stall; the core retries
+	}
+
+	l2Hit := sim.Cycle(p.m.Cfg.L2.HitCycles)
+	if p.l2.Lookup(line, part) {
+		e, _ := p.mshr.Allocate(line)
+		e.Waiters = append(e.Waiters, lr.Done)
+		p.m.delays.after(now+l1Hit+l2Hit, func(at sim.Cycle) { p.fillLocal(line, at) })
+		return true
+	}
+
+	// L2 miss: a shared-path request is born.
+	e, _ := p.mshr.Allocate(line)
+	e.Waiters = append(e.Waiters, lr.Done)
+	r := p.m.newReq()
+	r.Addr = line
+	r.PC = lr.PC
+	r.CoreID = p.id
+	r.Part = part
+	r.Critical = lr.Critical
+	r.LCTask = p.isLC
+	r.Issued = now
+	r.AddSplit(mem.CompL1, l1Hit)
+	r.AddSplit(mem.CompL2, l2Hit)
+	p.m.delays.after(now+l1Hit+l2Hit, func(at sim.Cycle) { p.out = append(p.out, r) })
+	p.maybePrefetch(line, now)
+	return true
+}
+
+// maybePrefetch trains the stream prefetcher on a demand miss and issues
+// covered prefetch requests down the shared path. Prefetches never carry the
+// critical bit and wake no instruction; they exist to fill caches ahead of
+// the stream and to generate the realistic extra bandwidth demand explicit
+// prefetching costs.
+func (p *corePort) maybePrefetch(line uint64, now sim.Cycle) {
+	if p.pf == nil {
+		return
+	}
+	for _, cand := range p.pf.OnMiss(line) {
+		// Prefetches are second-class citizens: they may use only half the
+		// miss buffers and egress slots, so a burst can never starve demand
+		// misses of structural resources.
+		if p.mshr.Len() >= p.m.Cfg.L1.MSHRs/2 || len(p.out) >= p.m.Cfg.PortOutCap/2 {
+			return
+		}
+		if p.l1.Contains(cand) || p.l2.Contains(cand) || p.mshr.Lookup(cand) != nil {
+			continue
+		}
+		if _, fresh := p.mshr.Allocate(cand); !fresh {
+			continue
+		}
+		r := p.m.newReq()
+		r.Addr = cand
+		r.CoreID = p.id
+		r.Part = mem.PartID(p.id)
+		r.LCTask = p.isLC
+		r.Prefetch = true
+		r.Issued = now
+		p.m.delays.after(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
+			p.out = append(p.out, r)
+		})
+	}
+}
+
+// fillLocal completes an L2-hit: fill L1 and wake all coalesced waiters.
+func (p *corePort) fillLocal(line uint64, now sim.Cycle) {
+	p.l1.Insert(line, mem.PartID(p.id), false)
+	if e := p.mshr.Fill(line); e != nil {
+		for _, w := range e.Waiters {
+			w.(func(bool, sim.Cycle))(false, now)
+		}
+	}
+}
+
+// Store implements cpu.MemPort. Stores are absorbed by the write buffer
+// (they never stall the ROB; §III-B) but misses still travel the shared path
+// to generate write bandwidth.
+func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
+	line := p.lineOf(addr)
+	part := mem.PartID(p.id)
+	if p.l1.Lookup(line, part) {
+		p.l1.Insert(line, part, true) // refresh + mark dirty
+		return true
+	}
+	if len(p.out) >= p.m.Cfg.PortOutCap {
+		return false // write buffer full: SQ backs up
+	}
+	r := p.m.newReq()
+	r.Addr = line
+	r.PC = pc
+	r.CoreID = p.id
+	r.Part = part
+	r.IsWrite = true
+	r.Critical = p.storeCritical
+	r.LCTask = p.isLC
+	r.Issued = now
+	p.m.delays.after(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
+		p.out = append(p.out, r)
+	})
+	return true
+}
+
+// flush pushes pending L2-miss traffic into the MBA throttle / interconnect,
+// stopping at the first refusal (in-order egress).
+func (p *corePort) flush(now sim.Cycle) {
+	for len(p.out) > 0 {
+		r := p.out[0]
+		if !p.m.thr.Accept(r, now) {
+			return
+		}
+		copy(p.out, p.out[1:])
+		p.out = p.out[:len(p.out)-1]
+	}
+}

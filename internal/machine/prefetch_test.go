@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/workload"
+)
+
+// TestPrefetcherSpeedsLatencyBoundStreams: Img-DNN's weight streaming is
+// latency-bound run-alone (miss concurrency, not the DRAM bus, limits it);
+// the stride prefetcher should let it serve at least as many requests
+// closed-loop, with the stream arriving ahead of the demand misses.
+func TestPrefetcherSpeedsLatencyBoundStreams(t *testing.T) {
+	run := func(pf bool) uint64 {
+		m := MustNew(KunpengConfig(1), Options{Policy: PolicyDefault, Prefetch: pf},
+			[]TaskSpec{{Kind: TaskLC, LC: workload.LCApps()[workload.ImgDNN],
+				MeanInterarrival: 0, Seed: 3}})
+		m.Run(50_000, 300_000)
+		return m.LCTasks()[0].Source.Completed()
+	}
+	off, on := run(false), run(true)
+	t.Logf("closed-loop requests: prefetch-off=%d prefetch-on=%d", off, on)
+	if float64(on) < float64(off)*0.98 {
+		t.Fatalf("prefetcher slowed a latency-bound stream: %d < %d", on, off)
+	}
+}
+
+// TestPrefetchRequestsNeverCritical: prefetches must not enter the priority
+// queues even under FullPath.
+func TestPrefetchRequestsNeverCritical(t *testing.T) {
+	tasks := []TaskSpec{
+		{Kind: TaskLC, LC: workload.LCApps()[workload.ImgDNN], MeanInterarrival: 3000, Seed: 1},
+	}
+	m := MustNew(KunpengConfig(2), Options{Policy: PolicyFullPath, Prefetch: true}, tasks)
+	m.Run(50_000, 150_000)
+	// All DRAM-served critical requests must be demand traffic: the count of
+	// critical serves cannot exceed total LC demand misses. A direct signal:
+	// no prefetch-flagged request may be counted critical. We verify through
+	// the request pool the machine recycles.
+	for _, r := range m.reqPool {
+		if r.Prefetch && r.Critical {
+			t.Fatal("prefetch request carried the critical bit")
+		}
+	}
+	if m.LCTasks()[0].Source.Completed() == 0 {
+		t.Fatal("no requests completed with the prefetcher on")
+	}
+}
+
+// TestPrefetchDeterminism: prefetching stays deterministic.
+func TestPrefetchDeterminism(t *testing.T) {
+	run := func() uint64 {
+		m := MustNew(KunpengConfig(2), Options{Policy: PolicyPIVOT, Prefetch: true},
+			[]TaskSpec{
+				{Kind: TaskLC, LC: workload.LCApps()[workload.Xapian], MeanInterarrival: 4000, Seed: 9},
+				{Kind: TaskBE, BE: workload.BEApps()[workload.IBench], Seed: 10},
+			})
+		m.Run(100_000, 150_000)
+		return m.Cores[0].Stats.Committed + m.BECommitted()
+	}
+	if run() != run() {
+		t.Fatal("prefetch-enabled runs diverged")
+	}
+}

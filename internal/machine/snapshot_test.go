@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pivot/internal/workload"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tasks := append([]TaskSpec{lcTask(workload.Silo, 5000)}, beTasks(workload.IBench, 3)...)
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyPIVOT}, tasks)
+	m.Run(100_000, 200_000)
+
+	s := m.Snapshot()
+	if s.Policy != "PIVOT" || s.Config != "kunpeng" {
+		t.Fatalf("snapshot identity wrong: %+v", s)
+	}
+	if len(s.LC) != 1 || s.LC[0].App != workload.Silo {
+		t.Fatalf("LC snapshot wrong: %+v", s.LC)
+	}
+	if s.LC[0].Completed == 0 || s.LC[0].P95 == 0 {
+		t.Fatal("LC snapshot missing measurements")
+	}
+	if s.LC[0].P50 > s.LC[0].P95 || s.LC[0].P95 > s.LC[0].P99 {
+		t.Fatalf("percentiles not ordered: %+v", s.LC[0])
+	}
+	if s.BE.Cores != 3 || s.BE.IPC <= 0 {
+		t.Fatalf("BE snapshot wrong: %+v", s.BE)
+	}
+	if s.Bandwidth.Utilisation <= 0 || s.Bandwidth.LinesMoved == 0 {
+		t.Fatalf("bandwidth snapshot wrong: %+v", s.Bandwidth)
+	}
+	if len(s.SplitAvg) == 0 {
+		t.Fatal("split averages missing")
+	}
+	if _, ok := s.Stations["bwctrl"]; !ok {
+		t.Fatal("station counters missing")
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.LC[0].P95 != s.LC[0].P95 || back.Bandwidth.LinesMoved != s.Bandwidth.LinesMoved {
+		t.Fatal("round trip lost data")
+	}
+}

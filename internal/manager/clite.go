@@ -1,0 +1,155 @@
+package manager
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/sim"
+)
+
+// CLITE is the sampling-based optimiser of Patel & Tiwari: it treats the
+// partitioning configuration space (MBA level × BE cache ways) as a black
+// box, probes candidate configurations epoch by epoch, and converges to the
+// feasible configuration (QoS met) with the best observed BE throughput —
+// periodically revalidating the neighbourhood to track drift. A full
+// Gaussian-process surrogate is unnecessary at this configuration-space size
+// (published CLITE itself discretises its knobs); the structured
+// probe-then-exploit search preserves the behaviour that matters for the
+// comparison: CLITE finds better operating points than PARTIES' local steps
+// but is still bound by thread-centric throttling.
+//
+// Probing runs from the most protective configuration toward the most
+// permissive, pruning a ways-row as soon as a level proves infeasible (less
+// throttling can only be worse for QoS). Starting protective keeps the LC
+// task's open-loop backlog from exploding during exploration.
+type CLITE struct {
+	Targets []uint32
+	Window  int
+
+	configs []cliteConfig
+
+	bestIdx   int
+	bestScore float64
+	probe     int
+	epochSeen int
+
+	lastCommitted uint64
+	cur           int
+	inited        bool
+}
+
+type cliteConfig struct {
+	mbaLevel int
+	beWays   int
+	feasible bool
+	tried    bool
+}
+
+// NewCLITE builds the optimiser for the given per-LC QoS targets.
+func NewCLITE(targets []uint32) *CLITE {
+	c := &CLITE{Targets: targets, Window: 64, bestIdx: -1, bestScore: -1}
+	// Most protective first: 1 way at 5%, ..., 2 ways at 100%. The lattice
+	// is kept to 8 points so exploration finishes within a typical warm-up
+	// (published CLITE likewise bounds its sampling budget).
+	for _, w := range []int{1, 2} {
+		for _, lvl := range []int{5, 20, 50, 100} {
+			c.configs = append(c.configs, cliteConfig{mbaLevel: lvl, beWays: w})
+		}
+	}
+	return c
+}
+
+// Name implements Manager.
+func (c *CLITE) Name() string { return "CLITE" }
+
+// Decide implements Manager.
+func (c *CLITE) Decide(m *machine.Machine, now sim.Cycle) {
+	if !c.inited {
+		c.inited = true
+		c.cur = 0
+		c.apply(m, c.configs[c.cur])
+		c.lastCommitted = beCommitted(m)
+		return
+	}
+	// Score the epoch that just ran under configs[c.cur].
+	slack := qosSlack(m, c.Targets, c.Window)
+	committed := beCommitted(m)
+	var tput float64
+	if committed >= c.lastCommitted {
+		tput = float64(committed - c.lastCommitted)
+	} // else: stats were reset between epochs — score this epoch as zero
+	c.lastCommitted = committed
+	c.epochSeen++
+
+	cfg := &c.configs[c.cur]
+	cfg.tried = true
+	cfg.feasible = slack >= 0
+	if cfg.feasible && c.betterThanBest(c.cur, tput) {
+		c.bestScore = tput
+		c.bestIdx = c.cur
+	}
+	if !cfg.feasible {
+		// Monotonicity prune: in the same ways-row, every less-throttled
+		// level is also infeasible.
+		for i := c.cur + 1; i < len(c.configs) && c.configs[i].beWays == cfg.beWays; i++ {
+			c.configs[i].tried = true
+		}
+	}
+
+	// Exploration: first untried config (rows run protective→permissive).
+	next := -1
+	for i := c.probe; i < len(c.configs); i++ {
+		if !c.configs[i].tried {
+			next = i
+			break
+		}
+	}
+	switch {
+	case next >= 0:
+		c.probe = next
+		c.cur = next
+	case c.bestIdx >= 0:
+		// Exploit the incumbent; periodically revalidate its more
+		// permissive neighbour to track drift.
+		if c.epochSeen%8 == 0 && c.bestIdx+1 < len(c.configs) &&
+			c.configs[c.bestIdx+1].beWays == c.configs[c.bestIdx].beWays {
+			c.cur = c.bestIdx + 1
+		} else {
+			c.cur = c.bestIdx
+		}
+	default:
+		c.cur = 0 // nothing feasible: stay maximally protective
+	}
+	c.apply(m, c.configs[c.cur])
+}
+
+// betterThanBest prefers higher throughput, breaking ties toward the more
+// permissive configuration (later index).
+func (c *CLITE) betterThanBest(idx int, tput float64) bool {
+	if tput > c.bestScore {
+		return true
+	}
+	return tput == c.bestScore && idx > c.bestIdx
+}
+
+func (c *CLITE) apply(m *machine.Machine, cfg cliteConfig) {
+	mask := uint64(1)<<uint(cfg.beWays) - 1
+	for _, part := range bePartIDs(m) {
+		m.MBA().SetLevel(part, cfg.mbaLevel)
+		m.LLC().SetWayMask(part, mask)
+	}
+}
+
+// Current reports the operating configuration (for tests).
+func (c *CLITE) Current() (mbaLevel, beWays int) {
+	cfg := c.configs[c.cur]
+	return cfg.mbaLevel, cfg.beWays
+}
+
+func beCommitted(m *machine.Machine) uint64 {
+	var sum uint64
+	for i, t := range m.Tasks() {
+		if t.Kind == machine.TaskBE {
+			sum += m.Cores[i].Stats.Committed
+		}
+	}
+	return sum
+}

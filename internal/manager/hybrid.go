@@ -1,0 +1,75 @@
+package manager
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/sim"
+)
+
+// Hybrid implements the trade-off the paper's §VII names as future work:
+// PIVOT's weak isolation protects the *tail* but can slightly raise the
+// *average* latency of LC tasks in some co-locations, while MBA-style strong
+// isolation protects the average at the cost of utilisation. Hybrid runs on
+// top of a PIVOT machine and regulates MBA throttling of the BE partitions
+// from the LC tasks' recent *average* latency: when the average exceeds its
+// target, strong isolation is dialled in; when there is comfortable slack,
+// it is dialled back out so PIVOT's bandwidth harvesting resumes.
+type Hybrid struct {
+	// AvgTargets are per-LC-task mean-latency targets in cycles.
+	AvgTargets []float64
+	// Window is the number of recent requests sampled per decision.
+	Window int
+	// ReleaseSlack is the mean-latency slack fraction above which the
+	// controller hands a throttle step back (hysteresis against the engage
+	// condition, which is slack < 0).
+	ReleaseSlack float64
+
+	mbaLevel int
+	inited   bool
+}
+
+// NewHybrid builds the controller for the given per-LC average targets.
+func NewHybrid(avgTargets []float64) *Hybrid {
+	return &Hybrid{AvgTargets: avgTargets, Window: 64, ReleaseSlack: 0.2}
+}
+
+// Name implements Manager.
+func (h *Hybrid) Name() string { return "PIVOT+Hybrid" }
+
+// Decide implements Manager.
+func (h *Hybrid) Decide(m *machine.Machine, now sim.Cycle) {
+	if !h.inited {
+		h.mbaLevel = 100 // PIVOT alone, until the average says otherwise
+		h.inited = true
+	}
+	worst := 1.0 // most-pressured LC task's avg/target ratio inverse slack
+	for i, lc := range m.LCTasks() {
+		if i >= len(h.AvgTargets) || h.AvgTargets[i] <= 0 {
+			continue
+		}
+		avg := lc.Source.RecentMean(h.Window)
+		if avg == 0 {
+			continue
+		}
+		s := (h.AvgTargets[i] - avg) / h.AvgTargets[i]
+		if s < worst {
+			worst = s
+		}
+	}
+	switch {
+	case worst < 0 && h.mbaLevel > 5:
+		// Average latency above target: engage strong isolation a step.
+		h.mbaLevel = stepDown(h.mbaLevel)
+	case worst > h.ReleaseSlack && h.mbaLevel < 100:
+		// Comfortable slack: hand bandwidth back to the BE tasks.
+		h.mbaLevel += 10
+		if h.mbaLevel > 100 {
+			h.mbaLevel = 100
+		}
+	}
+	for _, part := range bePartIDs(m) {
+		m.MBA().SetLevel(part, h.mbaLevel)
+	}
+}
+
+// Level reports the current strong-isolation throttle (100 = PIVOT alone).
+func (h *Hybrid) Level() int { return h.mbaLevel }

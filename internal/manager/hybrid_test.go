@@ -1,0 +1,68 @@
+package manager
+
+import (
+	"testing"
+
+	"pivot/internal/machine"
+	"pivot/internal/workload"
+)
+
+func buildPIVOTMachine(t *testing.T, nBE int) *machine.Machine {
+	t.Helper()
+	lc := workload.LCApps()[workload.Masstree]
+	be := workload.BEApps()[workload.IBench]
+	tasks := []machine.TaskSpec{{Kind: machine.TaskLC, LC: lc, MeanInterarrival: testMeanIA, Seed: 1}}
+	for i := 0; i < nBE; i++ {
+		tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: uint64(10 + i)})
+	}
+	return machine.MustNew(machine.KunpengConfig(8), machine.Options{Policy: machine.PolicyPIVOT}, tasks)
+}
+
+func TestHybridStaysOpenWithSlack(t *testing.T) {
+	// A generous mean target: hybrid must converge to (or stay at) level 100
+	// and let PIVOT alone do the work.
+	m := buildPIVOTMachine(t, 7)
+	h := NewHybrid([]float64{1 << 20})
+	Run(h, m, 300_000, 300_000, 25_000)
+	if h.Level() < 90 {
+		t.Fatalf("hybrid throttled to %d despite huge mean slack", h.Level())
+	}
+}
+
+func TestHybridEngagesUnderMeanPressure(t *testing.T) {
+	// An impossible mean target: hybrid must dial strong isolation in.
+	m := buildPIVOTMachine(t, 7)
+	h := NewHybrid([]float64{1})
+	Run(h, m, 300_000, 200_000, 25_000)
+	if h.Level() >= 100 {
+		t.Fatal("hybrid never engaged strong isolation under mean pressure")
+	}
+}
+
+func TestHybridImprovesMeanOverPIVOTAlone(t *testing.T) {
+	// Measure PIVOT alone first.
+	base := buildPIVOTMachine(t, 7)
+	base.Run(300_000, 300_000)
+	baseMean := base.LCTasks()[0].Source.RecentMean(0)
+	if baseMean == 0 {
+		t.Fatal("setup: no baseline mean")
+	}
+
+	// Target below what PIVOT alone achieves: hybrid throttles BE and the
+	// mean must drop (strong isolation improves the average, §VII).
+	m := buildPIVOTMachine(t, 7)
+	h := NewHybrid([]float64{baseMean * 0.8})
+	Run(h, m, 300_000, 300_000, 25_000)
+	got := m.LCTasks()[0].Source.RecentMean(0)
+	t.Logf("mean: pivot-alone=%.0f hybrid=%.0f (target %.0f, level %d)",
+		baseMean, got, baseMean*0.8, h.Level())
+	if got >= baseMean {
+		t.Fatalf("hybrid mean %.0f did not improve on PIVOT alone %.0f", got, baseMean)
+	}
+}
+
+func TestHybridName(t *testing.T) {
+	if NewHybrid(nil).Name() != "PIVOT+Hybrid" {
+		t.Fatal("unexpected manager name")
+	}
+}

@@ -1,0 +1,73 @@
+// Package manager reimplements the software resource managers the paper
+// compares against (§VI-A): PARTIES (Chen et al., ASPLOS'19) and CLITE
+// (Patel & Tiwari, HPCA'20). Both actuate the thread-centric hardware knobs
+// available on commodity servers — Intel CAT cache ways and MBA throttle
+// levels — from online tail-latency measurements, and both are reimplemented
+// at the fidelity the comparison needs: the decision policies follow the
+// published algorithms, the modelling of knobs is shared with the rest of
+// the simulator.
+package manager
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// Manager adjusts a machine's partitioning knobs between epochs.
+type Manager interface {
+	// Name identifies the manager in experiment tables.
+	Name() string
+	// Decide inspects the machine after one epoch and adjusts knobs.
+	Decide(m *machine.Machine, now sim.Cycle)
+}
+
+// Run drives a machine under a manager: warm up, then alternate epoch-long
+// simulation and manager decisions over the measured region.
+func Run(mgr Manager, m *machine.Machine, warmup, measure, epoch sim.Cycle) {
+	if epoch == 0 {
+		epoch = 50_000
+	}
+	// Managers adapt during warm-up too (they are always-on daemons).
+	for t := sim.Cycle(0); t < warmup; t += epoch {
+		m.Engine.Step(epoch)
+		mgr.Decide(m, m.Engine.Now())
+	}
+	m.ResetStats()
+	for t := sim.Cycle(0); t < measure; t += epoch {
+		m.Engine.Step(epoch)
+		mgr.Decide(m, m.Engine.Now())
+	}
+	m.MarkMeasured(measure)
+}
+
+// bePartIDs returns the PartIDs of the machine's BE tasks.
+func bePartIDs(m *machine.Machine) []mem.PartID {
+	var out []mem.PartID
+	for i, t := range m.Tasks() {
+		if t.Kind == machine.TaskBE {
+			out = append(out, mem.PartID(i))
+		}
+	}
+	return out
+}
+
+// qosSlack returns the smallest slack across LC tasks: (target-p95)/target.
+// Negative slack means a QoS violation. The window is the manager's sample.
+func qosSlack(m *machine.Machine, targets []uint32, window int) float64 {
+	worst := 1.0
+	for i, lc := range m.LCTasks() {
+		if i >= len(targets) || targets[i] == 0 {
+			continue
+		}
+		p95 := lc.Source.RecentP95(window)
+		if p95 == 0 {
+			continue // no completions yet: treat as unknown, not violating
+		}
+		s := (float64(targets[i]) - float64(p95)) / float64(targets[i])
+		if s < worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,115 @@
+package manager
+
+import (
+	"testing"
+
+	"pivot/internal/machine"
+	"pivot/internal/workload"
+)
+
+// testMeanIA puts Masstree at a moderate load where thread-centric throttling
+// can still protect QoS (at high loads only instruction-centric priority can
+// — which is the paper's thesis, tested elsewhere).
+const testMeanIA = 9000
+
+func buildMachine(t *testing.T, nBE int) *machine.Machine {
+	t.Helper()
+	lc := workload.LCApps()[workload.Masstree]
+	be := workload.BEApps()[workload.IBench]
+	tasks := []machine.TaskSpec{{Kind: machine.TaskLC, LC: lc, MeanInterarrival: testMeanIA, Seed: 1}}
+	for i := 0; i < nBE; i++ {
+		tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: uint64(10 + i)})
+	}
+	return machine.MustNew(machine.KunpengConfig(8), machine.Options{Policy: machine.PolicyManaged}, tasks)
+}
+
+// aloneP95 measures the run-alone tail used to derive a QoS target.
+func aloneP95(t *testing.T) uint32 {
+	t.Helper()
+	lc := workload.LCApps()[workload.Masstree]
+	m := machine.MustNew(machine.KunpengConfig(8), machine.Options{Policy: machine.PolicyDefault},
+		[]machine.TaskSpec{{Kind: machine.TaskLC, LC: lc, MeanInterarrival: testMeanIA, Seed: 1}})
+	m.Run(100_000, 200_000)
+	return m.LCp95(0)
+}
+
+func TestPARTIESThrottlesUnderViolation(t *testing.T) {
+	target := aloneP95(t) * 2
+	m := buildMachine(t, 7)
+	mgr := NewPARTIES([]uint32{target})
+	Run(mgr, m, 300_000, 400_000, 25_000)
+
+	lvl, ways := mgr.Levels()
+	if lvl == 100 && ways == m.Cfg.BEWays {
+		t.Fatal("PARTIES never took resources from BE despite contention")
+	}
+	p95 := m.LCp95(0)
+
+	// Reference: the same co-location with no manager at all.
+	ref := buildMachine(t, 7)
+	for _, part := range bePartIDs(ref) {
+		ref.MBA().SetLevel(part, 100)
+	}
+	ref.Run(300_000, 400_000)
+	refP95 := ref.LCp95(0)
+
+	t.Logf("PARTIES: level=%d ways=%d p95=%d target=%d unmanaged=%d", lvl, ways, p95, target, refP95)
+	if p95*2 >= refP95 {
+		t.Fatalf("PARTIES p95 %d not meaningfully below unmanaged %d", p95, refP95)
+	}
+}
+
+func TestPARTIESGivesBackWhenIdle(t *testing.T) {
+	// No BE contention and a generous target: PARTIES must not throttle.
+	target := aloneP95(t) * 10
+	m := buildMachine(t, 0)
+	mgr := NewPARTIES([]uint32{target})
+	Run(mgr, m, 200_000, 200_000, 25_000)
+	lvl, _ := mgr.Levels()
+	if lvl < 90 {
+		t.Fatalf("PARTIES throttled (level %d) with no violation", lvl)
+	}
+}
+
+func TestCLITEFindsFeasibleConfig(t *testing.T) {
+	target := aloneP95(t) * 2
+	m := buildMachine(t, 7)
+	mgr := NewCLITE([]uint32{target})
+	Run(mgr, m, 400_000, 400_000, 25_000)
+
+	lvl, ways := mgr.Current()
+	p95 := m.LCp95(0)
+	t.Logf("CLITE: level=%d ways=%d p95=%d target=%d", lvl, ways, p95, target)
+	if lvl == 100 && p95 > target*2 {
+		t.Fatal("CLITE stayed at the unthrottled config despite violations")
+	}
+}
+
+func TestCLITEPrefersThroughputWhenFeasible(t *testing.T) {
+	// Without BE tasks every config is feasible; CLITE should settle on (or
+	// revalidate near) the most permissive ones rather than max throttle.
+	target := aloneP95(t) * 10
+	m := buildMachine(t, 0)
+	mgr := NewCLITE([]uint32{target})
+	Run(mgr, m, 300_000, 300_000, 25_000)
+	lvl, _ := mgr.Current()
+	if lvl <= 10 {
+		t.Fatalf("CLITE exploited level %d with zero contention", lvl)
+	}
+}
+
+func TestQoSSlack(t *testing.T) {
+	m := buildMachine(t, 0)
+	m.Run(100_000, 200_000)
+	// Unknown target contributes nothing.
+	if s := qosSlack(m, []uint32{0}, 32); s != 1.0 {
+		t.Fatalf("slack with zero target = %v, want 1.0", s)
+	}
+	p95 := m.LCp95(0)
+	if s := qosSlack(m, []uint32{p95 * 2}, 0); s <= 0 {
+		t.Fatalf("slack with generous target = %v, want positive", s)
+	}
+	if s := qosSlack(m, []uint32{p95 / 2}, 0); s >= 0 {
+		t.Fatalf("slack with impossible target = %v, want negative", s)
+	}
+}

@@ -1,0 +1,96 @@
+package manager
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/sim"
+)
+
+// PARTIES is the incremental, one-resource-at-a-time controller of Chen et
+// al.: each epoch it samples every LC task's tail latency; on a (near-)
+// violation it takes one step of one resource away from the BE partition
+// (more MBA throttling, then fewer cache ways), and when all LC tasks have
+// comfortable slack it returns one step so BE throughput recovers. The
+// upshot — faithful to the original — is a controller that oscillates around
+// the QoS boundary and pays for protection with throttled bandwidth.
+type PARTIES struct {
+	// Targets are the per-LC-task QoS targets in cycles (knee-derived).
+	Targets []uint32
+	// Window is the number of recent requests sampled per decision.
+	Window int
+	// UpSlack is the slack above which resources are returned to BE.
+	UpSlack float64
+	// DownSlack is the slack below which resources are taken from BE.
+	DownSlack float64
+
+	mbaLevel int // current BE throttle level (percent)
+	beWays   int // current BE way count
+	inited   bool
+
+	// which resource to adjust next (PARTIES rotates through resources).
+	rotate int
+}
+
+// NewPARTIES builds a controller with the defaults used in the evaluation.
+func NewPARTIES(targets []uint32) *PARTIES {
+	return &PARTIES{Targets: targets, Window: 64, UpSlack: 0.30, DownSlack: 0.10}
+}
+
+// Name implements Manager.
+func (p *PARTIES) Name() string { return "PARTIES" }
+
+// Decide implements Manager.
+func (p *PARTIES) Decide(m *machine.Machine, now sim.Cycle) {
+	if !p.inited {
+		// Start from the LC-protecting side and hand resources back as
+		// slack appears: starting permissive would let the open-loop LC
+		// backlog explode before the first downward steps bite.
+		p.mbaLevel = 10
+		p.beWays = 1
+		p.inited = true
+		p.apply(m)
+		return
+	}
+	slack := qosSlack(m, p.Targets, p.Window)
+	switch {
+	case slack < p.DownSlack:
+		// Violated or close: take a resource step from BE.
+		if p.rotate%2 == 0 && p.mbaLevel > 5 {
+			p.mbaLevel = stepDown(p.mbaLevel)
+		} else if p.beWays > 1 {
+			p.beWays--
+		} else if p.mbaLevel > 5 {
+			p.mbaLevel = stepDown(p.mbaLevel)
+		}
+		p.rotate++
+	case slack > p.UpSlack:
+		// Comfortable: give a step back to BE.
+		if p.rotate%2 == 0 && p.mbaLevel < 100 {
+			p.mbaLevel += 10
+		} else if p.beWays < m.Cfg.BEWays {
+			p.beWays++
+		} else if p.mbaLevel < 100 {
+			p.mbaLevel += 10
+		}
+		p.rotate++
+	}
+	p.apply(m)
+}
+
+func (p *PARTIES) apply(m *machine.Machine) {
+	mask := uint64(1)<<uint(p.beWays) - 1
+	for _, part := range bePartIDs(m) {
+		m.MBA().SetLevel(part, p.mbaLevel)
+		m.LLC().SetWayMask(part, mask)
+	}
+}
+
+// Levels reports the controller's current operating point (for tests).
+func (p *PARTIES) Levels() (mbaLevel, beWays int) { return p.mbaLevel, p.beWays }
+
+// stepDown walks the MBA ladder one notch toward full throttle.
+func stepDown(lvl int) int {
+	if lvl > 10 {
+		return lvl - 10
+	}
+	return 5
+}

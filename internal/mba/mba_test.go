@@ -1,0 +1,87 @@
+package mba
+
+import (
+	"testing"
+
+	"pivot/internal/interconnect"
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+type sink struct{ n int }
+
+func (s *sink) Accept(r *mem.Req, now sim.Cycle) bool {
+	s.n++
+	return true
+}
+
+var _ interconnect.Acceptor = (*Throttle)(nil)
+
+func TestUnthrottledPassThrough(t *testing.T) {
+	dn := &sink{}
+	th := New(dn, 8)
+	for i := 0; i < 10; i++ {
+		if !th.Accept(&mem.Req{Part: 1}, sim.Cycle(i)) {
+			t.Fatal("unthrottled accept failed")
+		}
+	}
+	if dn.n != 10 {
+		t.Fatalf("forwarded %d, want 10", dn.n)
+	}
+}
+
+func TestThrottledRate(t *testing.T) {
+	dn := &sink{}
+	th := New(dn, 8)
+	th.SetLevel(1, 50) // 50%: one request per 16 cycles
+	accepted := 0
+	for now := sim.Cycle(0); now < 160; now++ {
+		if th.Accept(&mem.Req{Part: 1}, now) {
+			accepted++
+		}
+	}
+	if accepted != 10 {
+		t.Fatalf("accepted %d in 160 cycles at 50%%, want 10 (1 per 16)", accepted)
+	}
+	if th.Delayed == 0 {
+		t.Fatal("throttle delayed nothing")
+	}
+}
+
+func TestPerPartIsolation(t *testing.T) {
+	dn := &sink{}
+	th := New(dn, 8)
+	th.SetLevel(1, 10)
+	// Part 2 is unthrottled and must not be slowed by part 1's gap.
+	for now := sim.Cycle(0); now < 10; now++ {
+		th.Accept(&mem.Req{Part: 1}, now)
+		if !th.Accept(&mem.Req{Part: 2}, now) {
+			t.Fatal("unthrottled part delayed by a foreign gap")
+		}
+	}
+}
+
+func TestLevelClamping(t *testing.T) {
+	th := New(&sink{}, 8)
+	th.SetLevel(1, 0)
+	if got := th.Level(1); got != 2 {
+		t.Fatalf("level clamped to %d, want 2", got)
+	}
+	th.SetLevel(1, 150)
+	if got := th.Level(1); got != 100 {
+		t.Fatalf("level clamped to %d, want 100", got)
+	}
+	if got := th.Level(200); got != 100 {
+		t.Fatalf("out-of-range part level = %d, want 100", got)
+	}
+}
+
+func TestGapScalesWithLevel(t *testing.T) {
+	th := New(&sink{}, 8)
+	if g10, g50 := th.gap(10), th.gap(50); g10 <= g50 {
+		t.Fatalf("gap(10)=%d should exceed gap(50)=%d", g10, g50)
+	}
+	if th.gap(100) != 0 {
+		t.Fatal("level 100 must be gapless")
+	}
+}

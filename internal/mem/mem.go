@@ -1,0 +1,140 @@
+// Package mem defines the memory-request type exchanged between the CPU
+// cores and the shared memory-system components (MSCs), together with the
+// bookkeeping PIVOT needs: the per-request critical bit, the PARTID used by
+// MPAM-style bandwidth control, and a per-component latency breakdown used by
+// the Figure 5 experiment (where does a critical load spend its cycles?).
+package mem
+
+import "pivot/internal/sim"
+
+// PartID identifies a software partition for resource control. Following the
+// paper's methodology (§V-A), PARTIDs are assigned per CPU so each core has a
+// unique PARTID and each CPU executes a single thread.
+type PartID uint8
+
+// Component enumerates the stages on the memory path where a request can
+// spend time. The four shared memory-system components (MSCs) from Figure 4
+// are Interconnect, Bus, BWCtrl and MemCtrl; the others exist so the latency
+// split accounts for every cycle of a request's life.
+type Component int
+
+// Memory-path components, in path order.
+const (
+	CompL1 Component = iota
+	CompL2
+	CompInterconnect // MSC 1: L2 <-> LLC interconnect
+	CompLLC
+	CompBus     // MSC 2: coherent memory bus
+	CompBWCtrl  // MSC 3: memory bandwidth controller (MPAM lives here)
+	CompMemCtrl // MSC 4: memory controller queue
+	CompDRAM    // DRAM bank service + data transfer
+	CompResp    // response network back to the core
+	NumComponents
+)
+
+// String returns a short human-readable component name.
+func (c Component) String() string {
+	switch c {
+	case CompL1:
+		return "L1"
+	case CompL2:
+		return "L2"
+	case CompInterconnect:
+		return "Interconnect"
+	case CompLLC:
+		return "LLC"
+	case CompBus:
+		return "Bus"
+	case CompBWCtrl:
+		return "BWCtrl"
+	case CompMemCtrl:
+		return "MemCtrl"
+	case CompDRAM:
+		return "DRAM"
+	case CompResp:
+		return "Response"
+	default:
+		return "?"
+	}
+}
+
+// MSCs lists the four shared memory-system components, in path order, that
+// enforce (or fail to enforce) access priority in the paper's experiments.
+var MSCs = [4]Component{CompInterconnect, CompBus, CompBWCtrl, CompMemCtrl}
+
+// Req is one cache-line-granularity memory access travelling down the memory
+// path. A Req is created on an L1 miss and freed (recycled by the machine)
+// when its response reaches the core.
+type Req struct {
+	Addr    uint64 // line-aligned physical address
+	PC      uint64 // static address of the load/store that caused it
+	CoreID  int
+	Part    PartID
+	IsWrite bool
+
+	// Critical is PIVOT's per-request critical bit (§IV-C): set when the
+	// issuing load was flagged by the RRBP as an actual performance-critical
+	// load. FullPath mode sets it for every LC request.
+	Critical bool
+
+	// LCTask marks requests issued by latency-critical tasks; used by
+	// MPAM-style per-thread priority and by statistics.
+	LCTask bool
+
+	Issued sim.Cycle // cycle the request left the L1/MSHR
+
+	// enteredAt tracks when the request entered its current component, and
+	// Split accumulates cycles spent per component for Fig 5.
+	enteredAt sim.Cycle
+	Split     [NumComponents]uint32
+
+	// Done is invoked exactly once when the response arrives back at the
+	// core side (MSHR fill). It must not be nil for demand requests.
+	Done func(r *Req, now sim.Cycle)
+
+	// LLCMiss records whether the request missed in the LLC, needed by the
+	// offline profiler (per-PC LLC miss rate) and the online statistics.
+	LLCMiss bool
+
+	// LLCChecked avoids re-probing the LLC when a blocked miss is retried
+	// against a full downstream queue.
+	LLCChecked bool
+
+	// Prefetch marks requests issued by a hardware prefetcher rather than a
+	// demand access; they fill caches but wake no instruction.
+	Prefetch bool
+}
+
+// Enter stamps the request as having entered component c at cycle now,
+// closing out the time spent in the previous component.
+func (r *Req) Enter(c Component, now sim.Cycle) {
+	r.enteredAt = now
+	_ = c
+}
+
+// Leave accumulates the cycles spent in component c since the matching Enter.
+func (r *Req) Leave(c Component, now sim.Cycle) {
+	if now >= r.enteredAt {
+		r.Split[c] += uint32(now - r.enteredAt)
+	}
+}
+
+// AddSplit directly charges n cycles to component c, for fixed-latency hops
+// that are not modelled with Enter/Leave pairs.
+func (r *Req) AddSplit(c Component, n sim.Cycle) {
+	r.Split[c] += uint32(n)
+}
+
+// TotalCycles sums the recorded per-component cycles.
+func (r *Req) TotalCycles() uint64 {
+	var t uint64
+	for _, v := range r.Split {
+		t += uint64(v)
+	}
+	return t
+}
+
+// Reset clears a request for reuse from a free pool.
+func (r *Req) Reset() {
+	*r = Req{}
+}

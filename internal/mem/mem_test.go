@@ -1,0 +1,53 @@
+package mem
+
+import "testing"
+
+func TestSplitAccounting(t *testing.T) {
+	r := &Req{}
+	r.Enter(CompBus, 100)
+	r.Leave(CompBus, 130)
+	if r.Split[CompBus] != 30 {
+		t.Fatalf("bus split = %d, want 30", r.Split[CompBus])
+	}
+	r.AddSplit(CompDRAM, 50)
+	if r.TotalCycles() != 80 {
+		t.Fatalf("total = %d, want 80", r.TotalCycles())
+	}
+	// Leave before Enter must not underflow.
+	r2 := &Req{}
+	r2.Enter(CompLLC, 100)
+	r2.Leave(CompLLC, 90)
+	if r2.Split[CompLLC] != 0 {
+		t.Fatal("negative interval accounted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := &Req{Addr: 1, Critical: true, LCTask: true}
+	r.AddSplit(CompDRAM, 9)
+	r.Reset()
+	if r.Addr != 0 || r.Critical || r.LCTask || r.TotalCycles() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := CompL1; c < NumComponents; c++ {
+		s := c.String()
+		if s == "?" || seen[s] {
+			t.Fatalf("component %d has bad or duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if Component(99).String() != "?" {
+		t.Fatal("out-of-range component should stringify to ?")
+	}
+}
+
+func TestMSCsAreOnPath(t *testing.T) {
+	want := [4]Component{CompInterconnect, CompBus, CompBWCtrl, CompMemCtrl}
+	if MSCs != want {
+		t.Fatalf("MSCs = %v, want the paper's four shared components", MSCs)
+	}
+}

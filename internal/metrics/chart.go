@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkRunes are the eight block heights of a terminal sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode chart, scaled to the
+// min..max of the series. Empty input renders as an empty string.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Histogram renders a latency histogram as rows of "bucket | bar count",
+// with nbuckets equal-width buckets over the sample range. It is the
+// text-mode stand-in for the paper's latency-distribution plots.
+func Histogram(samples []uint32, nbuckets, barWidth int) string {
+	if len(samples) == 0 || nbuckets <= 0 {
+		return "(no samples)\n"
+	}
+	lo, hi := samples[0], samples[0]
+	for _, v := range samples[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, nbuckets)
+	width := (uint64(hi-lo) + uint64(nbuckets)) / uint64(nbuckets)
+	for _, v := range samples {
+		idx := int(uint64(v-lo) / width)
+		if idx >= nbuckets {
+			idx = nbuckets - 1
+		}
+		counts[idx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lowEdge := uint64(lo) + uint64(i)*width
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%10d | %-*s %d\n", lowEdge, barWidth, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	samples := []uint32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want uint32
+	}{
+		{50, 50}, {95, 100}, {100, 100}, {10, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.p); got != c.want {
+			t.Errorf("P%.0f = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 95) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	shuffled := []uint32{5, 1, 3}
+	P95(shuffled)
+	if shuffled[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(samples []uint32, pRaw uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		p := 1 + float64(pRaw%100)
+		v := Percentile(samples, p)
+		// The result must be an element of the sample set.
+		for _, s := range samples {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		return Percentile(samples, 50) <= Percentile(samples, 95) &&
+			Percentile(samples, 95) <= Percentile(samples, 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]uint32{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v, want 2", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestEMU(t *testing.T) {
+	tasks := []TaskShare{
+		{Name: "lc", Load: 0.7, MeetsQoS: true, IsLC: true},
+		{Name: "be", Load: 0.6},
+	}
+	if got := EMU(tasks); got < 129.999 || got > 130.001 {
+		t.Fatalf("EMU = %v, want ~130", got)
+	}
+	tasks[0].MeetsQoS = false
+	if got := EMU(tasks); got != 0 {
+		t.Fatalf("EMU with violated LC = %v, want 0", got)
+	}
+	// BE-only co-locations always count.
+	if got := EMU([]TaskShare{{Load: 0.5}, {Load: 0.5}}); got != 100 {
+		t.Fatalf("BE-only EMU = %v, want 100", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tb.AddRow("x", "y")
+	tb.AddRowf("longcell", 1.23456)
+	out := tb.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line at least as wide as the widest cell.
+	if len(lines[3]) < len("longcell") {
+		t.Fatal("column width not expanded")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	runes := []rune(s)
+	if len(runes) != 4 {
+		t.Fatalf("sparkline length %d, want 4", len(runes))
+	}
+	if runes[0] >= runes[3] {
+		t.Fatal("ascending series must render ascending blocks")
+	}
+	// A flat series renders a flat line without panicking on span 0.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Fatal("flat series not flat")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if got := Histogram(nil, 4, 10); !strings.Contains(got, "no samples") {
+		t.Fatalf("empty histogram = %q", got)
+	}
+	out := Histogram([]uint32{1, 1, 1, 1, 100, 100, 200}, 4, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("histogram rows = %d, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], "####") {
+		t.Fatalf("densest bucket has no bar: %q", lines[0])
+	}
+	// Identical samples must not divide by zero.
+	_ = Histogram([]uint32{7, 7, 7}, 3, 10)
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("plain", `needs "quoting", really`)
+	got := tb.CSV()
+	want := "a,b\nplain,\"needs \"\"quoting\"\", really\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,140 @@
+// Package prefetch implements a per-core stride/stream prefetcher of the
+// kind every server core in the paper's evaluation ships with. The simulator
+// keeps it optional (Options.Prefetch): the headline experiments fold
+// prefetch concurrency into the effective L1 miss buffers (DESIGN.md §6.1),
+// and the prefetcher ablation quantifies what explicit prefetching changes.
+//
+// The design is a classic zone-based stride detector: misses are grouped
+// into 4 KiB zones; two consecutive misses with the same stride train the
+// zone; a trained zone prefetches `Degree` further lines along the stride
+// ahead of the miss address.
+package prefetch
+
+// Config sets the prefetcher geometry.
+type Config struct {
+	// Zones is the number of concurrently tracked 4 KiB regions.
+	Zones int
+	// Degree is how many lines are prefetched per trained miss.
+	Degree int
+	// LineBytes is the cache-line size (shared with the memory system).
+	LineBytes int
+}
+
+// DefaultConfig returns a 16-zone, degree-4 next-line/stride prefetcher.
+func DefaultConfig() Config {
+	return Config{Zones: 16, Degree: 4, LineBytes: 64}
+}
+
+type zone struct {
+	tag      uint64 // zone address (addr >> zoneShift)
+	lastLine uint64
+	stride   int64
+	trained  bool
+	valid    bool
+	lru      uint64
+}
+
+// Prefetcher tracks per-zone miss strides. Not safe for concurrent use.
+type Prefetcher struct {
+	cfg       Config
+	zones     []zone
+	stamp     uint64
+	zoneShift uint
+
+	// Stats.
+	Trains   uint64
+	Issued   uint64
+	Misfires uint64 // stride changes that reset training
+}
+
+// New builds a prefetcher.
+func New(cfg Config) *Prefetcher {
+	if cfg.Zones <= 0 {
+		cfg.Zones = 16
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	p := &Prefetcher{cfg: cfg, zones: make([]zone, cfg.Zones)}
+	p.zoneShift = 12 // 4 KiB zones
+	return p
+}
+
+// Config returns the prefetcher configuration.
+func (p *Prefetcher) Config() Config { return p.cfg }
+
+func (p *Prefetcher) lookup(tag uint64) *zone {
+	var victim *zone
+	var victimLRU uint64 = ^uint64(0)
+	for i := range p.zones {
+		z := &p.zones[i]
+		if z.valid && z.tag == tag {
+			return z
+		}
+		if !z.valid {
+			victimLRU = 0
+			victim = z
+		} else if z.lru < victimLRU {
+			victimLRU = z.lru
+			victim = z
+		}
+	}
+	*victim = zone{tag: tag, valid: true}
+	return victim
+}
+
+// OnMiss observes a demand-miss line address and returns the line addresses
+// to prefetch (possibly none). Addresses are line-aligned and stay within
+// the missing access's zone neighbourhood.
+func (p *Prefetcher) OnMiss(lineAddr uint64) []uint64 {
+	p.stamp++
+	line := lineAddr / uint64(p.cfg.LineBytes)
+	tag := lineAddr >> p.zoneShift
+	z := p.lookup(tag)
+	defer func() { z.lru = p.stamp; z.lastLine = line }()
+
+	if z.lastLine == 0 && !z.trained {
+		return nil // first touch: nothing to learn from yet
+	}
+	stride := int64(line) - int64(z.lastLine)
+	if stride == 0 {
+		return nil
+	}
+	if !z.trained {
+		if z.stride == stride {
+			z.trained = true
+			p.Trains++
+		} else {
+			z.stride = stride
+			return nil
+		}
+	} else if z.stride != stride {
+		// Pattern broke: retrain on the new stride.
+		z.trained = false
+		z.stride = stride
+		p.Misfires++
+		return nil
+	}
+
+	out := make([]uint64, 0, p.cfg.Degree)
+	next := int64(line)
+	for i := 0; i < p.cfg.Degree; i++ {
+		next += z.stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, uint64(next)*uint64(p.cfg.LineBytes))
+	}
+	p.Issued += uint64(len(out))
+	return out
+}
+
+// Reset clears all training state (between workload phases in tests).
+func (p *Prefetcher) Reset() {
+	for i := range p.zones {
+		p.zones[i] = zone{}
+	}
+}

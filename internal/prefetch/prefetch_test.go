@@ -1,0 +1,126 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialStreamTrainsAndPrefetches(t *testing.T) {
+	p := New(DefaultConfig())
+	base := uint64(0x10000)
+	if got := p.OnMiss(base); got != nil {
+		t.Fatal("first miss should not prefetch")
+	}
+	if got := p.OnMiss(base + 64); got != nil {
+		t.Fatal("second miss records the stride but is not yet trained")
+	}
+	got := p.OnMiss(base + 128)
+	if len(got) != 4 {
+		t.Fatalf("trained stream issued %d prefetches, want degree 4", len(got))
+	}
+	for i, a := range got {
+		want := base + 128 + uint64(i+1)*64
+		if a != want {
+			t.Fatalf("prefetch %d = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(DefaultConfig())
+	base := uint64(0x20000)
+	p.OnMiss(base + 512)
+	p.OnMiss(base + 448)
+	got := p.OnMiss(base + 384)
+	if len(got) == 0 {
+		t.Fatal("descending stream not trained")
+	}
+	if got[0] != base+320 {
+		t.Fatalf("first prefetch = %#x, want %#x", got[0], base+320)
+	}
+}
+
+func TestStrideChangeRetrains(t *testing.T) {
+	p := New(DefaultConfig())
+	base := uint64(0x30000)
+	p.OnMiss(base)
+	p.OnMiss(base + 64)
+	p.OnMiss(base + 128) // trained at +1 line
+	if got := p.OnMiss(base + 640); got != nil {
+		t.Fatal("stride break must suppress prefetching")
+	}
+	if p.Misfires != 1 {
+		t.Fatalf("misfires = %d, want 1", p.Misfires)
+	}
+}
+
+func TestRandomAccessesStayQuiet(t *testing.T) {
+	p := New(DefaultConfig())
+	// Pseudo-random lines in one zone: no consistent stride, few prefetches.
+	addrs := []uint64{0x40000, 0x40380, 0x40040, 0x40600, 0x40180, 0x40500}
+	issued := 0
+	for _, a := range addrs {
+		issued += len(p.OnMiss(a))
+	}
+	if issued > 0 {
+		t.Fatalf("random pattern issued %d prefetches", issued)
+	}
+}
+
+func TestZoneIsolation(t *testing.T) {
+	p := New(DefaultConfig())
+	// Interleave two sequential streams in different zones: both must train.
+	a, b := uint64(0x100000), uint64(0x900000)
+	var gotA, gotB int
+	for i := uint64(0); i < 4; i++ {
+		gotA += len(p.OnMiss(a + i*64))
+		gotB += len(p.OnMiss(b + i*64))
+	}
+	if gotA == 0 || gotB == 0 {
+		t.Fatalf("interleaved streams not both trained: a=%d b=%d", gotA, gotB)
+	}
+}
+
+func TestZoneEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Zones = 2
+	p := New(cfg)
+	// Touch 3 zones; the first should be evicted and forget its training.
+	p.OnMiss(0x1000_0000)
+	p.OnMiss(0x2000_0000)
+	p.OnMiss(0x3000_0000)
+	p.OnMiss(0x1000_0040) // back to zone 1: must restart training
+	if got := p.OnMiss(0x1000_0080); len(got) != 0 {
+		t.Fatal("evicted zone retained training state")
+	}
+}
+
+// TestPrefetchAlignmentProperty: every issued address is line-aligned and
+// non-zero, for any miss sequence.
+func TestPrefetchAlignmentProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		p := New(DefaultConfig())
+		for _, l := range lines {
+			for _, a := range p.OnMiss(0x4000_0000 + uint64(l)*64) {
+				if a == 0 || a%64 != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.OnMiss(0x1000)
+	p.OnMiss(0x1040)
+	p.OnMiss(0x1080)
+	p.Reset()
+	if got := p.OnMiss(0x10C0); got != nil {
+		t.Fatal("training survived Reset")
+	}
+}

@@ -1,0 +1,70 @@
+// Package sim provides the cycle-stepped simulation engine shared by every
+// component of the PIVOT reproduction: a global cycle counter, a ticker
+// registry, and a deterministic pseudo-random source so that every experiment
+// is exactly reproducible from its seed.
+package sim
+
+// Cycle is a point in simulated time, counted in CPU clock cycles.
+type Cycle uint64
+
+// Ticker is any component advanced once per simulated cycle.
+//
+// Tick ordering matters: the Engine ticks components in registration order,
+// so a machine registers the DRAM controller first (so responses produced in
+// cycle N are visible upstream in cycle N), then the memory-side stations
+// downstream-to-upstream, then the cores.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a plain function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// Engine drives a set of Tickers through simulated time.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+}
+
+// NewEngine returns an engine positioned at cycle 0 with no tickers.
+func NewEngine() *Engine { return &Engine{} }
+
+// Register appends t to the tick order. Registration order is tick order.
+func (e *Engine) Register(t Ticker) { e.tickers = append(e.tickers, t) }
+
+// Now reports the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Step advances simulated time by n cycles.
+func (e *Engine) Step(n Cycle) {
+	end := e.now + n
+	for e.now < end {
+		for _, t := range e.tickers {
+			t.Tick(e.now)
+		}
+		e.now++
+	}
+}
+
+// RunUntil advances simulated time until stop returns true, checking every
+// granule cycles, or until limit is reached. It returns the cycle at which it
+// stopped.
+func (e *Engine) RunUntil(limit Cycle, granule Cycle, stop func() bool) Cycle {
+	if granule == 0 {
+		granule = 1
+	}
+	for e.now < limit {
+		step := granule
+		if e.now+step > limit {
+			step = limit - e.now
+		}
+		e.Step(step)
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return e.now
+}

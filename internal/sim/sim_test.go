@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineTickOrderAndCount(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	var ticks [3]int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Register(TickFunc(func(now Cycle) {
+			ticks[i]++
+			if ticks[0] < ticks[2] {
+				t.Fatalf("ticker 2 ran before ticker 0 at cycle %d", now)
+			}
+			if len(order) < 3 {
+				order = append(order, i)
+			}
+		}))
+	}
+	e.Step(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", e.Now())
+	}
+	for i, n := range ticks {
+		if n != 100 {
+			t.Fatalf("ticker %d ran %d times, want 100", i, n)
+		}
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register(TickFunc(func(Cycle) { count++ }))
+	stopped := e.RunUntil(1000, 100, func() bool { return count >= 250 })
+	if stopped != 300 {
+		t.Fatalf("stopped at %d, want 300 (first granule boundary past 250)", stopped)
+	}
+	// Limit binds when the condition never fires.
+	e2 := NewEngine()
+	if got := e2.RunUntil(70, 32, func() bool { return false }); got != 70 {
+		t.Fatalf("RunUntil limit = %d, want 70", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero (xorshift fixed point)")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const mean, n = 500.0, 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if got < mean*0.95 || got > mean*1.05 {
+		t.Fatalf("Exp mean = %.1f, want within 5%% of %.0f", got, mean)
+	}
+}
+
+func TestRNGGeometric(t *testing.T) {
+	r := NewRNG(13)
+	if v := r.Geometric(1.0); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	var sum int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.5)
+	}
+	got := float64(sum) / n // mean of geometric(p) failures = (1-p)/p = 1
+	if got < 0.9 || got > 1.1 {
+		t.Fatalf("Geometric(0.5) mean = %.2f, want ~1.0", got)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(99)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("consecutive forks produced identical streams")
+	}
+}

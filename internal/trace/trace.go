@@ -1,0 +1,166 @@
+// Package trace records and replays micro-op instruction streams. A trace
+// decouples workload generation from simulation the way gem5's trace-driven
+// modes do: capture one run's stream once, then replay it bit-for-bit while
+// varying the machine or policy under test — any behavioural difference is
+// then attributable to the machine, not the workload.
+//
+// The format is a compact little-endian binary stream: a 16-byte header
+// (magic, version, op count) followed by fixed-width op records.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pivot/internal/cpu"
+)
+
+// Magic identifies a trace stream.
+const Magic = 0x50495654 // "PIVT"
+
+// Version is the current trace format version.
+const Version = 1
+
+const recordBytes = 8 + 1 + 1 + 1 + 1 + 8 + 1 + 1 + 8 // PC,kind,dest,src1,src2,addr,lat,flags,reqid
+
+var (
+	// ErrBadMagic marks a stream that is not a trace.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrBadVersion marks an unsupported format version.
+	ErrBadVersion = errors.New("trace: unsupported version")
+)
+
+// Writer serialises micro-ops. It wraps the target in a buffered writer;
+// call Close to flush and finalise the header count.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   [recordBytes]byte
+	err   error
+}
+
+// NewWriter emits a header and returns a Writer. The op count in the header
+// is written as zero and corrected by Close only if w is also an io.Seeker;
+// Readers tolerate a zero count by reading to EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	// hdr[8:16] = op count, fixed up on Close when possible.
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one op.
+func (t *Writer) Write(op cpu.MicroOp) error {
+	if t.err != nil {
+		return t.err
+	}
+	b := t.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], op.PC)
+	b[8] = byte(op.Kind)
+	b[9] = byte(op.Dest)
+	b[10] = byte(op.Src1)
+	b[11] = byte(op.Src2)
+	binary.LittleEndian.PutUint64(b[12:], op.Addr)
+	b[20] = op.Lat
+	b[21] = op.Flags
+	binary.LittleEndian.PutUint64(b[22:], op.ReqID)
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count reports the ops written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close flushes buffered records.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader deserialises a trace and implements cpu.Stream.
+type Reader struct {
+	r     *bufio.Reader
+	buf   [recordBytes]byte
+	count uint64 // declared ops (0 = unknown, read to EOF)
+	read  uint64
+	err   error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if binary.LittleEndian.Uint32(hdr[4:]) != Version {
+		return nil, ErrBadVersion
+	}
+	return &Reader{r: br, count: binary.LittleEndian.Uint64(hdr[8:])}, nil
+}
+
+// Next implements cpu.Stream: it fills op with the next record, or reports
+// false at end of trace (or on a read error, recorded in Err).
+func (t *Reader) Next(op *cpu.MicroOp) bool {
+	if t.err != nil {
+		return false
+	}
+	if t.count > 0 && t.read >= t.count {
+		return false
+	}
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return false
+	}
+	b := t.buf[:]
+	op.PC = binary.LittleEndian.Uint64(b[0:])
+	op.Kind = cpu.OpKind(b[8])
+	op.Dest = cpu.RegID(b[9])
+	op.Src1 = cpu.RegID(b[10])
+	op.Src2 = cpu.RegID(b[11])
+	op.Addr = binary.LittleEndian.Uint64(b[12:])
+	op.Lat = b[20]
+	op.Flags = b[21]
+	op.ReqID = binary.LittleEndian.Uint64(b[22:])
+	t.read++
+	return true
+}
+
+// Err reports a mid-stream decode error (nil on clean EOF).
+func (t *Reader) Err() error { return t.err }
+
+// Read reports the ops consumed so far.
+func (t *Reader) Read() uint64 { return t.read }
+
+// RecordStream drains up to max ops from src into w and returns the count.
+// A max of 0 records until the source goes dry.
+func RecordStream(src cpu.Stream, w *Writer, max uint64) (uint64, error) {
+	var op cpu.MicroOp
+	var n uint64
+	for (max == 0 || n < max) && src.Next(&op) {
+		if err := w.Write(op); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Close()
+}

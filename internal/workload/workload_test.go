@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pivot/internal/cpu"
+	"pivot/internal/sim"
+)
+
+func TestCatalogueComplete(t *testing.T) {
+	lc := LCApps()
+	for _, name := range LCNames() {
+		p, ok := lc[name]
+		if !ok {
+			t.Fatalf("LC app %q missing from catalogue", name)
+		}
+		if p.ChaseDepth <= 0 || p.ChaseLines == 0 || p.ChasePCs <= 0 {
+			t.Fatalf("%s: degenerate chase parameters %+v", name, p)
+		}
+		if p.ChaseLines&(p.ChaseLines-1) != 0 {
+			t.Fatalf("%s: ChaseLines must be a power of two", name)
+		}
+	}
+	be := BEApps()
+	for _, name := range append(BENames(), IBench, StressCopy) {
+		p, ok := be[name]
+		if !ok {
+			t.Fatalf("BE app %q missing from catalogue", name)
+		}
+		if p.MLP <= 0 || p.PCs <= 0 {
+			t.Fatalf("%s: degenerate parameters %+v", name, p)
+		}
+	}
+}
+
+func TestBEStreamShape(t *testing.T) {
+	rng := sim.NewRNG(1)
+	s := NewBEStream(BEApps()[IBench], 2, rng)
+	loads, stores := 0, 0
+	var op cpu.MicroOp
+	for i := 0; i < 10000; i++ {
+		if !s.Next(&op) {
+			t.Fatal("BE stream ran dry")
+		}
+		switch op.Kind {
+		case cpu.OpLoad:
+			loads++
+			if op.Dest == 0 {
+				t.Fatal("BE load without destination register")
+			}
+		case cpu.OpStore:
+			stores++
+		}
+		if op.Kind != cpu.OpALU && op.Addr%LineBytes != 0 {
+			t.Fatalf("unaligned address %#x", op.Addr)
+		}
+	}
+	// iBench copies: ~half stores.
+	frac := float64(stores) / float64(loads+stores)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("iBench store fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestBEStreamSequentialLocality(t *testing.T) {
+	rng := sim.NewRNG(1)
+	s := NewBEStream(BEApps()[IBench], 0, rng)
+	var op cpu.MicroOp
+	var prev uint64
+	seq := 0
+	n := 0
+	for i := 0; i < 1000; i++ {
+		s.Next(&op)
+		if op.Kind == cpu.OpALU {
+			continue
+		}
+		if prev != 0 && op.Addr == prev+LineBytes {
+			seq++
+		}
+		prev = op.Addr
+		n++
+	}
+	if float64(seq)/float64(n) < 0.9 {
+		t.Fatalf("iBench sequentiality = %d/%d, want >90%%", seq, n)
+	}
+}
+
+func TestBEStreamsDesynchronised(t *testing.T) {
+	// Different core slots must start at different stream offsets (the DRAM
+	// bank-lockstep bug class).
+	a := NewBEStream(BEApps()[IBench], 0, sim.NewRNG(1))
+	b := NewBEStream(BEApps()[IBench], 1, sim.NewRNG(2))
+	var opA, opB cpu.MicroOp
+	a.Next(&opA)
+	b.Next(&opB)
+	// Not only different bases; the stream *offsets* must differ too.
+	offA := opA.Addr - addrBase(0)
+	offB := opB.Addr - addrBase(1)
+	if offA == offB {
+		t.Fatal("two BE streams walk in lockstep")
+	}
+}
+
+func TestReqGenProgramStructure(t *testing.T) {
+	p := LCApps()[Masstree]
+	g := NewReqGen(p, 0, sim.NewRNG(3))
+	buf := g.Generate(nil, 42)
+
+	if len(buf) != g.OpsPerRequest() {
+		t.Fatalf("program length %d != OpsPerRequest %d", len(buf), g.OpsPerRequest())
+	}
+	last := buf[len(buf)-1]
+	if last.Flags&cpu.FlagReqEnd == 0 || last.ReqID != 42 {
+		t.Fatal("program does not end with a ReqEnd marker carrying the id")
+	}
+
+	// The chase spine: exactly ChaseDepth loads writing and reading reg 1.
+	chase := 0
+	chaseSet := map[uint64]bool{}
+	for _, pc := range g.ChasePCs() {
+		chaseSet[pc] = true
+	}
+	for _, op := range buf {
+		if op.Kind == cpu.OpLoad && op.Dest == regChase {
+			chase++
+			if op.Src1 != regChase {
+				t.Fatal("chase load does not depend on the previous chase load")
+			}
+			if !chaseSet[op.PC] {
+				t.Fatal("chase load uses a non-chase PC")
+			}
+		}
+	}
+	if chase != p.ChaseDepth {
+		t.Fatalf("chase loads = %d, want %d", chase, p.ChaseDepth)
+	}
+
+	// Payload loads are register-independent of the chase.
+	for _, op := range buf {
+		if op.Kind == cpu.OpLoad && op.Dest >= regPayload {
+			if op.Src1 != 0 || op.Src2 != 0 {
+				t.Fatal("payload load carries register dependences")
+			}
+		}
+	}
+
+	// Stores present and line-aligned.
+	stores := 0
+	for _, op := range buf {
+		if op.Kind == cpu.OpStore {
+			stores++
+			if op.Addr%LineBytes != 0 {
+				t.Fatal("unaligned store")
+			}
+		}
+	}
+	if stores != p.StoresPerReq {
+		t.Fatalf("stores = %d, want %d", stores, p.StoresPerReq)
+	}
+}
+
+func TestReqGenStoreBufferRotates(t *testing.T) {
+	g := NewReqGen(LCApps()[Silo], 0, sim.NewRNG(3))
+	a := g.Generate(nil, 0)
+	b := g.Generate(nil, 1)
+	firstStore := func(buf []cpu.MicroOp) uint64 {
+		for _, op := range buf {
+			if op.Kind == cpu.OpStore {
+				return op.Addr
+			}
+		}
+		return 0
+	}
+	if firstStore(a) == firstStore(b) {
+		t.Fatal("store buffer does not rotate across requests")
+	}
+}
+
+func TestReqGenDeterminism(t *testing.T) {
+	mk := func() []cpu.MicroOp {
+		g := NewReqGen(LCApps()[Xapian], 1, sim.NewRNG(7))
+		return g.Generate(nil, 0)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical generators", i)
+		}
+	}
+}
+
+func TestAddressSpacesDisjointProperty(t *testing.T) {
+	f := func(c1, c2 uint8) bool {
+		a, b := int(c1%16), int(c2%16)
+		if a == b {
+			return true
+		}
+		// Core address regions are 8 GiB apart; any generated address stays
+		// well inside its region (< 4 GiB of offsets used).
+		return addrBase(a) != addrBase(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCRangesDisjoint(t *testing.T) {
+	g0 := NewReqGen(LCApps()[Moses], 0, sim.NewRNG(1))
+	g1 := NewReqGen(LCApps()[Moses], 1, sim.NewRNG(1))
+	set := map[uint64]bool{}
+	for _, pc := range g0.ChasePCs() {
+		set[pc] = true
+	}
+	for _, pc := range g1.ChasePCs() {
+		if set[pc] {
+			t.Fatal("chase PCs collide across core slots")
+		}
+	}
+}
+
+func TestGraphAnalyticsIsRandomHeavy(t *testing.T) {
+	s := NewBEStream(BEApps()[GraphAn], 0, sim.NewRNG(5))
+	var op cpu.MicroOp
+	var prev uint64
+	seq, n := 0, 0
+	for i := 0; i < 5000; i++ {
+		s.Next(&op)
+		if op.Kind == cpu.OpALU {
+			continue
+		}
+		if prev != 0 && op.Addr == prev+LineBytes {
+			seq++
+		}
+		prev = op.Addr
+		n++
+	}
+	frac := float64(seq) / float64(n)
+	if frac > 0.4 {
+		t.Fatalf("graph analytics sequentiality %.2f, want mostly random (<0.4)", frac)
+	}
+}
+
+func TestBEComputeRatio(t *testing.T) {
+	// In-memory analytics interleaves ALUPerMem compute ops per memory op.
+	p := BEApps()[InMemAn]
+	s := NewBEStream(p, 0, sim.NewRNG(5))
+	var op cpu.MicroOp
+	alu, mem := 0, 0
+	for i := 0; i < 7000; i++ {
+		s.Next(&op)
+		if op.Kind == cpu.OpALU {
+			alu++
+		} else {
+			mem++
+		}
+	}
+	ratio := float64(alu) / float64(mem)
+	want := float64(p.ALUPerMem)
+	if ratio < want*0.9 || ratio > want*1.1 {
+		t.Fatalf("compute ratio = %.2f, want ~%.0f", ratio, want)
+	}
+}
+
+func TestStressCopyMatchesIBenchShape(t *testing.T) {
+	// The profiling stressor is a plain memory copy like iBench: all
+	// sequential, about half stores, no compute.
+	p := BEApps()[StressCopy]
+	if p.StreamFrac < 1 || p.ALUPerMem != 0 || p.StoreFrac != 0.5 {
+		t.Fatalf("stress task drifted from a pure copy: %+v", p)
+	}
+}
+
+func TestMicroserviceFootprintSmall(t *testing.T) {
+	p := LCApps()[Microservice]
+	if p.ChasePCs+p.PayloadPCs > 16 {
+		t.Fatalf("microservice static footprint %d too large for the §VII story",
+			p.ChasePCs+p.PayloadPCs)
+	}
+}

@@ -1,0 +1,169 @@
+// Package pivot is the public API of this reproduction of "Criticality-Aware
+// Instruction-Centric Bandwidth Partitioning for Data Center Applications"
+// (PIVOT, HPCA 2025).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - a simulated server node (Machine) with out-of-order cores, a
+//     multi-level cache hierarchy, and the four shared memory-system
+//     components of the paper's Figure 4;
+//   - the bandwidth-partitioning policies under study: Default (free
+//     contention), Intel-MBA-style throttling, ARM-MPAM-style priority at
+//     the bandwidth controller, FullPath (MPAM across all components), the
+//     CBP runtime predictors, and PIVOT itself;
+//   - PIVOT's two-phase profiling: ProfileLC runs the offline phase and
+//     returns the potential-critical set consumed by TaskSpec.Potential;
+//   - the workload catalogue standing in for Tailbench, CloudSuite and
+//     iBench (LCApps, BEApps);
+//   - the thread-centric software resource managers the paper compares
+//     against (PARTIES, CLITE).
+//
+// A minimal co-location experiment:
+//
+//	apps := pivot.LCApps()
+//	pot := pivot.ProfileLC(pivot.KunpengConfig(8), apps[pivot.Masstree], 7, 1)
+//	tasks := []pivot.TaskSpec{{Kind: pivot.TaskLC, LC: apps[pivot.Masstree],
+//		MeanInterarrival: 4000, Potential: pot, Seed: 1}}
+//	for i := 0; i < 7; i++ {
+//		tasks = append(tasks, pivot.TaskSpec{Kind: pivot.TaskBE,
+//			BE: pivot.BEApps()[pivot.IBench], Seed: uint64(10 + i)})
+//	}
+//	m := pivot.MustNewMachine(pivot.KunpengConfig(8),
+//		pivot.Options{Policy: pivot.PolicyPIVOT}, tasks)
+//	m.Run(400_000, 500_000)
+//	fmt.Println(m.LCp95(0), m.BWUtil())
+//
+// See examples/ for runnable programs and internal/exp for the harness that
+// regenerates every figure and table of the paper.
+package pivot
+
+import (
+	"pivot/internal/machine"
+	"pivot/internal/manager"
+	"pivot/internal/profile"
+	"pivot/internal/rrbp"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Machine is a simulated server node running a set of tasks under a
+	// bandwidth-partitioning policy.
+	Machine = machine.Machine
+	// Config describes the simulated hardware (Tables II/III).
+	Config = machine.Config
+	// Options selects the policy and its parameters.
+	Options = machine.Options
+	// TaskSpec pins one LC or BE task to one core.
+	TaskSpec = machine.TaskSpec
+	// Policy is the bandwidth-partitioning mechanism under test.
+	Policy = machine.Policy
+	// Cycle is simulated time in CPU clock cycles.
+	Cycle = sim.Cycle
+	// CriticalSet is the offline profiler's output: the set of static loads
+	// whose potential-critical instruction bit is set.
+	CriticalSet = profile.CriticalSet
+	// LCParams describes a latency-critical application.
+	LCParams = workload.LCParams
+	// BEParams describes a best-effort application.
+	BEParams = workload.BEParams
+	// RRBPConfig configures PIVOT's Runtime ROB Block Predictor table.
+	RRBPConfig = rrbp.Config
+)
+
+// Task kinds.
+const (
+	TaskLC = machine.TaskLC
+	TaskBE = machine.TaskBE
+)
+
+// Policies, in the order the paper introduces them.
+const (
+	PolicyDefault     = machine.PolicyDefault
+	PolicyMBA         = machine.PolicyMBA
+	PolicyMPAM        = machine.PolicyMPAM
+	PolicyFullPath    = machine.PolicyFullPath
+	PolicyPIVOT       = machine.PolicyPIVOT
+	PolicyCBP         = machine.PolicyCBP
+	PolicyCBPFullPath = machine.PolicyCBPFullPath
+	PolicyManaged     = machine.PolicyManaged
+)
+
+// Workload identifiers (Table I).
+const (
+	ImgDNN   = workload.ImgDNN
+	Moses    = workload.Moses
+	Xapian   = workload.Xapian
+	Silo     = workload.Silo
+	Masstree = workload.Masstree
+	// Microservice is this repository's §VII-inspired small-footprint LC
+	// app (not part of Table I).
+	Microservice = workload.Microservice
+
+	IBench     = workload.IBench
+	DataAn     = workload.DataAn
+	GraphAn    = workload.GraphAn
+	InMemAn    = workload.InMemAn
+	StressCopy = workload.StressCopy
+)
+
+// NewMachine assembles a machine; see machine.New.
+func NewMachine(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
+	return machine.New(cfg, opt, tasks)
+}
+
+// MustNewMachine is NewMachine panicking on error.
+func MustNewMachine(cfg Config, opt Options, tasks []TaskSpec) *Machine {
+	return machine.MustNew(cfg, opt, tasks)
+}
+
+// KunpengConfig returns the Huawei-Kunpeng-like machine of Table II.
+func KunpengConfig(cores int) Config { return machine.KunpengConfig(cores) }
+
+// NeoverseConfig returns the ARM-Neoverse-like machine of Table III.
+func NeoverseConfig(cores int) Config { return machine.NeoverseConfig(cores) }
+
+// LCApps returns the latency-critical application catalogue.
+func LCApps() map[string]LCParams { return workload.LCApps() }
+
+// BEApps returns the best-effort application catalogue.
+func BEApps() map[string]BEParams { return workload.BEApps() }
+
+// LCNames lists the LC apps in the paper's presentation order.
+func LCNames() []string { return workload.LCNames() }
+
+// ProfileLC runs PIVOT's offline profiling phase (§IV-B) and returns the
+// potential-critical set for the application.
+func ProfileLC(cfg Config, app LCParams, stressThreads int, seed uint64) CriticalSet {
+	return machine.ProfileLC(cfg, app, stressThreads, seed)
+}
+
+// Resource managers (the paper's hardware-software co-design baselines, plus
+// the §VII future-work hybrid controller implemented by this repository).
+type (
+	// PARTIES is the incremental QoS-feedback controller (ASPLOS'19).
+	PARTIES = manager.PARTIES
+	// CLITE is the sampling-based partitioning optimiser (HPCA'20).
+	CLITE = manager.CLITE
+	// Hybrid trades PIVOT's weak isolation against MBA-style strong
+	// isolation from a mean-latency target (§VII future work).
+	Hybrid = manager.Hybrid
+	// Manager adjusts a machine's partitioning knobs between epochs.
+	Manager = manager.Manager
+)
+
+// NewPARTIES builds a PARTIES controller for the per-LC QoS targets.
+func NewPARTIES(targets []uint32) *PARTIES { return manager.NewPARTIES(targets) }
+
+// NewCLITE builds a CLITE optimiser for the per-LC QoS targets.
+func NewCLITE(targets []uint32) *CLITE { return manager.NewCLITE(targets) }
+
+// NewHybrid builds the hybrid isolation controller for per-LC mean-latency
+// targets (cycles).
+func NewHybrid(avgTargets []float64) *Hybrid { return manager.NewHybrid(avgTargets) }
+
+// RunManaged drives a machine under a resource manager.
+func RunManaged(mgr Manager, m *Machine, warmup, measure, epoch Cycle) {
+	manager.Run(mgr, m, warmup, measure, epoch)
+}

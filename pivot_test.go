@@ -1,0 +1,77 @@
+package pivot
+
+import "testing"
+
+// TestStorageBudgetMatchesPaper pins every term of the §IV-E arithmetic and
+// the published 1045-bit total.
+func TestStorageBudgetMatchesPaper(t *testing.T) {
+	b := DefaultStorageBudget()
+	if b.SeqRegister != 8 || b.IndexRegister != 5 || b.Comparator != 8 {
+		t.Fatalf("per-PE registers %+v drifted from 8+5+8", b)
+	}
+	if b.ROBCriticalBits != 192 {
+		t.Fatalf("ROB bits = %d, want 192", b.ROBCriticalBits)
+	}
+	if b.RRBPBits != 384 {
+		t.Fatalf("RRBP bits = %d, want 384", b.RRBPBits)
+	}
+	if b.LoadQueueBits != 448 {
+		t.Fatalf("load-queue bits = %d, want 448", b.LoadQueueBits)
+	}
+	if got := b.Total(); got != 1045 {
+		t.Fatalf("total = %d bits, want the paper's 1045", got)
+	}
+}
+
+// TestPublicAPIEndToEnd drives the documented facade exactly as the package
+// comment shows: profile, build, run, read the paper's metrics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := KunpengConfig(4)
+	apps := LCApps()
+	if len(LCNames()) != 5 {
+		t.Fatalf("LC catalogue has %d apps, want 5 (Table I)", len(LCNames()))
+	}
+	pot := ProfileLC(cfg, apps[Silo], 3, 1)
+	if len(pot) == 0 {
+		t.Fatal("offline profiling returned an empty potential set")
+	}
+	tasks := []TaskSpec{{Kind: TaskLC, LC: apps[Silo], MeanInterarrival: 5000,
+		Potential: pot, Seed: 1}}
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: BEApps()[IBench], Seed: uint64(10 + i)})
+	}
+	m := MustNewMachine(cfg, Options{Policy: PolicyPIVOT}, tasks)
+	m.Run(100_000, 200_000)
+	if m.LCp95(0) == 0 {
+		t.Fatal("no tail latency measured")
+	}
+	if m.BWUtil() <= 0 {
+		t.Fatal("no bandwidth measured")
+	}
+}
+
+// TestManagedAPIEndToEnd exercises the PARTIES/CLITE surface of the facade.
+func TestManagedAPIEndToEnd(t *testing.T) {
+	cfg := KunpengConfig(4)
+	tasks := []TaskSpec{{Kind: TaskLC, LC: LCApps()[Xapian], MeanInterarrival: 6000, Seed: 1}}
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: BEApps()[GraphAn], Seed: uint64(10 + i)})
+	}
+	m := MustNewMachine(cfg, Options{Policy: PolicyManaged}, tasks)
+	RunManaged(NewCLITE([]uint32{1 << 20}), m, 100_000, 200_000, 25_000)
+	if m.LCTasks()[0].Source.Completed() == 0 {
+		t.Fatal("managed run completed no requests")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for pol, want := range map[Policy]string{
+		PolicyDefault: "Default", PolicyMBA: "MBA", PolicyMPAM: "MPAM",
+		PolicyFullPath: "FullPath", PolicyPIVOT: "PIVOT",
+		PolicyCBP: "CBP", PolicyCBPFullPath: "CBP+FullPath", PolicyManaged: "Managed",
+	} {
+		if pol.String() != want {
+			t.Errorf("policy %d = %q, want %q", pol, pol.String(), want)
+		}
+	}
+}

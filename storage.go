@@ -1,0 +1,40 @@
+package pivot
+
+// StorageBudget reproduces the paper's §IV-E per-processing-element storage
+// arithmetic for PIVOT's hardware additions, in bits. The published total is
+// 1045 bits per PE; a unit test pins every term.
+type StorageBudget struct {
+	// SeqRegister saves the ROB sequence number of the tracked load.
+	SeqRegister int
+	// IndexRegister holds the RRBP index of the tracked load.
+	IndexRegister int
+	// Comparator matches the saved sequence number (8 bits for a 192-entry
+	// ROB).
+	Comparator int
+	// ROBCriticalBits is one potential-criticality bit per ROB entry.
+	ROBCriticalBits int
+	// RRBPBits is the table storage (64 entries × 6-bit counters).
+	RRBPBits int
+	// LoadQueueBits adds, per load-queue entry, 1 actual-criticality bit
+	// and a 6-bit PC index (the paper budgets a 64-entry load queue).
+	LoadQueueBits int
+}
+
+// DefaultStorageBudget returns the paper's published configuration.
+func DefaultStorageBudget() StorageBudget {
+	return StorageBudget{
+		SeqRegister:     8,
+		IndexRegister:   5,
+		Comparator:      8,
+		ROBCriticalBits: 192 * 1,
+		RRBPBits:        64 * 6,
+		LoadQueueBits:   64 * (1 + 6),
+	}
+}
+
+// Total returns the summed per-PE storage cost in bits (1045 for the
+// published configuration).
+func (b StorageBudget) Total() int {
+	return b.SeqRegister + b.IndexRegister + b.Comparator +
+		b.ROBCriticalBits + b.RRBPBits + b.LoadQueueBits
+}
