@@ -8,15 +8,25 @@
 //
 // Each experiment prints a text table whose rows/series mirror the paper's
 // figure; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Observability: -stats-out/-timeline-out instrument every co-location run
+// with the gem5-style stats registry (sampled every -stats-epoch cycles)
+// and export the most recent run's flat dump and Perfetto-loadable
+// timeline, so a slow or QoS-violating figure can be diagnosed from its
+// artifacts alone. -debug-addr serves net/http/pprof and runtime metrics
+// for profiling the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pivot/internal/exp"
 	"pivot/internal/machine"
+	"pivot/internal/sim"
+	"pivot/internal/stats"
 )
 
 func main() {
@@ -24,12 +34,25 @@ func main() {
 	cores := flag.Int("cores", 8, "simulated core count")
 	quiet := flag.Bool("quiet", false, "suppress calibration progress notes")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	statsOut := flag.String("stats-out", "", "write the last run's stats dump here (JSON; CSV with a .csv suffix)")
+	statsEpoch := flag.Uint64("stats-epoch", uint64(machine.DefaultStatsEpoch), "stats sampling period in cycles")
+	timelineOut := flag.String("timeline-out", "", "write the last run's Chrome trace-event timeline here (open in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *debugAddr != "" {
+		addr, err := stats.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pivot-exp: debug server on http://%s/debug/pprof/\n", addr)
 	}
 
 	scale := exp.Full()
@@ -39,6 +62,9 @@ func main() {
 	ctx := exp.NewContext(machine.KunpengConfig(*cores), scale)
 	if !*quiet {
 		ctx.Out = os.Stderr
+	}
+	if *statsOut != "" || *timelineOut != "" {
+		ctx.StatsEpoch = sim.Cycle(*statsEpoch)
 	}
 
 	reg := exp.Registry()
@@ -67,10 +93,50 @@ func main() {
 			}
 		}
 	}
+
+	if *statsOut != "" {
+		if err := writeStats(ctx, *statsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *timelineOut != "" {
+		if err := writeTimeline(ctx, *timelineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeStats(ctx *exp.Context, path string) error {
+	if ctx.Stats == nil {
+		return fmt.Errorf("no instrumented run produced a stats dump (experiment ran no co-location simulation)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return ctx.Stats.WriteCSV(f)
+	}
+	return ctx.Stats.WriteJSON(f)
+}
+
+func writeTimeline(ctx *exp.Context, path string) error {
+	if ctx.Timeline == nil {
+		return fmt.Errorf("no instrumented run produced a timeline (experiment ran no co-location simulation)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ctx.Timeline.WriteJSON(f)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] <list | all | experiment-id...>
+	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] [-stats-out f] [-timeline-out f] <list | all | experiment-id...>
 
 Regenerates the paper's figures/tables as text tables. Experiment ids:
 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig12 fig13 fig13emu fig14 fig15 fig16

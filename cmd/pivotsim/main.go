@@ -17,6 +17,7 @@ import (
 	"pivot"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
+	"pivot/internal/stats"
 )
 
 var policies = map[string]pivot.Policy{
@@ -42,6 +43,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	asJSON := flag.Bool("json", false, "emit a machine-readable snapshot instead of text")
 	sample := flag.Int("sample", 0, "print the memory-path cycle split of the first N LC requests")
+	statsOut := flag.String("stats-out", "", "write the run's stats dump here (JSON; CSV with a .csv suffix)")
+	statsEpoch := flag.Uint64("stats-epoch", 0, "stats sampling period in cycles (0 = default)")
+	statsTable := flag.Bool("stats-table", false, "print the stats registry as an aligned table after the run")
+	timelineOut := flag.String("timeline-out", "", "write a Chrome trace-event timeline here (open in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address")
 	flag.Parse()
 
 	pol, ok := policies[*policyName]
@@ -81,8 +87,32 @@ func main() {
 			Seed: *seed + uint64(10+i)})
 	}
 
+	if *debugAddr != "" {
+		addr, err := stats.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivotsim: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pivotsim: debug server on http://%s/debug/pprof/\n", addr)
+	}
+
+	wantStats := *statsOut != "" || *timelineOut != "" || *statsTable || *statsEpoch > 0
+	if *timelineOut != "" && *sample == 0 {
+		*sample = 64 // lifecycle events come from the request sampler
+	}
+
 	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pol, SampleRequests: *sample}, tasks)
+	if wantStats {
+		m.EnableStats(pivot.Cycle(*statsEpoch), 0)
+	}
 	m.Run(pivot.Cycle(*warmup), pivot.Cycle(*measure))
+
+	if wantStats {
+		if err := exportStats(m, *statsOut, *timelineOut, *statsTable, *policyName); err != nil {
+			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *asJSON {
 		if err := m.Snapshot().WriteJSON(os.Stdout); err != nil {
@@ -116,6 +146,41 @@ func main() {
 				r.TotalCycles())
 		}
 	}
+}
+
+// exportStats writes the run's stats dump / timeline artifacts and
+// (optionally) prints the aligned-text summary table.
+func exportStats(m *pivot.Machine, statsOut, timelineOut string, table bool, policy string) error {
+	d := m.StatsDump()
+	if statsOut != "" {
+		f, err := os.Create(statsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(statsOut, ".csv") {
+			err = d.WriteCSV(f)
+		} else {
+			err = d.WriteJSON(f)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if timelineOut != "" {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.BuildTimeline(1, "pivotsim "+policy).WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	if table {
+		fmt.Println(d.Table("stats registry (measured region)").String())
+	}
+	return nil
 }
 
 func keys() []string {

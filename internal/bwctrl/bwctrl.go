@@ -8,9 +8,12 @@
 package bwctrl
 
 import (
+	"fmt"
+
 	"pivot/internal/interconnect"
 	"pivot/internal/mem"
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 )
 
 // Allocation is a partition's expected bandwidth range, as fractions of the
@@ -136,6 +139,25 @@ func (c *Controller) Tick(now sim.Cycle) {
 // WindowsDone reports how many monitoring windows have completed; usage
 // readings are meaningless before the first.
 func (c *Controller) WindowsDone() uint64 { return c.windowsDone }
+
+// RegisterStats registers the controller's instruments under prefix: the
+// embedded station's queue stats plus, for each of the first `parts`
+// partitions, the monitored usage fraction and MPAM class — the per-PartID
+// allocation decisions the RRBP threshold adaptation consumes each epoch.
+func (c *Controller) RegisterStats(reg *stats.Registry, prefix string, parts int) {
+	c.Station.RegisterStats(reg, prefix)
+	reg.Counter(prefix+".windows_done", func() uint64 { return c.windowsDone })
+	if parts > len(c.alloc) {
+		parts = len(c.alloc)
+	}
+	for p := 0; p < parts; p++ {
+		p := p
+		reg.Gauge(fmt.Sprintf("%s.part%d.usage", prefix, p),
+			func() float64 { return c.usage[p] })
+		reg.Gauge(fmt.Sprintf("%s.part%d.class", prefix, p),
+			func() float64 { return float64(c.class[p]) })
+	}
+}
 
 func (c *Controller) rollWindow() {
 	c.windowsDone++

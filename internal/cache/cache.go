@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"pivot/internal/mem"
+	"pivot/internal/stats"
 )
 
 // Config describes one cache level.
@@ -216,6 +217,16 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		}
 	}
 	return false
+}
+
+// RegisterStats registers the cache's instruments under prefix (e.g. "llc"):
+// hit/miss counters, a miss-rate series, and the running miss-rate gauge.
+func (c *Cache) RegisterStats(reg *stats.Registry, prefix string) {
+	st := &c.Stats
+	reg.Counter(prefix+".hits", func() uint64 { return st.Hits })
+	reg.Counter(prefix+".misses", func() uint64 { return st.Misses })
+	reg.Rate(prefix+".miss_rate_epoch", func() uint64 { return st.Misses })
+	reg.Gauge(prefix+".miss_rate", func() float64 { return st.MissRate() })
 }
 
 // MissRate returns misses/(hits+misses), or 0 for an untouched cache.

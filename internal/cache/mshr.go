@@ -1,5 +1,7 @@
 package cache
 
+import "pivot/internal/stats"
+
 // MSHRFile tracks outstanding misses for one cache. Each entry coalesces all
 // waiters for the same line; when the file is full the cache must stall new
 // misses, which is one of the back-pressure points that lets bandwidth
@@ -43,6 +45,13 @@ func (m *MSHRFile) Allocate(addr uint64) (*MSHREntry, bool) {
 	e := &MSHREntry{Addr: addr}
 	m.entries[addr] = e
 	return e, true
+}
+
+// RegisterStats registers the file's occupancy gauge under prefix: sustained
+// occupancy at capacity is the structural stall the core sees as a refused
+// load port.
+func (m *MSHRFile) RegisterStats(reg *stats.Registry, prefix string) {
+	reg.Gauge(prefix+".occupancy", func() float64 { return float64(len(m.entries)) })
 }
 
 // Fill removes and returns the entry for addr (nil if absent).

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 )
 
 // Config sets a core's pipeline geometry (Table II / Table III in the paper).
@@ -392,6 +393,25 @@ func (c *Core) dispatch(now sim.Cycle) {
 			c.readyQ = append(c.readyQ, seq)
 		}
 	}
+}
+
+// RegisterStats registers the core's instruments under prefix (e.g. "cpu0"):
+// the pipeline counters, a commit-rate series, and the ROB-occupancy and
+// ROB-head stall gauges behind the paper's stall-attribution claims.
+func (c *Core) RegisterStats(reg *stats.Registry, prefix string) {
+	st := &c.Stats
+	reg.Counter(prefix+".committed", func() uint64 { return st.Committed })
+	reg.Counter(prefix+".loads", func() uint64 { return st.Loads })
+	reg.Counter(prefix+".stores", func() uint64 { return st.Stores })
+	reg.Counter(prefix+".stall_cycles", func() uint64 { return st.StallCycles })
+	reg.Counter(prefix+".load_stall_cycles", func() uint64 { return st.LoadStallCyc })
+	reg.Counter(prefix+".idle_cycles", func() uint64 { return st.IdleCycles })
+	reg.Counter(prefix+".dispatch_stalls", func() uint64 { return st.DispatchStall })
+	reg.Rate(prefix+".commit_rate", func() uint64 { return st.Committed })
+	reg.Rate(prefix+".stall_rate", func() uint64 { return st.StallCycles })
+	reg.Gauge(prefix+".rob_occupancy", func() float64 { return float64(c.count) })
+	reg.Gauge(prefix+".lq_used", func() float64 { return float64(c.lqUsed) })
+	reg.Gauge(prefix+".sq_used", func() float64 { return float64(c.sqUsed) })
 }
 
 // ROBOccupancy reports the number of in-flight instructions.

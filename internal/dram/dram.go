@@ -14,6 +14,7 @@ package dram
 import (
 	"pivot/internal/mem"
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 )
 
 // Config describes the controller and device timing, all in CPU cycles.
@@ -406,6 +407,37 @@ func (c *Controller) Tick(now sim.Cycle) {
 		e.req.AddSplit(mem.CompResp, c.cfg.RespLatency)
 		c.pendingResp = append(c.pendingResp, respEntry{req: e.req, due: done + c.cfg.RespLatency})
 	}
+}
+
+// RegisterStats registers the controller's instruments under prefix (e.g.
+// "dram"): row-buffer and bus counters, the per-epoch lines-moved series the
+// bandwidth-over-time charts use, FR-FCFS queue-depth gauges, and a
+// bank-utilisation gauge (fraction of banks with an open row).
+func (c *Controller) RegisterStats(reg *stats.Registry, prefix string) {
+	st := &c.Stats
+	reg.Counter(prefix+".served", func() uint64 { return st.Served })
+	reg.Counter(prefix+".row_hits", func() uint64 { return st.RowHits })
+	reg.Counter(prefix+".row_misses", func() uint64 { return st.RowMisses })
+	reg.Counter(prefix+".lines_moved", func() uint64 { return st.LinesMoved })
+	reg.Counter(prefix+".busy_cycles", func() uint64 { return st.BusyCycles })
+	reg.Counter(prefix+".promoted", func() uint64 { return st.Promoted })
+	reg.Counter(prefix+".refreshes", func() uint64 { return st.Refreshes })
+	reg.Counter(prefix+".refused", func() uint64 { return st.Refused })
+	reg.Counter(prefix+".crit_served", func() uint64 { return st.CritServed })
+	reg.Counter(prefix+".wait_cycles_lc", func() uint64 { return st.WaitCyclesLC })
+	reg.Counter(prefix+".wait_cycles_be", func() uint64 { return st.WaitCyclesBE })
+	reg.Rate(prefix+".lines_epoch", func() uint64 { return st.LinesMoved })
+	reg.Gauge(prefix+".qdepth_normal", func() float64 { return float64(len(c.normal)) })
+	reg.Gauge(prefix+".qdepth_prio", func() float64 { return float64(len(c.prio)) })
+	reg.Gauge(prefix+".banks_open", func() float64 {
+		open := 0
+		for i := range c.banks {
+			if c.banks[i].openRow >= 0 {
+				open++
+			}
+		}
+		return float64(open) / float64(len(c.banks))
+	})
 }
 
 // Drained reports whether all queues and in-flight responses are empty.

@@ -15,6 +15,7 @@ import (
 	"pivot/internal/metrics"
 	"pivot/internal/profile"
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 	"pivot/internal/workload"
 )
 
@@ -122,6 +123,15 @@ type Context struct {
 	Cfg   machine.Config
 	Scale Scale
 	Out   io.Writer // progress notes; nil silences them
+
+	// StatsEpoch, when non-zero, enables the stats framework on every
+	// co-location run the harness executes, sampling the instrument registry
+	// every StatsEpoch cycles. Stats and Timeline then hold the most recent
+	// instrumented run's dump and Perfetto timeline for the CLI to export.
+	StatsEpoch sim.Cycle
+	Stats      *stats.Dump
+	Timeline   *stats.Timeline
+	statsRuns  int
 
 	calib map[string]*AppCalib
 	pots  map[string]profile.CriticalSet

@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"fmt"
+
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/mem"
+	"pivot/internal/metrics"
 	"pivot/internal/workload"
 )
 
@@ -62,7 +65,9 @@ type RunSpec struct {
 
 // RunResult summarises one simulation.
 type RunResult struct {
+	P50     []uint32 // per LC task
 	P95     []uint32 // per LC task
+	P99     []uint32 // per LC task
 	QoSMet  []bool
 	AllQoS  bool
 	MeanLat []float64
@@ -78,6 +83,11 @@ type RunResult struct {
 func (ctx *Context) Run(spec RunSpec) RunResult {
 	opt := spec.Opt
 	opt.Policy = spec.Method.Policy
+	if ctx.StatsEpoch > 0 && opt.SampleRequests == 0 {
+		// Recording request lifecycles is purely observational; it feeds the
+		// timeline exporter without touching any simulated decision.
+		opt.SampleRequests = 128
+	}
 
 	var tasks []machine.TaskSpec
 	var targets []uint32
@@ -104,6 +114,9 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 	}
 
 	m := machine.MustNew(ctx.Cfg, opt, tasks)
+	if ctx.StatsEpoch > 0 {
+		m.EnableStats(ctx.StatsEpoch, 0)
+	}
 	if spec.Method.Policy == machine.PolicyMBA && spec.Method.MBALevel > 0 {
 		for i, t := range tasks {
 			if t.Kind == machine.TaskBE {
@@ -123,15 +136,19 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 
 	res := RunResult{AllQoS: true}
 	for i, lc := range spec.LCs {
-		p95 := m.LCp95(i)
 		src := m.LCTasks()[i].Source
+		lat := src.Latencies()
+		qs := metrics.Quantiles(lat, 50, 95, 99) // one sort for all three
+		p95 := qs[1]
 		// An open-loop source whose backlog keeps growing has saturated even
 		// if too few requests completed to show it in p95 yet.
 		saturated := src.QueueDepth() > 32
 		met := p95 != 0 && p95 <= ctx.Calib(lc.App).QoSTarget && !saturated
+		res.P50 = append(res.P50, qs[0])
 		res.P95 = append(res.P95, p95)
+		res.P99 = append(res.P99, qs[2])
 		res.QoSMet = append(res.QoSMet, met)
-		res.MeanLat = append(res.MeanLat, meanOf(src.Latencies()))
+		res.MeanLat = append(res.MeanLat, metrics.Mean(lat))
 		res.LCIPC = append(res.LCIPC, m.Cores[i].IPC(m.MeasuredCycles()))
 		if !met {
 			res.AllQoS = false
@@ -140,18 +157,25 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 	res.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
 	res.BWUtil = m.BWUtil()
 	res.Split, res.SplitN = m.SplitAverages()
+	ctx.captureStats(m, spec)
 	return res
 }
 
-func meanOf(lat []uint32) float64 {
-	if len(lat) == 0 {
-		return 0
+// captureStats records the stats dump and timeline of the just-finished run
+// (the harness keeps the most recent instrumented run; each capture gets a
+// fresh pid so multi-run timelines stay distinguishable if accumulated).
+func (ctx *Context) captureStats(m *machine.Machine, spec RunSpec) {
+	if !m.StatsEnabled() {
+		return
 	}
-	var s float64
-	for _, v := range lat {
-		s += float64(v)
+	d := m.StatsDump()
+	ctx.Stats = &d
+	ctx.statsRuns++
+	label := fmt.Sprintf("run %d: %s", ctx.statsRuns, spec.Method.Name)
+	for _, lc := range spec.LCs {
+		label += fmt.Sprintf(" %s@%d%%", lc.App, lc.LoadPct)
 	}
-	return s / float64(len(lat))
+	ctx.Timeline = m.BuildTimeline(ctx.statsRuns, label)
 }
 
 // potentialFor computes the potential set only for the methods that use it.

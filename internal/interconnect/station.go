@@ -14,6 +14,7 @@ package interconnect
 import (
 	"pivot/internal/mem"
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 )
 
 // Acceptor is anything a Station can forward requests into.
@@ -225,6 +226,21 @@ func (s *Station) Tick(now sim.Cycle) {
 		}
 		s.Stats.Forwarded++
 	}
+}
+
+// RegisterStats registers the station's instruments under prefix (e.g.
+// "ic"): traffic counters, queue-depth gauges (the paper's Insight #1
+// queueing evidence), and the per-epoch back-pressure (refusal) series.
+func (s *Station) RegisterStats(reg *stats.Registry, prefix string) {
+	st := &s.Stats
+	reg.Counter(prefix+".accepted", func() uint64 { return st.Accepted })
+	reg.Counter(prefix+".forwarded", func() uint64 { return st.Forwarded })
+	reg.Counter(prefix+".refused", func() uint64 { return st.Refused })
+	reg.Counter(prefix+".promoted", func() uint64 { return st.Promoted })
+	reg.Counter(prefix+".wait_cycles", func() uint64 { return st.WaitCycles })
+	reg.Rate(prefix+".refused_epoch", func() uint64 { return st.Refused })
+	reg.Gauge(prefix+".qdepth_normal", func() float64 { return float64(len(s.normal)) })
+	reg.Gauge(prefix+".qdepth_prio", func() float64 { return float64(len(s.prio)) })
 }
 
 // Drain reports whether both queues are empty.

@@ -17,6 +17,7 @@ import (
 	"pivot/internal/profile"
 	"pivot/internal/rrbp"
 	"pivot/internal/sim"
+	"pivot/internal/stats"
 	"pivot/internal/workload"
 )
 
@@ -144,6 +145,12 @@ type Machine struct {
 	splitSum   [mem.NumComponents]float64
 	splitCount uint64
 	sampled    []RequestRecord
+
+	// Stats framework (nil until EnableStats): the instrument registry, the
+	// epoch sampler, and the LC memory-latency distribution it feeds.
+	statsReg *stats.Registry
+	sampler  *stats.Sampler
+	latDist  *stats.Distribution
 
 	measureStart sim.Cycle
 	measured     sim.Cycle
@@ -463,9 +470,13 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 			}
 			m.splitCount++
 		}
+		if m.latDist != nil {
+			m.latDist.Observe(float64(now - r.Issued))
+		}
 		if len(m.sampled) < m.Opt.SampleRequests {
 			m.sampled = append(m.sampled, RequestRecord{
-				PC: r.PC, Critical: r.Critical, CompletedAt: uint64(now), Split: r.Split,
+				PC: r.PC, CoreID: r.CoreID, Critical: r.Critical,
+				IssuedAt: uint64(r.Issued), CompletedAt: uint64(now), Split: r.Split,
 			})
 		}
 	}
@@ -491,7 +502,9 @@ func (m *Machine) SetStatsFilter(set profile.CriticalSet) { m.statsSet = set }
 // RequestRecord is one sampled LC memory request's life on the memory path.
 type RequestRecord struct {
 	PC          uint64
+	CoreID      int
 	Critical    bool
+	IssuedAt    uint64
 	CompletedAt uint64
 	Split       [mem.NumComponents]uint32
 }
@@ -541,6 +554,9 @@ func (m *Machine) ResetStats() {
 	m.splitSum = [mem.NumComponents]float64{}
 	m.splitCount = 0
 	m.sampled = m.sampled[:0]
+	if m.latDist != nil {
+		m.latDist.Reset()
+	}
 }
 
 // MeasuredCycles reports the length of the measured region.

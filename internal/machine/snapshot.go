@@ -76,13 +76,14 @@ func (m *Machine) Snapshot() Snapshot {
 	}
 	for _, lc := range m.lcs {
 		lat := lc.Source.Latencies()
+		qs := metrics.Quantiles(lat, 50, 95, 99)
 		s.LC = append(s.LC, LCSnapshot{
 			Core:       lc.Core,
 			App:        lc.Spec.LC.Name,
 			Completed:  lc.Source.Completed(),
-			P50:        metrics.Percentile(lat, 50),
-			P95:        metrics.Percentile(lat, 95),
-			P99:        metrics.Percentile(lat, 99),
+			P50:        qs[0],
+			P95:        qs[1],
+			P99:        qs[2],
 			Mean:       metrics.Mean(lat),
 			IPC:        m.Cores[lc.Core].IPC(m.measured),
 			QueueDepth: lc.Source.QueueDepth(),

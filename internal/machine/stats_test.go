@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pivot/internal/workload"
+)
+
+func statsRun(t *testing.T, enable bool) *Machine {
+	t.Helper()
+	tasks := append([]TaskSpec{lcTask(workload.Masstree, 5000)}, beTasks(workload.IBench, 3)...)
+	m := MustNew(KunpengConfig(4), Options{Policy: PolicyPIVOT, SampleRequests: 32}, tasks)
+	if enable {
+		m.EnableStats(2_000, 0)
+	}
+	m.Run(50_000, 100_000)
+	return m
+}
+
+// TestStatsDumpDeterministic: two same-seed instrumented runs must produce
+// byte-identical JSON dumps (the acceptance criterion that makes dumps
+// diffable across commits).
+func TestStatsDumpDeterministic(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	if err := statsRun(t, true).StatsDump().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := statsRun(t, true).StatsDump().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("same-seed stats dumps are not byte-identical")
+	}
+}
+
+// TestStatsObservational: enabling the stats framework must not change any
+// simulated result — instruments read component state, they never own it.
+func TestStatsObservational(t *testing.T) {
+	on := statsRun(t, true)
+	off := statsRun(t, false)
+	if on.LCp95(0) != off.LCp95(0) {
+		t.Errorf("LC p95 changed with stats on: %d vs %d", on.LCp95(0), off.LCp95(0))
+	}
+	if on.BECommitted() != off.BECommitted() {
+		t.Errorf("BE committed changed with stats on: %d vs %d", on.BECommitted(), off.BECommitted())
+	}
+	if on.BWUtil() != off.BWUtil() {
+		t.Errorf("bandwidth util changed with stats on: %g vs %g", on.BWUtil(), off.BWUtil())
+	}
+	if on.LCTasks()[0].Source.Completed() != off.LCTasks()[0].Source.Completed() {
+		t.Errorf("LC completions changed with stats on: %d vs %d",
+			on.LCTasks()[0].Source.Completed(), off.LCTasks()[0].Source.Completed())
+	}
+}
+
+// TestStatsCoverage: the dump must contain instruments and epoch series for
+// every major component, and the sampler must have collected the measured
+// region at the configured epoch.
+func TestStatsCoverage(t *testing.T) {
+	m := statsRun(t, true)
+	d := m.StatsDump()
+
+	prefixes := []string{"cpu0.", "cpu0.l1.", "cpu0.l2.", "llc.", "ic.", "bus.",
+		"bwctrl.", "dram.", "machine."}
+	for _, p := range prefixes {
+		found := false
+		for _, in := range d.Instruments {
+			if strings.HasPrefix(in.Name, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no instrument with prefix %q in the dump", p)
+		}
+	}
+
+	if d.Series == nil || len(d.Series.Cycles) == 0 {
+		t.Fatal("dump has no epoch series")
+	}
+	if d.Series.EpochCycles != 2000 {
+		t.Errorf("series epoch = %d, want 2000", d.Series.EpochCycles)
+	}
+	for name, col := range d.Series.Values {
+		if len(col) != len(d.Series.Cycles) {
+			t.Fatalf("series %q has %d points for %d cycles", name, len(col), len(d.Series.Cycles))
+		}
+	}
+
+	// The LC memory-latency distribution observed the measured region.
+	var found bool
+	for _, in := range d.Instruments {
+		if in.Name == "machine.lc_mem_latency" {
+			found = true
+			if in.Dist == nil || in.Dist.Count == 0 {
+				t.Errorf("lc_mem_latency has no observations: %+v", in)
+			}
+		}
+	}
+	if !found {
+		t.Error("machine.lc_mem_latency missing from the dump")
+	}
+}
+
+// TestStatsResetOnMeasure: Machine.Run resets stats state at the
+// warm-up/measure boundary, so cumulative counters in the dump reflect the
+// measured region only. dram.served must therefore not exceed what the
+// measured window could physically carry.
+func TestStatsResetOnMeasure(t *testing.T) {
+	m := statsRun(t, true)
+	d := m.StatsDump()
+	for _, in := range d.Instruments {
+		if in.Name == "dram.served" && in.Value == 0 {
+			t.Error("dram.served is zero after a co-location run")
+		}
+	}
+}
+
+// TestTimelineExport: the run's timeline must be valid trace-event JSON
+// containing request lifecycle events and counter tracks.
+func TestTimelineExport(t *testing.T) {
+	m := statsRun(t, true)
+	var buf bytes.Buffer
+	if err := m.BuildTimeline(1, "test run").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Pid != 1 {
+			t.Fatalf("event on pid %d, want 1", ev.Pid)
+		}
+	}
+	if phases["M"] == 0 || phases["X"] == 0 || phases["C"] == 0 {
+		t.Fatalf("missing event phases: %v", phases)
+	}
+}
+
+// TestEnableStatsTwiceIsNoop guards against double registration panics when
+// a harness enables stats and then re-runs the same machine.
+func TestEnableStatsTwiceIsNoop(t *testing.T) {
+	tasks := []TaskSpec{lcTask(workload.Silo, 5000)}
+	m := MustNew(KunpengConfig(2), Options{Policy: PolicyDefault}, tasks)
+	m.EnableStats(0, 0)
+	reg := m.StatsRegistry()
+	m.EnableStats(1_000, 16) // must not panic or rebuild
+	if m.StatsRegistry() != reg {
+		t.Fatal("second EnableStats replaced the registry")
+	}
+}

@@ -13,20 +13,32 @@ import (
 // Percentile returns the p-th percentile (0 < p <= 100) of samples using
 // nearest-rank on a sorted copy. It returns 0 for an empty sample set.
 func Percentile(samples []uint32, p float64) uint32 {
+	return Quantiles(samples, p)[0]
+}
+
+// Quantiles returns the nearest-rank percentiles of samples at each p in ps,
+// sorting the samples once. Callers computing several percentiles of the same
+// set (p50/p95/p99) should prefer this over repeated Percentile calls, which
+// re-sort on every call. An empty sample set yields all zeros.
+func Quantiles(samples []uint32, ps ...float64) []uint32 {
+	out := make([]uint32, len(ps))
 	if len(samples) == 0 {
-		return 0
+		return out
 	}
 	sorted := make([]uint32, len(samples))
 	copy(sorted, samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	for i, p := range ps {
+		rank := int(p/100*float64(len(sorted))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		out[i] = sorted[rank]
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
+	return out
 }
 
 // P95 returns the 95th-percentile of samples.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -153,5 +154,70 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\nplain,\"needs \"\"quoting\"\", really\"\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+// TestTableCSVQuoting covers the RFC-4180 edge cases: embedded commas,
+// quotes, newlines, and combinations — each must round-trip through a
+// standard CSV reader unchanged.
+func TestTableCSVQuoting(t *testing.T) {
+	rows := [][]string{
+		{"comma,inside", "plain"},
+		{`say "hi"`, `both, "kinds"`},
+		{"line\nbreak", "trailing\n"},
+		{"", `""`},
+		{`"`, `,`},
+	}
+	tb := &Table{Headers: []string{"x", "y"}}
+	for _, r := range rows {
+		tb.AddRow(r...)
+	}
+	got := tb.CSV()
+
+	rd := csv.NewReader(strings.NewReader(got))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejected our output: %v\n%s", err, got)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("parsed %d records, want %d", len(recs), len(rows)+1)
+	}
+	for i, r := range rows {
+		for j := range r {
+			if recs[i+1][j] != r[j] {
+				t.Errorf("cell [%d][%d] = %q, want %q", i, j, recs[i+1][j], r[j])
+			}
+		}
+	}
+	// Fields without specials stay unquoted.
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Fatalf("plain header was quoted: %q", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	samples := []uint32{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	qs := Quantiles(samples, 10, 50, 95, 100)
+	want := []uint32{10, 50, 100, 100}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, qs[i], want[i])
+		}
+	}
+	// Must agree with the single-percentile path for any p.
+	for p := 1.0; p <= 100; p++ {
+		if Quantiles(samples, p)[0] != Percentile(samples, p) {
+			t.Fatalf("Quantiles(%v) != Percentile(%v)", p, p)
+		}
+	}
+	// Empty input: zeros, one per requested percentile.
+	if got := Quantiles(nil, 50, 99); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Quantiles(nil) = %v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	shuffled := []uint32{5, 1, 3}
+	Quantiles(shuffled, 50, 95)
+	if shuffled[0] != 5 {
+		t.Error("Quantiles mutated its input")
 	}
 }

@@ -7,7 +7,10 @@
 // bandwidth and fewer when it is over.
 package rrbp
 
-import "pivot/internal/sim"
+import (
+	"pivot/internal/sim"
+	"pivot/internal/stats"
+)
 
 // Config sets the table geometry and behaviour.
 type Config struct {
@@ -186,6 +189,19 @@ func (t *Table) MaybeRefresh(now sim.Cycle) {
 	}
 	clear(t.unlimited)
 	clear(t.unlFlags)
+}
+
+// RegisterStats registers the table's instruments under prefix: convergence
+// counters (long stalls observed, lookups flagged critical, refreshes) and
+// the adaptive-threshold gauge, whose low/high flips chart the §IV-C
+// bandwidth feedback loop over time.
+func (t *Table) RegisterStats(reg *stats.Registry, prefix string) {
+	reg.Counter(prefix+".long_stalls", func() uint64 { return t.LongStalls })
+	reg.Counter(prefix+".flagged", func() uint64 { return t.Flagged })
+	reg.Counter(prefix+".lookups", func() uint64 { return t.Lookups })
+	reg.Counter(prefix+".refreshes", func() uint64 { return t.Refreshes })
+	reg.Rate(prefix+".flagged_epoch", func() uint64 { return t.Flagged })
+	reg.Gauge(prefix+".threshold", func() float64 { return float64(t.threshold) })
 }
 
 // Snapshot returns copies of the table's counters and sticky flags, for

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	rtmetrics "runtime/metrics"
+)
+
+// ServeDebug starts an HTTP server on addr exposing Go's profiling and
+// runtime observability endpoints for long simulation runs:
+//
+//	/debug/pprof/           profile index (heap, goroutine, ...)
+//	/debug/pprof/profile    30 s CPU profile
+//	/debug/metrics          runtime/metrics in a flat text form
+//
+// It returns the bound address (useful with ":0") once the listener is
+// live; the server runs on a background goroutine for the process lifetime.
+// The simulator itself is unaffected — this observes the Go runtime, not
+// simulated state.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeRuntimeMetrics(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+// writeRuntimeMetrics dumps every runtime/metrics sample as "name value"
+// lines (histograms report their bucket count only — use pprof for shape).
+func writeRuntimeMetrics(w http.ResponseWriter) {
+	descs := rtmetrics.All()
+	samples := make([]rtmetrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	rtmetrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case rtmetrics.KindUint64:
+			fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+		case rtmetrics.KindFloat64:
+			fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+		case rtmetrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			fmt.Fprintf(w, "%s histogram_count=%d\n", s.Name, n)
+		}
+	}
+}

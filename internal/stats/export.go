@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pivot/internal/metrics"
+)
+
+// DumpInstrument is one instrument's export form.
+type DumpInstrument struct {
+	Name  string       `json:"name"`
+	Kind  string       `json:"kind"`
+	Value float64      `json:"value"`
+	Dist  *DistSummary `json:"dist,omitempty"`
+}
+
+// DumpSeries is the epoch time-series export form: one cycle stamp per
+// sample and, per instrument, the parallel value column.
+type DumpSeries struct {
+	EpochCycles uint64               `json:"epochCycles"`
+	Cycles      []uint64             `json:"cycles"`
+	Values      map[string][]float64 `json:"values"`
+}
+
+// Dump is a registry snapshot plus (optionally) its sampled time series —
+// the flat, diffable artifact two runs of the same seed reproduce
+// byte-for-byte.
+type Dump struct {
+	Instruments []DumpInstrument `json:"instruments"`
+	Series      *DumpSeries      `json:"series,omitempty"`
+}
+
+// Dump snapshots the registry, including sampler's series when non-nil.
+// Instruments are sorted by name; encoding/json sorts the series map keys,
+// so the JSON form is deterministic.
+func (r *Registry) Dump(s *Sampler) Dump {
+	d := Dump{Instruments: make([]DumpInstrument, 0, len(r.order))}
+	for _, in := range r.sorted() {
+		di := DumpInstrument{Name: in.name, Kind: in.kind.String(), Value: round(in.Value())}
+		if in.dist != nil {
+			sum := in.dist.Summary()
+			di.Dist = &sum
+		}
+		d.Instruments = append(d.Instruments, di)
+	}
+	if s != nil && s.Len() > 0 {
+		ser := &DumpSeries{
+			EpochCycles: s.epoch,
+			Values:      make(map[string][]float64, len(r.order)),
+		}
+		samples := s.Samples()
+		for _, smp := range samples {
+			ser.Cycles = append(ser.Cycles, smp.Cycle)
+		}
+		for i, in := range r.order {
+			col := make([]float64, len(samples))
+			for j, smp := range samples {
+				col[j] = smp.Values[i]
+			}
+			ser.Values[in.name] = col
+		}
+		d.Series = ser
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON.
+func (d Dump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteCSV writes the dump as two CSV blocks: a name,kind,value flat table,
+// then (when a series was sampled) a cycle,<instrument...> wide table.
+func (d Dump) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("name,kind,value\n")
+	for _, in := range d.Instruments {
+		fmt.Fprintf(&b, "%s,%s,%s\n", csvField(in.Name), in.Kind, formatFloat(in.Value))
+	}
+	if d.Series != nil {
+		names := make([]string, 0, len(d.Series.Values))
+		for name := range d.Series.Values {
+			names = append(names, name)
+		}
+		// Deterministic column order.
+		sort.Strings(names)
+		b.WriteString("\ncycle")
+		for _, n := range names {
+			b.WriteByte(',')
+			b.WriteString(csvField(n))
+		}
+		b.WriteByte('\n')
+		for i, cyc := range d.Series.Cycles {
+			fmt.Fprintf(&b, "%d", cyc)
+			for _, n := range names {
+				b.WriteByte(',')
+				b.WriteString(formatFloat(d.Series.Values[n][i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Table renders the flat instrument values as an aligned experiment table.
+func (d Dump) Table(title string) *metrics.Table {
+	t := &metrics.Table{Title: title, Headers: []string{"instrument", "kind", "value"}}
+	for _, in := range d.Instruments {
+		val := formatFloat(in.Value)
+		if in.Dist != nil {
+			val = fmt.Sprintf("n=%d mean=%.1f p95=%.1f", in.Dist.Count, in.Dist.Mean, in.Dist.P95)
+		}
+		t.AddRow(in.Name, in.Kind, val)
+	}
+	return t
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package stats
+
+// Sample is one epoch snapshot of every registered instrument.
+type Sample struct {
+	Cycle  uint64
+	Values []float64 // parallel to the registry's registration order
+}
+
+// DefaultRingCap bounds retained samples when no capacity is given.
+const DefaultRingCap = 4096
+
+// Sampler snapshots a registry every epoch into a bounded ring of samples
+// (oldest dropped), driven by the machine's tick loop. Counters and gauges
+// sample their cumulative/instant value; rates sample the delta since the
+// previous snapshot; distributions sample their observation count.
+type Sampler struct {
+	reg   *Registry
+	epoch uint64 // cycles per sample (informational; the driver keeps time)
+
+	ring []Sample
+	head int // index of the oldest sample
+	n    int
+
+	prev    []float64 // previous raw reads, for rate deltas
+	hasPrev bool
+}
+
+// NewSampler builds a sampler over reg. epochCycles records the intended
+// sampling period for the dump schema; ringCap bounds retained samples
+// (0 = DefaultRingCap).
+func NewSampler(reg *Registry, epochCycles uint64, ringCap int) *Sampler {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Sampler{
+		reg:   reg,
+		epoch: epochCycles,
+		ring:  make([]Sample, 0, ringCap),
+		prev:  make([]float64, reg.Len()),
+	}
+}
+
+// EpochCycles reports the configured sampling period.
+func (s *Sampler) EpochCycles() uint64 { return s.epoch }
+
+// Sample snapshots every instrument at the given cycle.
+func (s *Sampler) Sample(cycle uint64) {
+	vals := make([]float64, len(s.reg.order))
+	for i, in := range s.reg.order {
+		raw := in.Value()
+		switch in.kind {
+		case KindRate:
+			if s.hasPrev {
+				vals[i] = round(raw - s.prev[i])
+			} else {
+				vals[i] = round(raw)
+			}
+		default:
+			vals[i] = round(raw)
+		}
+		s.prev[i] = raw
+	}
+	s.hasPrev = true
+
+	smp := Sample{Cycle: cycle, Values: vals}
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, smp)
+		s.n = len(s.ring)
+		return
+	}
+	// Ring full: overwrite the oldest.
+	s.ring[s.head] = smp
+	s.head = (s.head + 1) % len(s.ring)
+}
+
+// Len reports the number of retained samples.
+func (s *Sampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.ring)
+}
+
+// Samples returns the retained samples oldest-first.
+func (s *Sampler) Samples() []Sample {
+	if s == nil || len(s.ring) == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, len(s.ring))
+	for i := 0; i < len(s.ring); i++ {
+		out = append(out, s.ring[(s.head+i)%len(s.ring)])
+	}
+	return out
+}

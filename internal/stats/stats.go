@@ -1,0 +1,300 @@
+// Package stats is the simulator's gem5-style statistics framework: a
+// registry of named, typed instruments that every simulated component
+// registers into at construction, an epoch-driven time-series sampler that
+// snapshots the registry into a bounded ring, and exporters (flat JSON/CSV,
+// an aligned-text summary, and a Chrome trace-event timeline loadable in
+// Perfetto).
+//
+// The framework is strictly observational: instruments read component state,
+// they never own it, so enabling or disabling sampling cannot change a
+// simulated result. Everything is deterministic — two runs from the same seed
+// produce byte-identical dumps — which makes a stats dump diffable across
+// commits the way gem5's stats.txt is.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind types an instrument, mirroring gem5's Scalar / Formula / Distribution
+// split.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	// KindCounter is a monotonically increasing count read from the owning
+	// component (requests served, rows missed, instructions committed).
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level (queue depth, ROB occupancy,
+	// bandwidth-usage fraction); the time series of gauges is what the
+	// timeline exporter charts.
+	KindGauge
+	// KindRate is a counter whose *series* records per-epoch deltas rather
+	// than the cumulative value, for bandwidth-over-time style plots.
+	KindRate
+	// KindDist is a Distribution with reservoir-sampled percentiles.
+	KindDist
+)
+
+// String names the kind for the dump schema.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindRate:
+		return "rate"
+	case KindDist:
+		return "dist"
+	default:
+		return "?"
+	}
+}
+
+// Instrument is one named statistic. Scalar instruments are backed by a read
+// closure into the owning component; distributions own their reservoir.
+type Instrument struct {
+	name string
+	kind Kind
+	read func() float64 // scalar kinds
+	dist *Distribution  // KindDist
+}
+
+// Name returns the instrument's registered name.
+func (in *Instrument) Name() string { return in.name }
+
+// Kind returns the instrument's kind.
+func (in *Instrument) Kind() Kind { return in.kind }
+
+// Value reads the instrument's current scalar value (a distribution reads as
+// its observation count).
+func (in *Instrument) Value() float64 {
+	if in.dist != nil {
+		return float64(in.dist.Count())
+	}
+	return in.read()
+}
+
+// Dist returns the backing distribution (nil for scalar instruments).
+func (in *Instrument) Dist() *Distribution { return in.dist }
+
+// Registry holds a simulation's instruments. Names are hierarchical
+// dot-paths ("cpu0.rob_occupancy", "dram.row_hits") and must be unique;
+// registering a duplicate panics, as component wiring is programmer-supplied,
+// not user input. Not safe for concurrent use; the simulator is
+// single-goroutine.
+type Registry struct {
+	byName map[string]*Instrument
+	order  []*Instrument // registration order; exports sort by name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Instrument)}
+}
+
+func (r *Registry) add(in *Instrument) *Instrument {
+	if _, dup := r.byName[in.name]; dup {
+		panic(fmt.Sprintf("stats: duplicate instrument %q", in.name))
+	}
+	r.byName[in.name] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter registers a monotonic counter backed by read.
+func (r *Registry) Counter(name string, read func() uint64) *Instrument {
+	return r.add(&Instrument{name: name, kind: KindCounter,
+		read: func() float64 { return float64(read()) }})
+}
+
+// Gauge registers an instantaneous level backed by read.
+func (r *Registry) Gauge(name string, read func() float64) *Instrument {
+	return r.add(&Instrument{name: name, kind: KindGauge, read: read})
+}
+
+// Rate registers a counter whose sampled series records per-epoch deltas.
+func (r *Registry) Rate(name string, read func() uint64) *Instrument {
+	return r.add(&Instrument{name: name, kind: KindRate,
+		read: func() float64 { return float64(read()) }})
+}
+
+// Distribution registers and returns a reservoir distribution of up to size
+// samples (0 = DefaultReservoir). The reservoir's replacement RNG is seeded
+// from the instrument name, so dumps are reproducible run-to-run.
+func (r *Registry) Distribution(name string, size int) *Distribution {
+	d := newDistribution(name, size)
+	r.add(&Instrument{name: name, kind: KindDist, dist: d})
+	return d
+}
+
+// Len reports the number of registered instruments.
+func (r *Registry) Len() int { return len(r.order) }
+
+// Get returns the instrument registered under name, or nil.
+func (r *Registry) Get(name string) *Instrument { return r.byName[name] }
+
+// Each calls f for every instrument in registration order.
+func (r *Registry) Each(f func(in *Instrument)) {
+	for _, in := range r.order {
+		f(in)
+	}
+}
+
+// sorted returns the instruments ordered by name (the export order).
+func (r *Registry) sorted() []*Instrument {
+	out := make([]*Instrument, len(r.order))
+	copy(out, r.order)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// DefaultReservoir is the distribution reservoir size when none is given.
+const DefaultReservoir = 1024
+
+// Distribution accumulates observations with count/sum/min/max plus a
+// fixed-size reservoir (Vitter's algorithm R) from which percentiles are
+// computed at export time. Replacement uses a deterministic xorshift64 stream
+// seeded from the instrument name, so the same observation sequence always
+// keeps the same reservoir.
+type Distribution struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	res      []float64
+	cap      int
+	rng      uint64
+	seed     uint64
+}
+
+func newDistribution(name string, size int) *Distribution {
+	if size <= 0 {
+		size = DefaultReservoir
+	}
+	// FNV-1a over the name; xorshift64 must not start at 0.
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return &Distribution{cap: size, rng: h, seed: h, res: make([]float64, 0, size)}
+}
+
+func (d *Distribution) next() uint64 {
+	x := d.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rng = x
+	return x
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v float64) {
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+	if len(d.res) < d.cap {
+		d.res = append(d.res, v)
+		return
+	}
+	if j := d.next() % d.count; j < uint64(d.cap) {
+		d.res[j] = v
+	}
+}
+
+// Count reports the number of observations.
+func (d *Distribution) Count() uint64 { return d.count }
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Quantile returns the p-th percentile (0 < p <= 100) estimated from the
+// reservoir, by nearest rank on a sorted copy.
+func (d *Distribution) Quantile(p float64) float64 {
+	if len(d.res) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(d.res))
+	copy(sorted, d.res)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Reset restores the distribution to its initial state, including the
+// reservoir RNG, so post-warm-up measurement windows are reproducible.
+func (d *Distribution) Reset() {
+	d.count = 0
+	d.sum = 0
+	d.min = 0
+	d.max = 0
+	d.res = d.res[:0]
+	d.rng = d.seed
+}
+
+// DistSummary is a distribution's export form.
+type DistSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary computes the export form. Percentiles sort the reservoir once.
+func (d *Distribution) Summary() DistSummary {
+	s := DistSummary{Count: d.count, Mean: d.Mean(), Min: d.min, Max: d.max}
+	if len(d.res) == 0 {
+		return s
+	}
+	sorted := make([]float64, len(d.res))
+	copy(sorted, d.res)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		rank := int(p/100*float64(len(sorted))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return sorted[rank]
+	}
+	s.P50, s.P95, s.P99 = at(50), at(95), at(99)
+	return s
+}
+
+// round trims float noise for export stability: values that are integral
+// stay integral, everything else keeps full precision (Go's shortest-repr
+// float formatting is already deterministic).
+func round(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,318 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup", func() float64 { return 0 })
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	in := r.Counter("a.count", func() uint64 { return 7 })
+	if r.Len() != 1 || r.Get("a.count") != in || r.Get("missing") != nil {
+		t.Fatal("registry lookup broken")
+	}
+	if in.Name() != "a.count" || in.Kind() != KindCounter || in.Value() != 7 {
+		t.Fatalf("instrument = %s/%v/%v", in.Name(), in.Kind(), in.Value())
+	}
+}
+
+// TestSamplerKinds checks the per-kind sampling semantics: counters and
+// gauges record the raw read, rates record the delta since the previous
+// epoch (first sample = cumulative).
+func TestSamplerKinds(t *testing.T) {
+	var count uint64
+	var level float64
+	r := NewRegistry()
+	r.Counter("c", func() uint64 { return count })
+	r.Gauge("g", func() float64 { return level })
+	r.Rate("r", func() uint64 { return count })
+
+	s := NewSampler(r, 100, 0)
+	count, level = 10, 1.5
+	s.Sample(100)
+	count, level = 25, 0.5
+	s.Sample(200)
+
+	smp := s.Samples()
+	if len(smp) != 2 {
+		t.Fatalf("samples = %d, want 2", len(smp))
+	}
+	// Registration order: c, g, r.
+	if got := smp[0].Values; got[0] != 10 || got[1] != 1.5 || got[2] != 10 {
+		t.Fatalf("first sample = %v", got)
+	}
+	if got := smp[1].Values; got[0] != 25 || got[1] != 0.5 || got[2] != 15 {
+		t.Fatalf("second sample = %v (rate delta should be 15)", got)
+	}
+	if smp[0].Cycle != 100 || smp[1].Cycle != 200 {
+		t.Fatalf("cycles = %d,%d", smp[0].Cycle, smp[1].Cycle)
+	}
+}
+
+func TestSamplerRingWraps(t *testing.T) {
+	var v uint64
+	r := NewRegistry()
+	r.Counter("c", func() uint64 { return v })
+	s := NewSampler(r, 10, 4)
+	for i := uint64(1); i <= 10; i++ {
+		v = i
+		s.Sample(i * 10)
+	}
+	smp := s.Samples()
+	if len(smp) != 4 {
+		t.Fatalf("ring kept %d samples, want 4", len(smp))
+	}
+	// Oldest-first: cycles 70..100.
+	for i, want := range []uint64{70, 80, 90, 100} {
+		if smp[i].Cycle != want {
+			t.Fatalf("sample %d cycle = %d, want %d", i, smp[i].Cycle, want)
+		}
+	}
+	if smp[3].Values[0] != 10 {
+		t.Fatalf("latest value = %v, want 10", smp[3].Values[0])
+	}
+}
+
+// TestDistributionDeterministic drives two same-named distributions past
+// their reservoir capacity with the same observation stream and requires
+// identical summaries — the reservoir RNG is seeded from the name.
+func TestDistributionDeterministic(t *testing.T) {
+	obs := func(d *Distribution) {
+		x := uint64(99)
+		for i := 0; i < 5000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			d.Observe(float64(x % 100000))
+		}
+	}
+	d1 := newDistribution("lat", 64)
+	d2 := newDistribution("lat", 64)
+	obs(d1)
+	obs(d2)
+	if d1.Summary() != d2.Summary() {
+		t.Fatalf("same stream diverged: %+v vs %+v", d1.Summary(), d2.Summary())
+	}
+	if d1.Count() != 5000 {
+		t.Fatalf("count = %d", d1.Count())
+	}
+
+	// Reset restores the RNG too: replaying the stream reproduces the
+	// summary exactly.
+	before := d1.Summary()
+	d1.Reset()
+	if d1.Count() != 0 || d1.Mean() != 0 || d1.Quantile(95) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	obs(d1)
+	if d1.Summary() != before {
+		t.Fatalf("post-Reset replay diverged: %+v vs %+v", d1.Summary(), before)
+	}
+}
+
+func TestDistributionSmall(t *testing.T) {
+	d := newDistribution("small", 8)
+	for _, v := range []float64{5, 1, 9, 3} {
+		d.Observe(v)
+	}
+	s := d.Summary()
+	if s.Count != 4 || s.Min != 1 || s.Max != 9 || s.Mean != 4.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 3 || s.P99 != 9 {
+		t.Fatalf("p50=%v p99=%v", s.P50, s.P99)
+	}
+}
+
+// TestDumpDeterministic builds the same registry+sampler twice and requires
+// byte-identical JSON and CSV exports.
+func TestDumpDeterministic(t *testing.T) {
+	build := func() Dump {
+		var c uint64
+		r := NewRegistry()
+		// Register out of name order to check the export sorts.
+		r.Gauge("z.depth", func() float64 { return float64(c) / 2 })
+		r.Counter("a.served", func() uint64 { return c })
+		r.Rate("m.rate", func() uint64 { return c * 3 })
+		d := r.Distribution("k.lat", 16)
+		s := NewSampler(r, 50, 0)
+		for i := uint64(1); i <= 5; i++ {
+			c = i * 7
+			d.Observe(float64(i))
+			s.Sample(i * 50)
+		}
+		return r.Dump(s)
+	}
+	var j1, j2, c1, c2 bytes.Buffer
+	d1, d2 := build(), build()
+	if err := d1.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON dumps differ between identical builds")
+	}
+	if err := d1.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("CSV dumps differ between identical builds")
+	}
+
+	// Instruments are exported sorted by name.
+	names := make([]string, len(d1.Instruments))
+	for i, in := range d1.Instruments {
+		names[i] = in.Name
+	}
+	want := []string{"a.served", "k.lat", "m.rate", "z.depth"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("export order = %v, want %v", names, want)
+		}
+	}
+	if d1.Instruments[1].Dist == nil || d1.Instruments[1].Dist.Count != 5 {
+		t.Fatalf("distribution summary missing: %+v", d1.Instruments[1])
+	}
+	if d1.Series == nil || len(d1.Series.Cycles) != 5 || d1.Series.EpochCycles != 50 {
+		t.Fatalf("series = %+v", d1.Series)
+	}
+	// Rate series carries deltas: reads are 7,14,21,... so deltas are 21.
+	if col := d1.Series.Values["m.rate"]; col[0] != 21 || col[4] != 21 {
+		t.Fatalf("rate series = %v", col)
+	}
+}
+
+func TestDumpCSVShape(t *testing.T) {
+	var c uint64 = 3
+	r := NewRegistry()
+	r.Counter("served", func() uint64 { return c })
+	s := NewSampler(r, 10, 0)
+	s.Sample(10)
+	var buf bytes.Buffer
+	if err := r.Dump(s).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,kind,value\nserved,counter,3\n\ncycle,served\n10,3\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestDumpTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", func() uint64 { return 42 })
+	tbl := r.Dump(nil).Table("title")
+	s := tbl.String()
+	if !strings.Contains(s, "hits") || !strings.Contains(s, "42") {
+		t.Fatalf("table missing instrument row:\n%s", s)
+	}
+}
+
+// TestTimelineJSON asserts the exporter emits a Chrome trace-event object
+// that round-trips through encoding/json with the expected phases.
+func TestTimelineJSON(t *testing.T) {
+	var level float64
+	r := NewRegistry()
+	r.Gauge("q.depth", func() float64 { return level })
+	r.Counter("q.count", func() uint64 { return uint64(level) }) // filtered out below
+	s := NewSampler(r, 100, 0)
+	level = 2
+	s.Sample(100)
+	level = 5
+	s.Sample(200)
+
+	tl := NewTimeline()
+	tl.ProcessName(1, "run 1")
+	tl.ThreadName(1, 0, "core 0")
+	tl.Complete(1, 0, "pc 0x40", "lc-load", 150, 30, map[string]any{"critical": true})
+	tl.Instant(1, 0, "promoted", "starvation", 180)
+	tl.AddSeries(1, r, s, func(in *Instrument) bool { return in.Kind() == KindGauge })
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Name == "q.count" {
+			t.Fatal("filtered instrument leaked into the timeline")
+		}
+	}
+	// 2 metadata, 1 complete, 1 instant, 2 gauge counter samples.
+	if phases["M"] != 2 || phases["X"] != 1 || phases["i"] != 1 || phases["C"] != 2 {
+		t.Fatalf("phase histogram = %v", phases)
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			if ev.Ts != 150.0/CyclesPerTick || ev.Dur != 30.0/CyclesPerTick {
+				t.Fatalf("complete event ts/dur = %v/%v", ev.Ts, ev.Dur)
+			}
+		}
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "/gc/") {
+		t.Fatalf("debug metrics: status %d, body %q...", resp.StatusCode, string(body[:min(len(body), 80)]))
+	}
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp2.StatusCode)
+	}
+}

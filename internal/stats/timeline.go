@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CyclesPerTick converts simulated cycles to trace-event timestamp ticks.
+// The Chrome trace-event format counts microseconds; we map 1 "microsecond"
+// to 1000 cycles so a millisecond on the Perfetto ruler reads as one million
+// cycles — close to one wall millisecond at the modelled 2.4 GHz clock.
+const CyclesPerTick = 1000.0
+
+// TraceEvent is one Chrome trace-event record (the JSON array format that
+// chrome://tracing and ui.perfetto.dev load directly).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline accumulates trace events for one or more simulation runs
+// (distinguished by pid) and serialises them as a trace-event JSON object.
+type Timeline struct {
+	events []TraceEvent
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Len reports the number of accumulated events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// ProcessName labels a pid's track group (one simulation run).
+func (t *Timeline) ProcessName(pid int, name string) {
+	t.events = append(t.events, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName labels one tid within a pid (e.g. "core 0 requests").
+func (t *Timeline) ThreadName(pid, tid int, name string) {
+	t.events = append(t.events, TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete adds a duration ("X") event spanning [startCycle,
+// startCycle+durCycles) on the given track.
+func (t *Timeline) Complete(pid, tid int, name, cat string, startCycle, durCycles uint64, args map[string]any) {
+	dur := float64(durCycles) / CyclesPerTick
+	if dur <= 0 {
+		dur = 1 / CyclesPerTick // zero-width events vanish in viewers
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: float64(startCycle) / CyclesPerTick, Dur: dur,
+		Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Counter adds a counter ("C") event: the named track charts its args values
+// over time (queue depths, occupancies, usage fractions).
+func (t *Timeline) Counter(pid int, name string, cycle uint64, values map[string]float64) {
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = round(v)
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Ph: "C",
+		Ts:  float64(cycle) / CyclesPerTick,
+		Pid: pid, Args: args,
+	})
+}
+
+// Instant adds an instant ("i") event marking a point in time (a starvation
+// promotion, an RRBP refresh).
+func (t *Timeline) Instant(pid, tid int, name, cat string, cycle uint64) {
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i",
+		Ts:  float64(cycle) / CyclesPerTick,
+		Pid: pid, Tid: tid,
+		Args: map[string]any{"s": "t"},
+	})
+}
+
+// AddSeries charts a sampled series as counter events on pid: one counter
+// track per instrument name, one event per sample. Only gauge and rate
+// instruments make useful counter tracks; the caller filters.
+func (t *Timeline) AddSeries(pid int, reg *Registry, s *Sampler, keep func(in *Instrument) bool) {
+	if s == nil || s.Len() == 0 {
+		return
+	}
+	samples := s.Samples()
+	for i, in := range reg.order {
+		if keep != nil && !keep(in) {
+			continue
+		}
+		for _, smp := range samples {
+			t.Counter(pid, in.name, smp.Cycle, map[string]float64{"value": smp.Values[i]})
+		}
+	}
+}
+
+// traceFile is the trace-event JSON object form.
+type traceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteJSON serialises the timeline as a Chrome trace-event JSON object that
+// chrome://tracing and ui.perfetto.dev open directly.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents:     t.events,
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]any{
+			"cycles-per-microsecond-tick": CyclesPerTick,
+			"source":                      "pivot simulator",
+		},
+	})
+}

@@ -36,6 +36,7 @@ var (
 // Writer serialises micro-ops. It wraps the target in a buffered writer;
 // call Close to flush and finalise the header count.
 type Writer struct {
+	dst   io.Writer
 	w     *bufio.Writer
 	count uint64
 	buf   [recordBytes]byte
@@ -54,7 +55,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{dst: w, w: bw}, nil
 }
 
 // Write appends one op.
@@ -83,12 +84,36 @@ func (t *Writer) Write(op cpu.MicroOp) error {
 // Count reports the ops written so far.
 func (t *Writer) Count() uint64 { return t.count }
 
-// Close flushes buffered records.
+// Close flushes buffered records and, when the target is an io.Seeker,
+// backpatches the header's op count so Readers learn the exact length up
+// front. Non-seekable targets keep the zero count (read-to-EOF).
 func (t *Writer) Close() error {
 	if t.err != nil {
 		return t.err
 	}
-	return t.w.Flush()
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+		return err
+	}
+	s, ok := t.dst.(io.Seeker)
+	if !ok {
+		return nil
+	}
+	if _, err := s.Seek(8, io.SeekStart); err != nil {
+		t.err = err
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], t.count)
+	if _, err := t.dst.Write(cnt[:]); err != nil {
+		t.err = err
+		return err
+	}
+	if _, err := s.Seek(0, io.SeekEnd); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
 }
 
 // Reader deserialises a trace and implements cpu.Stream.
@@ -144,6 +169,10 @@ func (t *Reader) Next(op *cpu.MicroOp) bool {
 	t.read++
 	return true
 }
+
+// Declared reports the op count recorded in the header (0 = unknown; the
+// stream came from a non-seekable writer and must be read to EOF).
+func (t *Reader) Declared() uint64 { return t.count }
 
 // Err reports a mid-stream decode error (nil on clean EOF).
 func (t *Reader) Err() error { return t.err }

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
 	"testing"
 	"testing/quick"
 
@@ -141,5 +144,89 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCloseBackpatchesCount writes a trace to a real file (an io.Seeker) and
+// checks Close rewrites the header's op-count field, that a Reader sees the
+// declared count, and that truncation past the declared count is detected by
+// the count-bounded read loop.
+func TestCloseBackpatchesCount(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "trace-*.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 37
+	for i := 0; i < n; i++ {
+		if err := w.Write(cpu.MicroOp{PC: uint64(0x1000 + 4*i), Kind: cpu.OpALU, Lat: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The raw header field at offset 8 must carry the count.
+	raw := make([]byte, 16)
+	if _, err := f.ReadAt(raw, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(raw[8:]); got != n {
+		t.Fatalf("header count = %d, want %d", got, n)
+	}
+
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Declared() != n {
+		t.Fatalf("Declared() = %d, want %d", r.Declared(), n)
+	}
+	var op cpu.MicroOp
+	var read int
+	for r.Next(&op) {
+		read++
+	}
+	if read != n || r.Err() != nil {
+		t.Fatalf("read %d ops (err %v), want %d", read, r.Err(), n)
+	}
+}
+
+// TestCloseNonSeekableKeepsZeroCount: a bytes.Buffer writer cannot be
+// backpatched; the header count stays zero and readers run to EOF.
+func TestCloseNonSeekableKeepsZeroCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(cpu.MicroOp{PC: 0x10, Kind: cpu.OpALU}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Declared() != 0 {
+		t.Fatalf("Declared() = %d, want 0 for non-seekable target", r.Declared())
+	}
+	var op cpu.MicroOp
+	if !r.Next(&op) || op.PC != 0x10 {
+		t.Fatal("op did not survive non-seekable round trip")
+	}
+	if r.Next(&op) {
+		t.Fatal("phantom op after EOF")
 	}
 }
