@@ -14,9 +14,37 @@ import (
 	"pivot/internal/exp"
 	"pivot/internal/machine"
 	"pivot/internal/mem"
+	"pivot/internal/metrics"
 	"pivot/internal/rrbp"
 	"pivot/internal/workload"
 )
+
+// mustRun / mustCalib / mustTable unwrap the exp layer's error returns;
+// any simulation failure fails the benchmark immediately.
+func mustRun(b *testing.B, ctx *exp.Context, spec exp.RunSpec) exp.RunResult {
+	b.Helper()
+	r, err := ctx.Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func mustCalib(b *testing.B, ctx *exp.Context, app string) *exp.AppCalib {
+	b.Helper()
+	cal, err := ctx.Calib(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cal
+}
+
+func mustTable(t *metrics.Table, err error) *metrics.Table {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
 
 var (
 	benchOnce sync.Once
@@ -35,8 +63,9 @@ func benchContext(b *testing.B) *exp.Context {
 		s.LoadFracs = []float64{0.2, 0.6}
 		s.MaxBEThreads = 3
 		benchCtx = exp.NewContext(machine.KunpengConfig(4), s)
-		// Pre-warm the caches every benchmark shares.
-		benchCtx.Calib(workload.Masstree)
+		// Pre-warm the caches every benchmark shares. An error here is
+		// cached and resurfaces in the first benchmark's mustCalib.
+		benchCtx.Calib(workload.Masstree) //nolint:errcheck
 		benchCtx.Potential(workload.Masstree)
 	})
 	return benchCtx
@@ -49,7 +78,7 @@ func benchColo(b *testing.B, mth exp.Method, app string, load int, threads int) 
 	ctx := benchContext(b)
 	var last exp.RunResult
 	for i := 0; i < b.N; i++ {
-		last = ctx.Run(exp.RunSpec{Method: mth,
+		last = mustRun(b, ctx, exp.RunSpec{Method: mth,
 			LCs: []exp.LCSpec{{App: app, LoadPct: load}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: threads}}})
 	}
@@ -83,8 +112,12 @@ func BenchmarkFig03MaxBEThroughput(b *testing.B) {
 	ctx := benchContext(b)
 	var v float64
 	for i := 0; i < b.N; i++ {
-		v = ctx.MaxBEThroughput(exp.MethodPIVOT(),
+		var err error
+		v, err = ctx.MaxBEThroughput(exp.MethodPIVOT(),
 			[]exp.LCSpec{{App: workload.Masstree, LoadPct: 70}}, workload.IBench, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(v, "be-throughput-norm")
 }
@@ -93,7 +126,7 @@ func BenchmarkFig05CycleSplit(b *testing.B) {
 	ctx := benchContext(b)
 	var split [mem.NumComponents]float64
 	for i := 0; i < b.N; i++ {
-		r := ctx.Run(exp.RunSpec{Method: exp.MethodDefault(),
+		r := mustRun(b, ctx, exp.RunSpec{Method: exp.MethodDefault(),
 			LCs: []exp.LCSpec{{App: workload.Masstree, LoadPct: 70}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: 3}}})
 		split = r.Split
@@ -110,7 +143,7 @@ func BenchmarkFig07LeaveOneOut(b *testing.B) {
 	ctx := benchContext(b)
 	var p95 uint32
 	for i := 0; i < b.N; i++ {
-		r := ctx.Run(exp.RunSpec{Method: exp.MethodFullPath(),
+		r := mustRun(b, ctx, exp.RunSpec{Method: exp.MethodFullPath(),
 			LCs: []exp.LCSpec{{App: workload.Masstree, LoadPct: 70}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: 3}},
 			Opt: machine.Options{DisableMSC: mem.CompMemCtrl}})
@@ -134,7 +167,7 @@ func BenchmarkFig12LoadLatencyCurve(b *testing.B) {
 	ctx := benchContext(b)
 	var knee float64
 	for i := 0; i < b.N; i++ {
-		cal := ctx.Calib(workload.Masstree)
+		cal := mustCalib(b, ctx, workload.Masstree)
 		knee = float64(cal.QoSTarget)
 	}
 	b.ReportMetric(knee, "qos-cycles")
@@ -162,7 +195,7 @@ func BenchmarkFig15TwoLCHeatmapCell(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{
 				{App: workload.Xapian, LoadPct: 30},
 				{App: workload.ImgDNN, LoadPct: 30},
@@ -176,7 +209,7 @@ func BenchmarkFig16CloudSuiteBE(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Xapian, LoadPct: 50}},
 			BEs: []exp.BESpec{{App: workload.DataAn, Threads: 3}}})
 	}
@@ -188,7 +221,7 @@ func BenchmarkFig17TwoBE(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Silo, LoadPct: 50}},
 			BEs: []exp.BESpec{
 				{App: workload.GraphAn, Threads: 2},
@@ -202,7 +235,7 @@ func BenchmarkFig18TwoLCFrontier(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{
 				{App: workload.Silo, LoadPct: 50},
 				{App: workload.Masstree, LoadPct: 30},
@@ -219,7 +252,7 @@ func BenchmarkFig19ThreeLC(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{
 				{App: workload.Xapian, LoadPct: 30},
 				{App: workload.Masstree, LoadPct: 20},
@@ -248,7 +281,7 @@ func BenchmarkFig21RunAloneIPC(b *testing.B) {
 	ctx := benchContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodDefault(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodDefault(),
 			LCs: []exp.LCSpec{{App: workload.Masstree, LoadPct: 70}}})
 	}
 	b.ReportMetric(r.LCIPC[0], "lc-ipc")
@@ -261,7 +294,7 @@ func BenchmarkFig22RRBP16Entries(b *testing.B) {
 	cfg.RefreshCycles = machine.ScaledRRBPRefresh
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Masstree, LoadPct: 70}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: 3}},
 			Opt: machine.Options{RRBP: cfg}})
@@ -275,7 +308,7 @@ func BenchmarkSensitivityRefresh(b *testing.B) {
 	cfg.RefreshCycles = machine.ScaledRRBPRefresh / 2
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Masstree, LoadPct: 70}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: 3}},
 			Opt: machine.Options{RRBP: cfg}})
@@ -306,7 +339,7 @@ func BenchmarkFig23NeoversePIVOT(b *testing.B) {
 	ctx := neoverseContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Silo, LoadPct: 50}},
 			BEs: []exp.BESpec{{App: workload.IBench, Threads: 3}}})
 	}
@@ -317,7 +350,7 @@ func BenchmarkFig24NeoverseCloudSuite(b *testing.B) {
 	ctx := neoverseContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodCLITE(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodCLITE(),
 			LCs: []exp.LCSpec{{App: workload.Xapian, LoadPct: 50}},
 			BEs: []exp.BESpec{{App: workload.DataAn, Threads: 3}}})
 	}
@@ -328,7 +361,7 @@ func BenchmarkFig25NeoverseTwoBE(b *testing.B) {
 	ctx := neoverseContext(b)
 	var r exp.RunResult
 	for i := 0; i < b.N; i++ {
-		r = ctx.Run(exp.RunSpec{Method: exp.MethodPIVOT(),
+		r = mustRun(b, ctx, exp.RunSpec{Method: exp.MethodPIVOT(),
 			LCs: []exp.LCSpec{{App: workload.Moses, LoadPct: 50}},
 			BEs: []exp.BESpec{
 				{App: workload.GraphAn, Threads: 2},
@@ -343,14 +376,14 @@ func BenchmarkFig25NeoverseTwoBE(b *testing.B) {
 func BenchmarkTable1Workloads(b *testing.B) {
 	ctx := benchContext(b)
 	for i := 0; i < b.N; i++ {
-		_ = ctx.Table1().String()
+		_ = mustTable(ctx.Table1()).String()
 	}
 }
 
 func BenchmarkTable2KunpengConfig(b *testing.B) {
 	ctx := benchContext(b)
 	for i := 0; i < b.N; i++ {
-		_ = ctx.Table2().String()
+		_ = mustTable(ctx.Table2()).String()
 	}
 }
 

@@ -9,6 +9,16 @@
 // Each experiment prints a text table whose rows/series mirror the paper's
 // figure; EXPERIMENTS.md records the paper-vs-measured comparison.
 //
+// Robustness: experiments run through the resilient harness
+// (internal/harness). -parallel runs several experiments concurrently
+// (results stay identical to serial execution), -timeout bounds each
+// experiment's wall clock, -watchdog aborts any simulation making no forward
+// progress, -audit enables the machine's per-epoch invariant auditor, and
+// -journal/-resume let an interrupted sweep pick up where it stopped. A
+// failing experiment no longer kills the sweep: the rest complete, a failure
+// summary (with machine diagnostic dumps) goes to stderr, and the exit
+// status is 1.
+//
 // Observability: -stats-out/-timeline-out instrument every co-location run
 // with the gem5-style stats registry (sampled every -stats-epoch cycles)
 // and export the most recent run's flat dump and Perfetto-loadable
@@ -18,13 +28,17 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pivot/internal/exp"
+	"pivot/internal/harness"
 	"pivot/internal/machine"
+	"pivot/internal/metrics"
 	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
@@ -34,6 +48,12 @@ func main() {
 	cores := flag.Int("cores", 8, "simulated core count")
 	quiet := flag.Bool("quiet", false, "suppress calibration progress notes")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (same results as serial)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline per experiment (0 = none)")
+	journalPath := flag.String("journal", "", "JSONL journal of completed experiments (enables -resume)")
+	resume := flag.Bool("resume", false, "replay completed experiments from -journal instead of recomputing")
+	audit := flag.Bool("audit", false, "audit simulator invariants (request conservation, queue bounds, bandwidth credit) every epoch")
+	watchdog := flag.Uint64("watchdog", uint64(machine.DefaultWatchdogWindow), "abort a run if no instruction commits for this many cycles (0 = off)")
 	statsOut := flag.String("stats-out", "", "write the last run's stats dump here (JSON; CSV with a .csv suffix)")
 	statsEpoch := flag.Uint64("stats-epoch", uint64(machine.DefaultStatsEpoch), "stats sampling period in cycles")
 	timelineOut := flag.String("timeline-out", "", "write the last run's Chrome trace-event timeline here (open in Perfetto)")
@@ -66,6 +86,8 @@ func main() {
 	if *statsOut != "" || *timelineOut != "" {
 		ctx.StatsEpoch = sim.Cycle(*statsEpoch)
 	}
+	ctx.Watchdog = sim.Cycle(*watchdog)
+	ctx.Audit = *audit
 
 	reg := exp.Registry()
 	if args[0] == "list" {
@@ -79,19 +101,42 @@ func main() {
 	if args[0] == "all" {
 		ids = exp.IDs()
 	}
-	for _, id := range ids {
-		e, ok := reg[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "pivot-exp: unknown experiment %q (try 'list')\n", id)
-			os.Exit(2)
+
+	render := func(t *metrics.Table) string { return t.String() + "\n" }
+	if *csv {
+		render = func(t *metrics.Table) string { return fmt.Sprintf("# %s\n%s\n", t.Title, t.CSV()) }
+	}
+	jobs, err := harness.ExperimentJobs(ctx, ids, render)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivot-exp: %v (try 'list')\n", err)
+		os.Exit(2)
+	}
+	runner, err := harness.New(harness.Config{
+		Parallel:    *parallel,
+		Timeout:     *timeout,
+		JournalPath: *journalPath,
+		Resume:      *resume,
+		Out:         progressWriter(*quiet),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+		os.Exit(1)
+	}
+	results := runner.Run(jobs)
+
+	// Emit completed experiments in sweep order; collect failures.
+	var failed []harness.Result
+	for _, res := range results {
+		if res.Err != nil {
+			failed = append(failed, res)
+			continue
 		}
-		for _, t := range e.Run(ctx) {
-			if *csv {
-				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
-			} else {
-				fmt.Println(t.String())
-			}
+		text, err := harness.ValueAs[string](res)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: decoding journaled %s: %v\n", res.ID, err)
+			os.Exit(1)
 		}
+		fmt.Print(text)
 	}
 
 	if *statsOut != "" {
@@ -106,37 +151,72 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "\npivot-exp: %d of %d experiment(s) failed:\n", len(failed), len(results))
+		for _, res := range failed {
+			fmt.Fprintf(os.Stderr, "  %-10s %v\n", res.ID, errors.Unwrap(res.Err))
+			var re *harness.RunError
+			if errors.As(res.Err, &re) {
+				if d, ok := re.Diag(); ok {
+					fmt.Fprintf(os.Stderr, "%s\n", indent(d.String(), "    "))
+				}
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+// progressWriter silences harness progress notes under -quiet.
+func progressWriter(quiet bool) *os.File {
+	if quiet {
+		return nil
+	}
+	return os.Stderr
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, ln := range lines {
+		lines[i] = prefix + ln
+	}
+	return strings.Join(lines, "\n")
 }
 
 func writeStats(ctx *exp.Context, path string) error {
-	if ctx.Stats == nil {
+	d := ctx.LastStats()
+	if d == nil {
 		return fmt.Errorf("no instrumented run produced a stats dump (experiment ran no co-location simulation)")
 	}
-	f, err := os.Create(path)
+	var buf bytes.Buffer
+	var err error
+	if strings.HasSuffix(path, ".csv") {
+		err = d.WriteCSV(&buf)
+	} else {
+		err = d.WriteJSON(&buf)
+	}
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".csv") {
-		return ctx.Stats.WriteCSV(f)
-	}
-	return ctx.Stats.WriteJSON(f)
+	return harness.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 func writeTimeline(ctx *exp.Context, path string) error {
-	if ctx.Timeline == nil {
+	tl := ctx.LastTimeline()
+	if tl == nil {
 		return fmt.Errorf("no instrumented run produced a timeline (experiment ran no co-location simulation)")
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	return ctx.Timeline.WriteJSON(f)
+	return harness.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] [-stats-out f] [-timeline-out f] <list | all | experiment-id...>
+	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] [-parallel n] [-timeout d]
+                 [-journal f [-resume]] [-audit] [-watchdog n]
+                 [-stats-out f] [-timeline-out f] <list | all | experiment-id...>
 
 Regenerates the paper's figures/tables as text tables. Experiment ids:
 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig12 fig13 fig13emu fig14 fig15 fig16

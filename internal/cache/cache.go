@@ -70,11 +70,11 @@ type Cache struct {
 	PartStats [8]Stats // indexed by PartID for small machines
 }
 
-// New builds a cache from cfg. It panics on invalid geometry; configurations
-// are programmer-supplied constants, not user input.
-func New(cfg Config) *Cache {
+// New builds a cache from cfg, rejecting impossible geometries with a
+// descriptive error.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
 	c := &Cache{
@@ -88,6 +88,16 @@ func New(cfg Config) *Cache {
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++
+	}
+	return c, nil
+}
+
+// MustNew is New panicking on error, for callers whose configuration was
+// already validated.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

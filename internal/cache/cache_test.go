@@ -28,7 +28,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestLookupInsert(t *testing.T) {
-	c := New(testConfig())
+	c := MustNew(testConfig())
 	if c.Lookup(0x1000, 0) {
 		t.Fatal("hit in empty cache")
 	}
@@ -46,7 +46,7 @@ func TestLookupInsert(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(testConfig()) // 16 sets, 4 ways
+	c := MustNew(testConfig()) // 16 sets, 4 ways
 	// Fill one set (stride = sets*line = 1024).
 	addrs := []uint64{0, 1024, 2048, 3072}
 	for _, a := range addrs {
@@ -63,7 +63,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestWayPartitioning(t *testing.T) {
-	c := New(testConfig())
+	c := MustNew(testConfig())
 	c.SetWayMask(1, 0b0011) // part 1 may only allocate ways 0-1
 
 	// Part 1 streams through one set: at most 2 lines survive.
@@ -81,7 +81,7 @@ func TestWayPartitioning(t *testing.T) {
 	}
 
 	// Unrestricted part 0 lines in other ways are not disturbed.
-	c2 := New(testConfig())
+	c2 := MustNew(testConfig())
 	c2.SetWayMask(1, 0b0001)
 	c2.Insert(0, 0, false)    // way 0 (first free)
 	c2.Insert(1024, 0, false) // way 1
@@ -103,7 +103,7 @@ func TestWayPartitioning(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(testConfig())
+	c := MustNew(testConfig())
 	c.Insert(0x40, 0, true)
 	if !c.Invalidate(0x40) {
 		t.Fatal("invalidate missed present line")
@@ -121,7 +121,7 @@ func TestInvalidate(t *testing.T) {
 // model implementing the same LRU-within-allowed-ways policy.
 func TestCacheInclusionProperty(t *testing.T) {
 	f := func(ops []uint16, seed uint8) bool {
-		c := New(testConfig())
+		c := MustNew(testConfig())
 		present := make(map[uint64]bool)
 		for _, op := range ops {
 			addr := uint64(op%512) * 64
@@ -149,7 +149,7 @@ func TestCacheInclusionProperty(t *testing.T) {
 }
 
 func TestMissRateAndReset(t *testing.T) {
-	c := New(testConfig())
+	c := MustNew(testConfig())
 	c.Lookup(0, 3)
 	c.Insert(0, 3, false)
 	c.Lookup(0, 3)

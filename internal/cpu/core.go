@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
@@ -17,6 +19,20 @@ type Config struct {
 	// LongStall is the ROB-stall-cycle threshold above which a stall counts
 	// as "long" for the RRBP (exceeding the LLC access time, §IV-C).
 	LongStall sim.Cycle
+}
+
+// Validate reports a descriptive error for impossible pipeline geometries.
+func (c Config) Validate() error {
+	switch {
+	case c.ROBSize <= 0:
+		return fmt.Errorf("cpu: ROBSize %d must be positive", c.ROBSize)
+	case c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("cpu: fetch/issue/commit widths must be positive (got %d/%d/%d)",
+			c.FetchWidth, c.IssueWidth, c.CommitWidth)
+	case c.LQSize <= 0 || c.SQSize <= 0:
+		return fmt.Errorf("cpu: LQSize/SQSize must be positive (got %d/%d)", c.LQSize, c.SQSize)
+	}
+	return nil
 }
 
 // Hooks are the observation and decision points the machine wires into a
@@ -416,6 +432,44 @@ func (c *Core) RegisterStats(reg *stats.Registry, prefix string) {
 
 // ROBOccupancy reports the number of in-flight instructions.
 func (c *Core) ROBOccupancy() int { return c.count }
+
+// ROBHead describes the instruction blocking the head of the reorder buffer
+// for diagnostic dumps (which static instruction is the machine stuck on?).
+type ROBHead struct {
+	PC    uint64
+	Kind  OpKind
+	State string // "waiting", "ready", "issued", "done"
+	// StallCycles is how many commit-blocked cycles are attributed to this
+	// entry so far.
+	StallCycles sim.Cycle
+}
+
+// ROBHeadInfo returns the ROB-head instruction, or ok=false when the ROB is
+// empty.
+func (c *Core) ROBHeadInfo() (h ROBHead, ok bool) {
+	if c.count == 0 {
+		return ROBHead{}, false
+	}
+	e := &c.rob[c.head]
+	h = ROBHead{PC: e.op.PC, Kind: e.op.Kind, StallCycles: e.stall}
+	switch e.state {
+	case stWaiting:
+		h.State = "waiting"
+	case stReady:
+		h.State = "ready"
+	case stIssued:
+		h.State = "issued"
+	case stDone:
+		h.State = "done"
+	}
+	return h, true
+}
+
+// LQUsed and SQUsed report load/store-queue occupancy.
+func (c *Core) LQUsed() int { return c.lqUsed }
+
+// SQUsed reports store-queue occupancy.
+func (c *Core) SQUsed() int { return c.sqUsed }
 
 // IPC returns committed instructions per cycle over elapsed cycles.
 func (c *Core) IPC(elapsed sim.Cycle) float64 {

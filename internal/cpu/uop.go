@@ -20,6 +20,20 @@ const (
 	OpStore
 )
 
+// String returns a short human-readable op-kind name.
+func (k OpKind) String() string {
+	switch k {
+	case OpALU:
+		return "ALU"
+	case OpLoad:
+		return "LOAD"
+	case OpStore:
+		return "STORE"
+	default:
+		return "?"
+	}
+}
+
 // Flags on a micro-op.
 const (
 	// FlagReqEnd marks the last op of a latency-critical request; its commit

@@ -72,6 +72,9 @@ type entry struct {
 	enq  sim.Cycle
 	bank int
 	row  int64
+	// ready is the earliest cycle the entry may be served (enq, plus any
+	// injected latency spike).
+	ready sim.Cycle
 }
 
 // Stats captures controller activity for the bandwidth-utilisation figures.
@@ -113,6 +116,10 @@ type Controller struct {
 	// Respond is invoked when a request's data has returned to the core side
 	// (after RespLatency). Set by the machine during wiring.
 	Respond func(r *mem.Req, now sim.Cycle)
+
+	// Fault, when non-nil, injects admission refusals, latency spikes and
+	// grant delays (see mem.Fault); nil in production runs.
+	Fault mem.Fault
 
 	// pendingResp holds completed requests waiting out the response latency,
 	// kept sorted by due cycle (appends are naturally in order because
@@ -172,8 +179,16 @@ func (c *Controller) channelOf(bank int) int { return bank / c.cfg.Banks }
 
 // Accept implements the MSC queue interface.
 func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
+	ready := now
+	if c.Fault != nil {
+		if c.Fault.DropAccept(now) {
+			c.Stats.Refused++
+			return false
+		}
+		ready += c.Fault.ExtraLatency(now)
+	}
 	bank, row := c.decode(r.Addr)
-	e := entry{req: r, enq: now, bank: bank, row: row}
+	e := entry{req: r, enq: now, bank: bank, row: row, ready: ready}
 	if c.PriorityEnabled && r.Critical {
 		if len(c.prio) >= c.cfg.CapPrio {
 			c.Stats.Refused++
@@ -195,6 +210,9 @@ func (c *Controller) QueueLen() (int, int) { return len(c.normal), len(c.prio) }
 
 // pendingFor reports whether any queued request targets bank b's pending row.
 func (c *Controller) rowOpenFor(e *entry, now sim.Cycle) bool {
+	if e.ready > now {
+		return false // injected latency spike still elapsing
+	}
 	b := &c.banks[e.bank]
 	return b.openRow == e.row && b.readyAt <= now
 }
@@ -374,6 +392,9 @@ func (c *Controller) Tick(now sim.Cycle) {
 	}
 
 	c.maybeRefresh(now)
+	if c.Fault != nil && c.Fault.HoldGrant(now) {
+		return // injected scheduler stall: no activates or grants this cycle
+	}
 	c.startActivates(now)
 
 	for ch := range c.busFreeAt {
@@ -444,6 +465,10 @@ func (c *Controller) RegisterStats(reg *stats.Registry, prefix string) {
 func (c *Controller) Drained() bool {
 	return len(c.normal) == 0 && len(c.prio) == 0 && len(c.pendingResp) == 0
 }
+
+// PendingResponses reports how many completed requests are waiting out the
+// response latency — in-flight state the invariant auditor must account for.
+func (c *Controller) PendingResponses() int { return len(c.pendingResp) }
 
 // PeakLinesPerCycle returns the aggregate data-bus peak rate in lines per
 // cycle across all channels.

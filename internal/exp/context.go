@@ -7,9 +7,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"pivot/internal/machine"
 	"pivot/internal/metrics"
@@ -117,8 +119,49 @@ func (c *AppCalib) AloneBWAt(pct int) float64 {
 	return c.Curve[len(c.Curve)-1].BWUtil
 }
 
+// cell is one lazily-computed cache slot. The once serialises duplicate
+// computations of the same key without blocking other keys, so parallel
+// workers can calibrate different apps concurrently.
+type cell[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+// shared is the state every clone of a Context points at: the calibration
+// caches and the most recent instrumented run's artifacts. All fields are
+// goroutine-safe so harness workers can share one Context.
+type shared struct {
+	mu      sync.Mutex
+	calib   map[string]*cell[*AppCalib]
+	pots    map[string]*cell[profile.CriticalSet]
+	beAlone map[string]*cell[float64]
+
+	logMu sync.Mutex
+
+	statsMu   sync.Mutex
+	stats     *stats.Dump
+	timeline  *stats.Timeline
+	statsRuns int
+}
+
+// lookup returns the cache cell for key, creating it when absent.
+func lookup[T any](sh *shared, m map[string]*cell[T], key string) *cell[T] {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := m[key]
+	if !ok {
+		c = &cell[T]{}
+		m[key] = c
+	}
+	return c
+}
+
 // Context carries the machine config, scale, and caches shared across
-// experiments.
+// experiments. A Context may be shared by concurrent harness workers: the
+// caches are synchronised, and each simulation's state lives entirely inside
+// its own Machine, so parallel sweeps produce results identical to serial
+// ones. Use WithRunContext to derive per-run deadline-bounded views.
 type Context struct {
 	Cfg   machine.Config
 	Scale Scale
@@ -126,33 +169,65 @@ type Context struct {
 
 	// StatsEpoch, when non-zero, enables the stats framework on every
 	// co-location run the harness executes, sampling the instrument registry
-	// every StatsEpoch cycles. Stats and Timeline then hold the most recent
-	// instrumented run's dump and Perfetto timeline for the CLI to export.
+	// every StatsEpoch cycles. LastStats and LastTimeline then return the
+	// most recent instrumented run's dump and Perfetto timeline.
 	StatsEpoch sim.Cycle
-	Stats      *stats.Dump
-	Timeline   *stats.Timeline
-	statsRuns  int
 
-	calib map[string]*AppCalib
-	pots  map[string]profile.CriticalSet
-	// beAlone caches the standalone throughput (committed instructions per
-	// cycle) of n threads of a BE app.
-	beAlone map[string]float64
+	// Watchdog aborts any run in which no core commits an instruction for
+	// this many cycles (machine.Options.WatchdogWindow); 0 disables it.
+	Watchdog sim.Cycle
+
+	// Audit enables the machine's per-epoch invariant auditor on every run.
+	Audit bool
+
+	// runCtx bounds every simulation this Context executes (wall-clock
+	// deadline / cancellation); nil means context.Background().
+	runCtx context.Context
+
+	sh *shared
 }
 
 // NewContext builds a harness context over cfg at the given scale.
 func NewContext(cfg machine.Config, scale Scale) *Context {
 	return &Context{
-		Cfg:     cfg,
-		Scale:   scale,
-		calib:   make(map[string]*AppCalib),
-		pots:    make(map[string]profile.CriticalSet),
-		beAlone: make(map[string]float64),
+		Cfg:   cfg,
+		Scale: scale,
+		sh: &shared{
+			calib:   make(map[string]*cell[*AppCalib]),
+			pots:    make(map[string]*cell[profile.CriticalSet]),
+			beAlone: make(map[string]*cell[float64]),
+		},
 	}
+}
+
+// WithRunContext returns a shallow copy of ctx whose simulations are bounded
+// by c (deadline and cancellation), sharing the calibration caches and stats
+// capture with ctx.
+func (ctx *Context) WithRunContext(c context.Context) *Context {
+	out := *ctx
+	out.runCtx = c
+	return &out
+}
+
+// runContext returns the bounding context for simulations (never nil).
+func (ctx *Context) runContext() context.Context {
+	if ctx.runCtx != nil {
+		return ctx.runCtx
+	}
+	return context.Background()
+}
+
+// guard applies the Context's self-defense settings to machine options.
+func (ctx *Context) guard(opt machine.Options) machine.Options {
+	opt.WatchdogWindow = ctx.Watchdog
+	opt.Audit = ctx.Audit
+	return opt
 }
 
 func (ctx *Context) logf(format string, args ...any) {
 	if ctx.Out != nil {
+		ctx.sh.logMu.Lock()
+		defer ctx.sh.logMu.Unlock()
 		fmt.Fprintf(ctx.Out, format+"\n", args...)
 	}
 }
@@ -160,41 +235,57 @@ func (ctx *Context) logf(format string, args ...any) {
 // Potential returns (computing and caching) the offline-profiled potential
 // set for an LC app.
 func (ctx *Context) Potential(app string) profile.CriticalSet {
-	if s, ok := ctx.pots[app]; ok {
-		return s
-	}
-	ctx.logf("offline profiling %s ...", app)
-	s := machine.ProfileLC(ctx.Cfg, workload.LCApps()[app], ctx.Scale.MaxBEThreads, ctx.Scale.Seed)
-	ctx.pots[app] = s
-	return s
+	c := lookup(ctx.sh, ctx.sh.pots, app)
+	c.once.Do(func() {
+		ctx.logf("offline profiling %s ...", app)
+		c.v = machine.ProfileLC(ctx.Cfg, workload.LCApps()[app], ctx.Scale.MaxBEThreads, ctx.Scale.Seed)
+	})
+	return c.v
 }
 
 // Calib returns (computing and caching) the run-alone calibration of an LC
 // app: the Figure 12 load-latency sweep, the knee-derived QoS target and
-// the max load.
-func (ctx *Context) Calib(app string) *AppCalib {
-	if c, ok := ctx.calib[app]; ok {
-		return c
-	}
+// the max load. A failed calibration (misconfigured machine, app that
+// completes no requests, aborted run) is returned as an error — and cached,
+// since recomputing it would fail identically.
+func (ctx *Context) Calib(app string) (*AppCalib, error) {
+	c := lookup(ctx.sh, ctx.sh.calib, app)
+	c.once.Do(func() { c.v, c.err = ctx.computeCalib(app) })
+	return c.v, c.err
+}
+
+func (ctx *Context) computeCalib(app string) (*AppCalib, error) {
 	ctx.logf("calibrating %s (load-latency sweep)...", app)
 	params := workload.LCApps()[app]
 	c := &AppCalib{Name: app, App: params}
+	rc := ctx.runContext()
+	opt := ctx.guard(machine.Options{Policy: machine.PolicyDefault})
 
 	// Closed-loop saturation throughput.
-	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault},
+	m, err := machine.New(ctx.Cfg, opt,
 		[]machine.TaskSpec{{Kind: machine.TaskLC, LC: params, MeanInterarrival: 0, Seed: ctx.Scale.Seed}})
-	m.Run(ctx.Scale.Warmup/2, ctx.Scale.CalMeasure)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunChecked(rc, ctx.Scale.Warmup/2, ctx.Scale.CalMeasure); err != nil {
+		return nil, fmt.Errorf("exp: calibrating %s: %w", app, err)
+	}
 	c.SatRPMC = float64(m.LCTasks()[0].Source.Completed()) / float64(ctx.Scale.CalMeasure) * 1e6
 	if c.SatRPMC <= 0 {
-		panic(fmt.Sprintf("exp: %s completed no requests closed-loop", app))
+		return nil, fmt.Errorf("exp: %s completed no requests closed-loop", app)
 	}
 
 	for _, f := range ctx.Scale.LoadFracs {
 		rpmc := c.SatRPMC * f
-		mm := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault},
+		mm, err := machine.New(ctx.Cfg, opt,
 			[]machine.TaskSpec{{Kind: machine.TaskLC, LC: params,
 				MeanInterarrival: 1e6 / rpmc, Seed: ctx.Scale.Seed}})
-		mm.Run(ctx.Scale.Warmup/2, ctx.Scale.CalMeasure)
+		if err != nil {
+			return nil, err
+		}
+		if err := mm.RunChecked(rc, ctx.Scale.Warmup/2, ctx.Scale.CalMeasure); err != nil {
+			return nil, fmt.Errorf("exp: calibrating %s at %.0f%%: %w", app, f*100, err)
+		}
 		src := mm.LCTasks()[0].Source
 		c.Curve = append(c.Curve, CurvePoint{
 			LoadFrac: f,
@@ -224,26 +315,47 @@ func (ctx *Context) Calib(app string) *AppCalib {
 	}
 	ctx.logf("  %s: sat=%.1f RPMC, QoS=%d cycles, maxLoad=%.1f RPMC",
 		app, c.SatRPMC, c.QoSTarget, c.MaxLoad)
-	ctx.calib[app] = c
-	return c
+	return c, nil
 }
 
 // BEAloneIPC returns (computing and caching) the standalone aggregate IPC of
 // `threads` copies of a BE app — the normalisation baseline for BE
 // throughput figures.
-func (ctx *Context) BEAloneIPC(app string, threads int) float64 {
+func (ctx *Context) BEAloneIPC(app string, threads int) (float64, error) {
 	key := fmt.Sprintf("%s/%d", app, threads)
-	if v, ok := ctx.beAlone[key]; ok {
-		return v
-	}
-	be := workload.BEApps()[app]
-	var tasks []machine.TaskSpec
-	for i := 0; i < threads; i++ {
-		tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: ctx.Scale.Seed + uint64(10+i)})
-	}
-	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault}, tasks)
-	m.Run(ctx.Scale.Warmup/2, ctx.Scale.Measure/2)
-	v := float64(m.BECommitted()) / float64(m.MeasuredCycles())
-	ctx.beAlone[key] = v
-	return v
+	c := lookup(ctx.sh, ctx.sh.beAlone, key)
+	c.once.Do(func() {
+		be := workload.BEApps()[app]
+		var tasks []machine.TaskSpec
+		for i := 0; i < threads; i++ {
+			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: ctx.Scale.Seed + uint64(10+i)})
+		}
+		m, err := machine.New(ctx.Cfg, ctx.guard(machine.Options{Policy: machine.PolicyDefault}), tasks)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if err := m.RunChecked(ctx.runContext(), ctx.Scale.Warmup/2, ctx.Scale.Measure/2); err != nil {
+			c.err = fmt.Errorf("exp: BE-alone baseline %s: %w", key, err)
+			return
+		}
+		c.v = float64(m.BECommitted()) / float64(m.MeasuredCycles())
+	})
+	return c.v, c.err
+}
+
+// LastStats returns the stats dump of the most recent instrumented run (nil
+// when StatsEpoch was never set or no co-location run executed).
+func (ctx *Context) LastStats() *stats.Dump {
+	ctx.sh.statsMu.Lock()
+	defer ctx.sh.statsMu.Unlock()
+	return ctx.sh.stats
+}
+
+// LastTimeline returns the Perfetto timeline of the most recent
+// instrumented run (nil when none exists).
+func (ctx *Context) LastTimeline() *stats.Timeline {
+	ctx.sh.statsMu.Lock()
+	defer ctx.sh.statsMu.Unlock()
+	return ctx.sh.timeline
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pivot/internal/machine"
+	"pivot/internal/metrics"
 	"pivot/internal/workload"
 )
 
@@ -24,9 +25,29 @@ func tinyCtx() *Context {
 	return NewContext(machine.KunpengConfig(4), tinyScale())
 }
 
+// tCalib / tRun unwrap the error-returning API for tests that only exercise
+// the success path.
+func tCalib(t *testing.T, ctx *Context, app string) *AppCalib {
+	t.Helper()
+	cal, err := ctx.Calib(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func tRun(t *testing.T, ctx *Context, spec RunSpec) RunResult {
+	t.Helper()
+	r, err := ctx.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestCalibrationProducesKnee(t *testing.T) {
 	ctx := tinyCtx()
-	cal := ctx.Calib(workload.Silo)
+	cal := tCalib(t, ctx, workload.Silo)
 	if cal.SatRPMC <= 0 {
 		t.Fatal("no saturation throughput")
 	}
@@ -43,14 +64,14 @@ func TestCalibrationProducesKnee(t *testing.T) {
 		t.Fatal("higher load must mean shorter inter-arrivals")
 	}
 	// Calibration is cached.
-	if ctx.Calib(workload.Silo) != cal {
+	if tCalib(t, ctx, workload.Silo) != cal {
 		t.Fatal("calibration not cached")
 	}
 }
 
 func TestAloneBWInterpolation(t *testing.T) {
 	ctx := tinyCtx()
-	cal := ctx.Calib(workload.ImgDNN)
+	cal := tCalib(t, ctx, workload.ImgDNN)
 	low, high := cal.AloneBWAt(10), cal.AloneBWAt(90)
 	if low < 0 || high <= 0 {
 		t.Fatalf("bandwidth interpolation broken: %v, %v", low, high)
@@ -65,13 +86,13 @@ func TestRunGatesQoS(t *testing.T) {
 	// Default under heavy contention must violate; PIVOT must not.
 	lcs := []LCSpec{{App: workload.Masstree, LoadPct: 70}}
 	bes := []BESpec{{App: workload.IBench, Threads: 3}}
-	def := ctx.Run(RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
-	piv := ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
+	def := tRun(t, ctx, RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
+	piv := tRun(t, ctx, RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
 	if def.AllQoS {
 		t.Error("Default met QoS under heavy contention (unexpected at this scale)")
 	}
 	if !piv.AllQoS {
-		t.Errorf("PIVOT violated QoS: p95=%v target=%v", piv.P95, ctx.Calib(workload.Masstree).QoSTarget)
+		t.Errorf("PIVOT violated QoS: p95=%v target=%v", piv.P95, tCalib(t, ctx, workload.Masstree).QoSTarget)
 	}
 	if piv.BEIPC <= 0 {
 		t.Error("no BE throughput measured")
@@ -81,36 +102,53 @@ func TestRunGatesQoS(t *testing.T) {
 func TestEMUComputation(t *testing.T) {
 	ctx := tinyCtx()
 	r := RunResult{AllQoS: true, BEIPC: 0.05}
-	base := ctx.BEAloneIPC(workload.IBench, 3)
-	got := ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r)
+	base, err := ctx.BEAloneIPC(workload.IBench, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 70 + r.BEIPC/base*100
 	if got < want-0.01 || got > want+0.01 {
 		t.Fatalf("EMU = %v, want %v", got, want)
 	}
 	r.AllQoS = false
-	if ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r) != 0 {
+	if emu, _ := ctx.EMU([]LCSpec{{App: workload.Silo, LoadPct: 70}}, workload.IBench, 3, 3, r); emu != 0 {
 		t.Fatal("violated EMU must be 0")
 	}
 }
 
 func TestStaticTables(t *testing.T) {
 	ctx := tinyCtx()
-	for _, tb := range []interface{ String() string }{
-		ctx.Table1(), ctx.Table2(), ctx.Storage(),
+	for _, mk := range []func() (*metrics.Table, error){
+		ctx.Table1, ctx.Table2, ctx.Storage,
 	} {
+		tb, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
 		s := tb.String()
 		if len(s) == 0 || !strings.Contains(s, "==") {
 			t.Fatalf("malformed table output: %q", s)
 		}
 	}
-	if !strings.Contains(ctx.Storage().String(), "1045") {
+	st, err := ctx.Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.String(), "1045") {
 		t.Fatal("storage table missing the 1045-bit total")
 	}
 }
 
 func TestFig08Shape(t *testing.T) {
 	ctx := tinyCtx()
-	tbl := ctx.Fig08()
+	tbl, err := ctx.Fig08()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("fig8 rows = %d, want silo and moses", len(tbl.Rows))
 	}
@@ -149,7 +187,11 @@ func TestRegistryComplete(t *testing.T) {
 func TestMaxSecondLoadMonotoneGate(t *testing.T) {
 	ctx := tinyCtx()
 	// With PIVOT, two light LC tasks co-locate: the frontier must be > 0.
-	got := ctx.maxSecondLoad(MethodPIVOT(), workload.Silo, 30, workload.Xapian)
+	rn := ctx.runner()
+	got := rn.maxSecondLoad(MethodPIVOT(), workload.Silo, 30, workload.Xapian)
+	if rn.err != nil {
+		t.Fatal(rn.err)
+	}
 	if got == 0 {
 		t.Fatal("PIVOT frontier empty even at light load")
 	}
@@ -157,11 +199,15 @@ func TestMaxSecondLoadMonotoneGate(t *testing.T) {
 
 func TestExtensionsProduceTables(t *testing.T) {
 	ctx := tinyCtx()
-	for name, fn := range map[string]func() string{
-		"noprofile": func() string { return ctx.NoProfile().String() },
-		"prefetch":  func() string { return ctx.PrefetchAblation().String() },
+	for name, fn := range map[string]func() (*metrics.Table, error){
+		"noprofile": ctx.NoProfile,
+		"prefetch":  ctx.PrefetchAblation,
 	} {
-		out := fn()
+		tb, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := tb.String()
 		if !strings.Contains(out, "==") || len(strings.Split(out, "\n")) < 5 {
 			t.Errorf("%s table malformed:\n%s", name, out)
 		}
@@ -170,7 +216,7 @@ func TestExtensionsProduceTables(t *testing.T) {
 
 func TestAloneMeanInterpolation(t *testing.T) {
 	ctx := tinyCtx()
-	cal := ctx.Calib(workload.Silo)
+	cal := tCalib(t, ctx, workload.Silo)
 	lo, hi := cal.AloneMeanAt(10), cal.AloneMeanAt(90)
 	if lo <= 0 || hi < lo {
 		t.Fatalf("mean interpolation broken: %v, %v", lo, hi)

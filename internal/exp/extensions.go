@@ -37,35 +37,47 @@ func (c *AppCalib) AloneMeanAt(pct int) float64 {
 // some co-locations; the hybrid controller trades strong isolation back in
 // when a mean-latency target is at risk. Reports mean and p95 latency and BE
 // throughput for PIVOT alone vs PIVOT+Hybrid.
-func (ctx *Context) Hybrid() *metrics.Table {
+func (ctx *Context) Hybrid() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Extension (§VII): hybrid strong isolation — mean/p95/BE throughput",
 		Headers: []string{"app", "method", "mean", "mean target", "p95", "BE ipc", "MBA lvl"},
 	}
 	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 	for _, app := range []string{workload.Masstree, workload.Moses} {
-		cal := ctx.Calib(app)
+		cal, err := ctx.Calib(app)
+		if err != nil {
+			return nil, err
+		}
 		meanTarget := 1.5 * cal.AloneMeanAt(70)
 
 		// PIVOT alone.
-		r := ctx.Run(RunSpec{Method: MethodPIVOT(),
+		r, err := ctx.Run(RunSpec{Method: MethodPIVOT(),
 			LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(app, "PIVOT",
 			fmt.Sprintf("%.0f", r.MeanLat[0]), fmt.Sprintf("%.0f", meanTarget),
 			fmt.Sprint(r.P95[0]), fmt.Sprintf("%.4f", r.BEIPC), "100")
 
 		// PIVOT + hybrid strong isolation.
-		hr, lvl := ctx.runHybrid(app, 70, bes, meanTarget)
+		hr, lvl, err := ctx.runHybrid(app, 70, bes, meanTarget)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(app, "PIVOT+Hybrid",
 			fmt.Sprintf("%.0f", hr.MeanLat[0]), fmt.Sprintf("%.0f", meanTarget),
 			fmt.Sprint(hr.P95[0]), fmt.Sprintf("%.4f", hr.BEIPC), fmt.Sprint(lvl))
 	}
-	return t
+	return t, nil
 }
 
 // runHybrid builds a PIVOT machine and drives it under the hybrid manager.
-func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget float64) (RunResult, int) {
-	cal := ctx.Calib(app)
+func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget float64) (RunResult, int, error) {
+	cal, err := ctx.Calib(app)
+	if err != nil {
+		return RunResult{}, 0, err
+	}
 	tasks := []machine.TaskSpec{{
 		Kind: machine.TaskLC, LC: cal.App,
 		MeanInterarrival: cal.MeanIAAt(pct),
@@ -80,9 +92,14 @@ func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget floa
 				Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
 		}
 	}
-	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyPIVOT}, tasks)
+	m, err := machine.New(ctx.Cfg, ctx.guard(machine.Options{Policy: machine.PolicyPIVOT}), tasks)
+	if err != nil {
+		return RunResult{}, 0, err
+	}
 	h := manager.NewHybrid([]float64{meanTarget})
-	manager.Run(h, m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+	if err := manager.RunChecked(ctx.runContext(), h, m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch); err != nil {
+		return RunResult{}, 0, err
+	}
 
 	src := m.LCTasks()[0].Source
 	var r RunResult
@@ -90,7 +107,7 @@ func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget floa
 	r.MeanLat = []float64{src.RecentMean(0)}
 	r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
 	r.BWUtil = m.BWUtil()
-	return r, h.Level()
+	return r, h.Level(), nil
 }
 
 // NoProfile — §VII: multi-tenant clouds cannot offline-profile unknown LC
@@ -98,17 +115,20 @@ func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget floa
 // works for small-instruction-footprint microservices but degrades for
 // data-center-size footprints, where unfiltered loads alias destructively in
 // the 64-entry RRBP.
-func (ctx *Context) NoProfile() *metrics.Table {
+func (ctx *Context) NoProfile() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Extension (§VII): PIVOT without offline profiling",
 		Headers: []string{"app", "footprint", "variant", "p95/QoS", "QoS", "BE ipc"},
 	}
 	for _, app := range []string{workload.Microservice, workload.Moses} {
-		cal := ctx.Calib(app)
+		cal, err := ctx.Calib(app)
+		if err != nil {
+			return nil, err
+		}
 		footprint := fmt.Sprint(len(workload.NewReqGen(cal.App, 0, nil).ChasePCs())+
 			cal.App.PayloadPCs) + " loads"
 
-		run := func(withProfile bool) RunResult {
+		run := func(withProfile bool) (RunResult, error) {
 			tasks := []machine.TaskSpec{{
 				Kind: machine.TaskLC, LC: cal.App,
 				MeanInterarrival: cal.MeanIAAt(70),
@@ -123,41 +143,50 @@ func (ctx *Context) NoProfile() *metrics.Table {
 					BE:   workload.BEApps()[workload.IBench],
 					Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
 			}
-			m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyPIVOT}, tasks)
-			m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+			m, err := machine.New(ctx.Cfg, ctx.guard(machine.Options{Policy: machine.PolicyPIVOT}), tasks)
+			if err != nil {
+				return RunResult{}, err
+			}
+			if err := m.RunChecked(ctx.runContext(), ctx.Scale.Warmup, ctx.Scale.Measure); err != nil {
+				return RunResult{}, err
+			}
 			var r RunResult
 			p95 := m.LCp95(0)
 			r.P95 = []uint32{p95}
 			r.AllQoS = p95 != 0 && p95 <= cal.QoSTarget
 			r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
-			return r
+			return r, nil
 		}
 		for _, variant := range []struct {
 			name string
 			with bool
 		}{{"two-phase (profiled)", true}, {"online-only", false}} {
-			r := run(variant.with)
+			r, err := run(variant.with)
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(app, footprint, variant.name,
 				fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)),
 				qosMark(r), fmt.Sprintf("%.4f", r.BEIPC))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // PrefetchAblation — DESIGN.md §6.1 folds hardware-prefetch concurrency into
 // the L1 miss buffers; this ablation turns the explicit stride prefetcher on
 // and reports what it changes for a streaming-payload LC task under PIVOT.
-func (ctx *Context) PrefetchAblation() *metrics.Table {
+func (ctx *Context) PrefetchAblation() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Ablation: explicit stride prefetcher (DESIGN.md §6.1)",
 		Headers: []string{"app", "prefetch", "p95/QoS", "BE ipc", "BW util"},
 	}
+	rn := ctx.runner()
 	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 	for _, app := range []string{workload.ImgDNN, workload.Masstree} {
-		cal := ctx.Calib(app)
+		cal := rn.calib(app)
 		for _, pf := range []bool{false, true} {
-			r := ctx.Run(RunSpec{Method: MethodPIVOT(),
+			r := rn.run(RunSpec{Method: MethodPIVOT(),
 				LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes,
 				Opt: machine.Options{Prefetch: pf}})
 			t.AddRow(app, fmt.Sprint(pf),
@@ -166,5 +195,5 @@ func (ctx *Context) PrefetchAblation() *metrics.Table {
 				fmt.Sprintf("%.3f", r.BWUtil))
 		}
 	}
-	return t
+	return t, rn.err
 }

@@ -12,33 +12,35 @@ var loadSweep = []int{10, 30, 50, 70, 90}
 
 // Fig13 — co-location of 1 LC task and iBench: max BE throughput (% of
 // 7-thread-alone) at each LC load, per method, with QoS met.
-func (ctx *Context) Fig13() *metrics.Table {
+func (ctx *Context) Fig13() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 13: max iBench throughput (%) vs LC load, QoS met",
 		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
 	}
+	rn := ctx.runner()
 	n := ctx.Scale.MaxBEThreads
 	for _, app := range workload.LCNames() {
 		for _, pct := range loadSweep {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
 			for _, mth := range fig13Methods() {
-				v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, n)
+				v := rn.maxBE(mth, lcs, workload.IBench, n)
 				cells = append(cells, fmt.Sprintf("%.0f", v*100))
 			}
 			t.AddRow(cells...)
 		}
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig13EMU — the EMU summary quoted in §VI-A1 (Default 86.1%, PARTIES
 // 116.0%, CLITE 116.3%, PIVOT 133.2% in the paper).
-func (ctx *Context) Fig13EMU() *metrics.Table {
+func (ctx *Context) Fig13EMU() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 13 summary: average EMU (%) across apps and loads",
 		Headers: []string{"Default", "PARTIES", "CLITE", "PIVOT"},
 	}
+	rn := ctx.runner()
 	n := ctx.Scale.MaxBEThreads
 	sums := make([]float64, 4)
 	count := 0
@@ -46,7 +48,7 @@ func (ctx *Context) Fig13EMU() *metrics.Table {
 		for _, pct := range loadSweep {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			for mi, mth := range fig13Methods() {
-				v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, n)
+				v := rn.maxBE(mth, lcs, workload.IBench, n)
 				emu := 0.0
 				if v > 0 {
 					emu = float64(pct) + v*100
@@ -61,30 +63,31 @@ func (ctx *Context) Fig13EMU() *metrics.Table {
 		cells[i] = fmt.Sprintf("%.1f", sums[i]/float64(count))
 	}
 	t.AddRow(cells...)
-	return t
+	return t, rn.err
 }
 
 // Fig14 — the LC tail latency behind Figure 13: normalized p95 at each load
 // with the full 7-thread iBench stressor.
-func (ctx *Context) Fig14() *metrics.Table {
+func (ctx *Context) Fig14() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 14: normalized p95 with 7-thread iBench (<=1.00 meets QoS)",
 		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
-		cal := ctx.Calib(app)
+		cal := rn.calib(app)
 		for _, pct := range loadSweep {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
 			for _, mth := range fig13Methods() {
-				r := ctx.Run(RunSpec{Method: mth, LCs: lcs, BEs: bes})
+				r := rn.run(RunSpec{Method: mth, LCs: lcs, BEs: bes})
 				cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 			}
 			t.AddRow(cells...)
 		}
 	}
-	return t
+	return t, rn.err
 }
 
 // fig15Scenarios are the 2-LC + iBench heatmaps of Figure 15.
@@ -105,8 +108,9 @@ func (ctx *Context) gridLoads() []int {
 
 // Fig15 — 2 LC tasks + iBench: max BE throughput (% of 6-thread alone) per
 // (load1, load2) cell and method, both LC tasks meeting QoS.
-func (ctx *Context) Fig15() []*metrics.Table {
+func (ctx *Context) Fig15() ([]*metrics.Table, error) {
 	var out []*metrics.Table
+	rn := ctx.runner()
 	grid := ctx.gridLoads()
 	for _, sc := range fig15Scenarios() {
 		t := &metrics.Table{
@@ -119,7 +123,7 @@ func (ctx *Context) Fig15() []*metrics.Table {
 				lcs := []LCSpec{{App: sc[0], LoadPct: l1}, {App: sc[1], LoadPct: l2}}
 				cells := []string{fmt.Sprintf("%d%%", l1), fmt.Sprintf("%d%%", l2)}
 				for _, mth := range fig13Methods() {
-					v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, 6)
+					v := rn.maxBE(mth, lcs, workload.IBench, 6)
 					cells = append(cells, fmt.Sprintf("%.0f", v*100))
 				}
 				t.AddRow(cells...)
@@ -127,7 +131,7 @@ func (ctx *Context) Fig15() []*metrics.Table {
 		}
 		out = append(out, t)
 	}
-	return out
+	return out, rn.err
 }
 
 // fig16Scenarios pair an LC mix with a single CloudSuite BE task.
@@ -144,21 +148,24 @@ func fig16Scenarios() []struct {
 // Fig16 — throughput of a single CloudSuite BE task (normalised to running
 // alone on the same thread count) and average memory bandwidth, co-located
 // with 2 LC tasks at 50% load.
-func (ctx *Context) Fig16() *metrics.Table {
+func (ctx *Context) Fig16() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 16: CloudSuite BE throughput (norm) + avg bandwidth, 2 LC @40%",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	ctx.fig16Body(t, fig13Methods()[1:]) // PARTIES, CLITE, PIVOT
-	return t
+	if err := ctx.fig16Body(t, fig13Methods()[1:]); err != nil { // PARTIES, CLITE, PIVOT
+		return nil, err
+	}
+	return t, nil
 }
 
-func (ctx *Context) fig16Body(t *metrics.Table, methods []Method) {
+func (ctx *Context) fig16Body(t *metrics.Table, methods []Method) error {
+	rn := ctx.runner()
 	beThreads := ctx.Cfg.Cores - 2
 	for _, sc := range fig16Scenarios() {
-		base := ctx.BEAloneIPC(sc.BE, beThreads)
+		base := rn.beAlone(sc.BE, beThreads)
 		for _, mth := range methods {
-			r := ctx.Run(RunSpec{Method: mth,
+			r := rn.run(RunSpec{Method: mth,
 				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
 				BEs: []BESpec{{App: sc.BE, Threads: beThreads}}})
 			t.AddRow(fmt.Sprintf("%s+%s/%s", sc.LC1, sc.LC2, sc.BE), mth.Name,
@@ -167,6 +174,7 @@ func (ctx *Context) fig16Body(t *metrics.Table, methods []Method) {
 				qosMark(r))
 		}
 	}
+	return rn.err
 }
 
 // fig17Scenarios pair an LC mix with two CloudSuite BE tasks.
@@ -182,21 +190,24 @@ func fig17Scenarios() []struct {
 
 // Fig17 — 2 LC + 2 BE CloudSuite tasks: normalised throughput of the two BE
 // tasks and average bandwidth.
-func (ctx *Context) Fig17() *metrics.Table {
+func (ctx *Context) Fig17() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 17: 2 LC + 2 BE (CloudSuite) — BE throughput (norm) + bandwidth",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	ctx.fig17Body(t, fig13Methods()[1:])
-	return t
+	if err := ctx.fig17Body(t, fig13Methods()[1:]); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
-func (ctx *Context) fig17Body(t *metrics.Table, methods []Method) {
+func (ctx *Context) fig17Body(t *metrics.Table, methods []Method) error {
+	rn := ctx.runner()
 	per := (ctx.Cfg.Cores - 2) / 2
 	for _, sc := range fig17Scenarios() {
-		base := ctx.BEAloneIPC(sc.BE1, per) + ctx.BEAloneIPC(sc.BE2, per)
+		base := rn.beAlone(sc.BE1, per) + rn.beAlone(sc.BE2, per)
 		for _, mth := range methods {
-			r := ctx.Run(RunSpec{Method: mth,
+			r := rn.run(RunSpec{Method: mth,
 				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
 				BEs: []BESpec{{App: sc.BE1, Threads: per}, {App: sc.BE2, Threads: per}}})
 			t.AddRow(fmt.Sprintf("%s+%s/%s+%s", sc.LC1, sc.LC2, sc.BE1, sc.BE2), mth.Name,
@@ -205,6 +216,7 @@ func (ctx *Context) fig17Body(t *metrics.Table, methods []Method) {
 				qosMark(r))
 		}
 	}
+	return rn.err
 }
 
 func qosMark(r RunResult) string {
@@ -228,8 +240,9 @@ func fig18Pairs() [][2]string {
 // Fig18 — 2-LC co-location frontier: with the first task at a given load,
 // the maximum load (% of max) the second task can run at with both meeting
 // QoS.
-func (ctx *Context) Fig18() []*metrics.Table {
+func (ctx *Context) Fig18() ([]*metrics.Table, error) {
 	var out []*metrics.Table
+	rn := ctx.runner()
 	for _, pair := range fig18Pairs() {
 		t := &metrics.Table{
 			Title:   fmt.Sprintf("Figure 18: max %s load (%%) vs %s load", pair[1], pair[0]),
@@ -238,20 +251,23 @@ func (ctx *Context) Fig18() []*metrics.Table {
 		for _, l1 := range ctx.gridLoads() {
 			cells := []string{fmt.Sprintf("%d%%", l1)}
 			for _, mth := range fig13Methods() {
-				cells = append(cells, fmt.Sprintf("%d", ctx.maxSecondLoad(mth, pair[0], l1, pair[1])))
+				cells = append(cells, fmt.Sprintf("%d", rn.maxSecondLoad(mth, pair[0], l1, pair[1])))
 			}
 			t.AddRow(cells...)
 		}
 		out = append(out, t)
 	}
-	return out
+	return out, rn.err
 }
 
 // maxSecondLoad sweeps the second LC task's load downward (100%..10%) and
 // returns the highest percentage at which both tasks meet QoS (0 if none).
-func (ctx *Context) maxSecondLoad(mth Method, app1 string, load1 int, app2 string) int {
+func (rn *runner) maxSecondLoad(mth Method, app1 string, load1 int, app2 string) int {
 	for l2 := 100; l2 >= 10; l2 -= 15 {
-		r := ctx.Run(RunSpec{Method: mth,
+		if rn.err != nil {
+			return 0
+		}
+		r := rn.run(RunSpec{Method: mth,
 			LCs: []LCSpec{{App: app1, LoadPct: load1}, {App: app2, LoadPct: l2}}})
 		if r.AllQoS {
 			return l2
@@ -262,18 +278,19 @@ func (ctx *Context) maxSecondLoad(mth Method, app1 string, load1 int, app2 strin
 
 // Fig19 — 3-LC co-location: the (Xapian, Masstree) frontier with Img-DNN at
 // low (10%) and high (70%) load.
-func (ctx *Context) Fig19() *metrics.Table {
+func (ctx *Context) Fig19() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 19: max Masstree load (%) vs Xapian load, with Img-DNN",
 		Headers: []string{"imgdnn", "xapian", "Default", "PARTIES", "CLITE", "PIVOT"},
 	}
+	rn := ctx.runner()
 	for _, imgLoad := range []int{10, 70} {
 		for _, xpLoad := range ctx.gridLoads() {
 			cells := []string{fmt.Sprintf("%d%%", imgLoad), fmt.Sprintf("%d%%", xpLoad)}
 			for _, mth := range fig13Methods() {
 				best := 0
-				for l := 100; l >= 10; l -= 15 {
-					r := ctx.Run(RunSpec{Method: mth, LCs: []LCSpec{
+				for l := 100; l >= 10 && rn.err == nil; l -= 15 {
+					r := rn.run(RunSpec{Method: mth, LCs: []LCSpec{
 						{App: workload.Xapian, LoadPct: xpLoad},
 						{App: workload.Masstree, LoadPct: l},
 						{App: workload.ImgDNN, LoadPct: imgLoad},
@@ -288,5 +305,5 @@ func (ctx *Context) Fig19() *metrics.Table {
 			t.AddRow(cells...)
 		}
 	}
-	return t
+	return t, rn.err
 }

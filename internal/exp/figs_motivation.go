@@ -16,87 +16,96 @@ const motivLoadPct = 70
 // Fig01 — normalized 95th-percentile latency of the LC tasks under Default,
 // MBA and MPAM (a value above 1.0 on the QoS-normalised scale is a
 // violation). Shows MPAM failing to enforce QoS and MBA succeeding.
-func (ctx *Context) Fig01() *metrics.Table {
+func (ctx *Context) Fig01() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 1: normalized p95 latency vs QoS (>1.00 violates)",
 		Headers: []string{"app", "Default", "MBA", "MPAM", "PIVOT"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
-		cal := ctx.Calib(app)
+		cal := rn.calib(app)
 		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
 		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 		norm := func(r RunResult) string {
 			return fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget))
 		}
-		def := ctx.Run(RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
-		mba, _ := ctx.RunBestMBA(lcs, bes)
-		mpam := ctx.Run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
-		piv := ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
+		def := rn.run(RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
+		mba, _ := rn.bestMBA(lcs, bes)
+		mpam := rn.run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
+		piv := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
 		t.AddRow(app, norm(def), norm(mba), norm(mpam), norm(piv))
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig02 — memory bandwidth utilisation of MBA, MPAM, FullPath and PIVOT in
 // the same scenario. Shows the utilisation ordering MBA < FullPath < PIVOT.
-func (ctx *Context) Fig02() *metrics.Table {
+func (ctx *Context) Fig02() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 2: memory bandwidth utilisation (fraction of peak)",
 		Headers: []string{"app", "MBA", "MPAM", "FullPath", "PIVOT"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
 		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
 		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-		mba, lvl := ctx.RunBestMBA(lcs, bes)
-		mpam := ctx.Run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
-		full := ctx.Run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
-		piv := ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
+		mba, lvl := rn.bestMBA(lcs, bes)
+		mpam := rn.run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
+		full := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
+		piv := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
 		t.AddRowf(app,
 			fmt.Sprintf("%.3f (lvl %d)", mba.BWUtil, lvl),
 			mpam.BWUtil, full.BWUtil, piv.BWUtil)
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig03 — maximum normalised iBench throughput with no QoS violation
 // (normalised to 7-thread iBench running alone).
-func (ctx *Context) Fig03() *metrics.Table {
+func (ctx *Context) Fig03() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 3: max iBench throughput under QoS (vs 7-thread alone)",
 		Headers: []string{"app", "MBA", "MPAM", "FullPath", "PIVOT"},
 	}
+	rn := ctx.runner()
 	n := ctx.Scale.MaxBEThreads
 	for _, app := range workload.LCNames() {
 		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
 		t.AddRowf(app,
-			ctx.MaxBEThroughputMBA(lcs, workload.IBench, n),
-			ctx.MaxBEThroughput(MethodMPAM(), lcs, workload.IBench, n),
-			ctx.MaxBEThroughput(MethodFullPath(), lcs, workload.IBench, n),
-			ctx.MaxBEThroughput(MethodPIVOT(), lcs, workload.IBench, n))
+			rn.maxBEMBA(lcs, workload.IBench, n),
+			rn.maxBE(MethodMPAM(), lcs, workload.IBench, n),
+			rn.maxBE(MethodFullPath(), lcs, workload.IBench, n),
+			rn.maxBE(MethodPIVOT(), lcs, workload.IBench, n))
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig05 — where do Masstree's critical loads spend their cycles? Average
 // per-component cycles of chase-load memory requests under Run Alone,
 // Co-location (Default) and Full Path.
-func (ctx *Context) Fig05() *metrics.Table {
+func (ctx *Context) Fig05() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title: "Figure 5: cycle split of Masstree critical loads per component",
 		Headers: []string{"scenario", "L2", "Interconnect", "LLC", "Bus",
 			"BWCtrl", "MemCtrl", "DRAM", "Resp", "total"},
 	}
 	app := workload.Masstree
-	cal := ctx.Calib(app)
+	cal, err := ctx.Calib(app)
+	if err != nil {
+		return nil, err
+	}
 
 	// Track only the chase PCs: rebuild the generator deterministically the
 	// same way the machine does (core slot 0, same seed derivation).
 	chase := chaseSetFor(cal.App, ctx.Scale.Seed)
 
-	row := func(name string, mth Method, bes []BESpec) {
+	row := func(name string, mth Method, bes []BESpec) error {
 		opt := machine.Options{}
-		r := ctx.runWithSplit(RunSpec{Method: mth,
+		r, err := ctx.runWithSplit(RunSpec{Method: mth,
 			LCs: []LCSpec{{App: app, LoadPct: motivLoadPct}}, BEs: bes, Opt: opt}, chase)
+		if err != nil {
+			return err
+		}
 		cells := []string{name}
 		var total float64
 		for _, c := range []mem.Component{mem.CompL2, mem.CompInterconnect, mem.CompLLC,
@@ -106,21 +115,31 @@ func (ctx *Context) Fig05() *metrics.Table {
 		}
 		cells = append(cells, fmt.Sprintf("%.0f", total))
 		t.AddRow(cells...)
+		return nil
 	}
 	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-	row("Run Alone", MethodDefault(), nil)
-	row("Co-location", MethodDefault(), bes)
-	row("Full Path", MethodFullPath(), bes)
-	return t
+	if err := row("Run Alone", MethodDefault(), nil); err != nil {
+		return nil, err
+	}
+	if err := row("Co-location", MethodDefault(), bes); err != nil {
+		return nil, err
+	}
+	if err := row("Full Path", MethodFullPath(), bes); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // runWithSplit runs a spec with the split-statistics filter set.
-func (ctx *Context) runWithSplit(spec RunSpec, filter map[uint64]bool) RunResult {
-	opt := spec.Opt
+func (ctx *Context) runWithSplit(spec RunSpec, filter map[uint64]bool) (RunResult, error) {
+	opt := ctx.guard(spec.Opt)
 	opt.Policy = spec.Method.Policy
 	var tasks []machine.TaskSpec
 	for _, lc := range spec.LCs {
-		cal := ctx.Calib(lc.App)
+		cal, err := ctx.Calib(lc.App)
+		if err != nil {
+			return RunResult{}, err
+		}
 		tasks = append(tasks, machine.TaskSpec{
 			Kind: machine.TaskLC, LC: cal.App,
 			MeanInterarrival: cal.MeanIAAt(lc.LoadPct),
@@ -136,14 +155,19 @@ func (ctx *Context) runWithSplit(spec RunSpec, filter map[uint64]bool) RunResult
 				Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
 		}
 	}
-	m := machine.MustNew(ctx.Cfg, opt, tasks)
+	m, err := machine.New(ctx.Cfg, opt, tasks)
+	if err != nil {
+		return RunResult{}, err
+	}
 	m.SetStatsFilter(filter)
-	m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+	if err := m.RunChecked(ctx.runContext(), ctx.Scale.Warmup, ctx.Scale.Measure); err != nil {
+		return RunResult{}, err
+	}
 	var res RunResult
 	res.Split, res.SplitN = m.SplitAverages()
 	res.BWUtil = m.BWUtil()
 	res.P95 = []uint32{m.LCp95(0)}
-	return res
+	return res, nil
 }
 
 // chaseSetFor reproduces the chase-load PCs of the LC generator on core 0
@@ -163,52 +187,54 @@ func chaseSetFor(app workload.LCParams, seed uint64) map[uint64]bool {
 // Fig06 — normalized p95 under FullPath with increasing BE thread counts:
 // full-path prioritisation keeps every LC task within QoS even at the
 // highest contention.
-func (ctx *Context) Fig06() *metrics.Table {
+func (ctx *Context) Fig06() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 6: normalized p95 under FullPath vs #iBench threads",
 		Headers: []string{"app", "1 thr", "3 thr", "5 thr", "7 thr"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
-		cal := ctx.Calib(app)
+		cal := rn.calib(app)
 		cells := []string{app}
 		for _, n := range []int{1, 3, 5, 7} {
-			r := ctx.Run(RunSpec{Method: MethodFullPath(),
+			r := rn.run(RunSpec{Method: MethodFullPath(),
 				LCs: []LCSpec{{App: app, LoadPct: motivLoadPct}},
 				BEs: []BESpec{{App: workload.IBench, Threads: n}}})
 			cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig07 — leave-one-out: normalized p95 when one MSC does not enforce
 // priority. QoS violations appear whenever any single component opts out.
-func (ctx *Context) Fig07() *metrics.Table {
+func (ctx *Context) Fig07() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 7: normalized p95 with one MSC not enforcing priority",
 		Headers: []string{"app", "all MSCs", "-Interconnect", "-Bus", "-BWCtrl", "-MemCtrl"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
-		cal := ctx.Calib(app)
+		cal := rn.calib(app)
 		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
 		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 		cells := []string{app}
-		all := ctx.Run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
+		all := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
 		cells = append(cells, fmt.Sprintf("%.2f", float64(all.P95[0])/float64(cal.QoSTarget)))
 		for _, msc := range mem.MSCs {
-			r := ctx.Run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes,
+			r := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes,
 				Opt: machine.Options{DisableMSC: msc}})
 			cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 		}
 		t.AddRow(cells...)
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig08 — cumulative distribution of static loads vs ROB stall cycles for
 // Silo and Moses: a small fraction of loads causes nearly all stall cycles.
-func (ctx *Context) Fig08() *metrics.Table {
+func (ctx *Context) Fig08() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 8: CDF — top static loads vs share of ROB stall cycles",
 		Headers: []string{"app", "loads", "top 5%", "top 10%", "top 20%", "top 50%"},
@@ -228,18 +254,21 @@ func (ctx *Context) Fig08() *metrics.Table {
 		t.AddRow(app, fmt.Sprint(len(loadFrac)),
 			share(0.05), share(0.10), share(0.20), share(0.50))
 	}
-	return t
+	return t, nil
 }
 
 // Fig12 — run-alone load-latency curves with the knee-derived QoS target
 // and max load per application.
-func (ctx *Context) Fig12() *metrics.Table {
+func (ctx *Context) Fig12() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 12: load-latency curves (run alone), knee and max load",
 		Headers: []string{"app", "load", "RPMC", "p95", "mean", "QoS", "maxLoad"},
 	}
 	for _, app := range workload.LCNames() {
-		cal := ctx.Calib(app)
+		cal, err := ctx.Calib(app)
+		if err != nil {
+			return nil, err
+		}
 		for _, pt := range cal.Curve {
 			t.AddRow(app,
 				fmt.Sprintf("%.0f%%", pt.LoadFrac*100),
@@ -250,5 +279,5 @@ func (ctx *Context) Fig12() *metrics.Table {
 				fmt.Sprintf("%.1f", cal.MaxLoad))
 		}
 	}
-	return t
+	return t, nil
 }

@@ -9,52 +9,60 @@ import (
 )
 
 // neoverse builds a sibling context over the Table III machine, sharing the
-// scale but recalibrating everything (knees shift with the deeper ROB and
-// faster LLC).
+// scale, the robustness settings and the run context but recalibrating
+// everything (knees shift with the deeper ROB and faster LLC).
 func (ctx *Context) neoverse() *Context {
 	n := NewContext(machine.NeoverseConfig(ctx.Cfg.Cores), ctx.Scale)
 	n.Out = ctx.Out
+	n.Watchdog = ctx.Watchdog
+	n.Audit = ctx.Audit
+	n.runCtx = ctx.runCtx
 	return n
 }
 
 // Fig23 — Figure 13's 1 LC + iBench sweep on the ARM Neoverse-like CPU,
 // PIVOT vs CLITE.
-func (ctx *Context) Fig23() *metrics.Table {
+func (ctx *Context) Fig23() (*metrics.Table, error) {
 	nctx := ctx.neoverse()
 	t := &metrics.Table{
 		Title:   "Figure 23 (Neoverse): max iBench throughput (%) vs LC load",
 		Headers: []string{"app", "load", "CLITE", "PIVOT"},
 	}
+	rn := nctx.runner()
 	n := nctx.Scale.MaxBEThreads
 	for _, app := range workload.LCNames() {
 		for _, pct := range loadSweep {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			t.AddRow(app, fmt.Sprintf("%d%%", pct),
-				fmt.Sprintf("%.0f", nctx.MaxBEThroughput(MethodCLITE(), lcs, workload.IBench, n)*100),
-				fmt.Sprintf("%.0f", nctx.MaxBEThroughput(MethodPIVOT(), lcs, workload.IBench, n)*100))
+				fmt.Sprintf("%.0f", rn.maxBE(MethodCLITE(), lcs, workload.IBench, n)*100),
+				fmt.Sprintf("%.0f", rn.maxBE(MethodPIVOT(), lcs, workload.IBench, n)*100))
 		}
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig24 — Figure 16's CloudSuite single-BE scenarios on Neoverse.
-func (ctx *Context) Fig24() *metrics.Table {
+func (ctx *Context) Fig24() (*metrics.Table, error) {
 	nctx := ctx.neoverse()
 	t := &metrics.Table{
 		Title:   "Figure 24 (Neoverse): CloudSuite BE throughput (norm), 2 LC @40%",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	nctx.fig16Body(t, []Method{MethodCLITE(), MethodPIVOT()})
-	return t
+	if err := nctx.fig16Body(t, []Method{MethodCLITE(), MethodPIVOT()}); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Fig25 — Figure 17's 2 LC + 2 BE scenarios on Neoverse.
-func (ctx *Context) Fig25() *metrics.Table {
+func (ctx *Context) Fig25() (*metrics.Table, error) {
 	nctx := ctx.neoverse()
 	t := &metrics.Table{
 		Title:   "Figure 25 (Neoverse): 2 LC + 2 BE throughput (norm) + bandwidth",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	nctx.fig17Body(t, []Method{MethodCLITE(), MethodPIVOT()})
-	return t
+	if err := nctx.fig17Body(t, []Method{MethodCLITE(), MethodPIVOT()}); err != nil {
+		return nil, err
+	}
+	return t, nil
 }

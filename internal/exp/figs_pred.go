@@ -14,11 +14,12 @@ import (
 // Fig20 — load-criticality prediction methods (§VI-B): max BE throughput
 // when the LC task meets QoS, comparing CBP (memory controller only),
 // Binary-CBP + full path, and PIVOT.
-func (ctx *Context) Fig20() *metrics.Table {
+func (ctx *Context) Fig20() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 20: criticality predictors — max iBench throughput (%)",
 		Headers: []string{"app", "load", "CBP", "CBP+FullPath", "PIVOT"},
 	}
+	rn := ctx.runner()
 	n := ctx.Scale.MaxBEThreads
 	methods := []Method{
 		{Name: "CBP", Policy: machine.PolicyCBP},
@@ -30,40 +31,42 @@ func (ctx *Context) Fig20() *metrics.Table {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
 			for _, mth := range methods {
-				v := ctx.MaxBEThroughput(mth, lcs, workload.IBench, n)
+				v := rn.maxBE(mth, lcs, workload.IBench, n)
 				cells = append(cells, fmt.Sprintf("%.0f", v*100))
 			}
 			t.AddRow(cells...)
 		}
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig21 — IPC and p95 of each LC task at 70% max load, running alone.
-func (ctx *Context) Fig21() *metrics.Table {
+func (ctx *Context) Fig21() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 21: run-alone IPC and p95 at 70% max load",
 		Headers: []string{"app", "IPC", "p95 (cycles)", "QoS target"},
 	}
+	rn := ctx.runner()
 	for _, app := range workload.LCNames() {
-		r := ctx.Run(RunSpec{Method: MethodDefault(),
+		r := rn.run(RunSpec{Method: MethodDefault(),
 			LCs: []LCSpec{{App: app, LoadPct: 70}}})
 		t.AddRow(app,
 			fmt.Sprintf("%.3f", r.LCIPC[0]),
 			fmt.Sprint(r.P95[0]),
-			fmt.Sprint(ctx.Calib(app).QoSTarget))
+			fmt.Sprint(rn.calib(app).QoSTarget))
 	}
-	return t
+	return t, rn.err
 }
 
 // Fig22 — RRBP table-size sensitivity: BE throughput under PIVOT with 16,
 // 32, 64 and 128 entries, normalised to an unlimited (fully associative)
 // table, each LC at 70% load with the 7-thread iBench stressor.
-func (ctx *Context) Fig22() *metrics.Table {
+func (ctx *Context) Fig22() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Figure 22: BE throughput vs unlimited RRBP (1.00 = unlimited)",
 		Headers: []string{"app", "16", "32", "64", "128", "QoS all"},
 	}
+	rn := ctx.runner()
 	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 	for _, app := range workload.LCNames() {
 		lcs := []LCSpec{{App: app, LoadPct: 70}}
@@ -71,7 +74,7 @@ func (ctx *Context) Fig22() *metrics.Table {
 			cfg := rrbp.DefaultConfig()
 			cfg.Entries = entries
 			cfg.RefreshCycles = machine.ScaledRRBPRefresh
-			return ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes,
+			return rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes,
 				Opt: machine.Options{RRBP: cfg}})
 		}
 		unl := runWith(0)
@@ -89,13 +92,13 @@ func (ctx *Context) Fig22() *metrics.Table {
 		cells = append(cells, fmt.Sprint(allQoS))
 		t.AddRow(cells...)
 	}
-	return t
+	return t, rn.err
 }
 
 // Sensitivity — the §VI-C text numbers: RRBP refresh interval, offline LLC
 // miss-rate threshold and offline stall-ranking threshold, reported as the
 // average EMU over the five 1-LC@70% + iBench training scenarios.
-func (ctx *Context) Sensitivity() []*metrics.Table {
+func (ctx *Context) Sensitivity() ([]*metrics.Table, error) {
 	var out []*metrics.Table
 
 	// Refresh interval. The paper's 500K/1M/2M are scaled to the shorter
@@ -108,7 +111,11 @@ func (ctx *Context) Sensitivity() []*metrics.Table {
 	for _, mult := range []float64{0.5, 1, 2} {
 		cfg := rrbp.DefaultConfig()
 		cfg.RefreshCycles = sim.Cycle(float64(machine.ScaledRRBPRefresh) * mult)
-		refCells = append(refCells, fmt.Sprintf("%.1f", ctx.avgEMUWithOpt(machine.Options{RRBP: cfg})))
+		v, err := ctx.avgEMUWithOpt(machine.Options{RRBP: cfg})
+		if err != nil {
+			return nil, err
+		}
+		refCells = append(refCells, fmt.Sprintf("%.1f", v))
 	}
 	reft.AddRow(refCells...)
 	out = append(out, reft)
@@ -128,35 +135,43 @@ func (ctx *Context) Sensitivity() []*metrics.Table {
 		{"rank 10%", profile.Params{MinExecFreq: 0.005, MinLLCMissRate: 0.10, TopStallFrac: 0.10}},
 		{"rank 15%", profile.Params{MinExecFreq: 0.005, MinLLCMissRate: 0.10, TopStallFrac: 0.15}},
 	} {
-		pt.AddRow(v.name, fmt.Sprintf("%.1f", ctx.avgEMUWithParams(v.params)))
+		emu, err := ctx.avgEMUWithParams(v.params)
+		if err != nil {
+			return nil, err
+		}
+		pt.AddRow(v.name, fmt.Sprintf("%.1f", emu))
 	}
 	out = append(out, pt)
-	return out
+	return out, nil
 }
 
 // avgEMUWithOpt runs the 5 training scenarios under PIVOT with the given
 // options and averages their EMU.
-func (ctx *Context) avgEMUWithOpt(opt machine.Options) float64 {
+func (ctx *Context) avgEMUWithOpt(opt machine.Options) (float64, error) {
+	rn := ctx.runner()
 	var sum float64
 	n := ctx.Scale.MaxBEThreads
 	for _, app := range workload.LCNames() {
 		lcs := []LCSpec{{App: app, LoadPct: 70}}
-		r := ctx.Run(RunSpec{Method: MethodPIVOT(), LCs: lcs,
+		r := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs,
 			BEs: []BESpec{{App: workload.IBench, Threads: n}}, Opt: opt})
-		sum += ctx.EMU(lcs, workload.IBench, n, n, r)
+		sum += rn.emu(lcs, workload.IBench, n, n, r)
 	}
-	return sum / float64(len(workload.LCNames()))
+	return sum / float64(len(workload.LCNames())), rn.err
 }
 
 // avgEMUWithParams re-profiles every app with custom offline selection
 // parameters and averages EMU over the training scenarios.
-func (ctx *Context) avgEMUWithParams(params profile.Params) float64 {
+func (ctx *Context) avgEMUWithParams(params profile.Params) (float64, error) {
 	var sum float64
 	n := ctx.Scale.MaxBEThreads
 	for _, app := range workload.LCNames() {
 		pot := machine.ProfileLCWith(ctx.Cfg, workload.LCApps()[app], n,
 			ctx.Scale.Seed, params, machine.ProfileCycles)
-		cal := ctx.Calib(app)
+		cal, err := ctx.Calib(app)
+		if err != nil {
+			return 0, err
+		}
 		tasks := []machine.TaskSpec{{
 			Kind: machine.TaskLC, LC: cal.App,
 			MeanInterarrival: cal.MeanIAAt(70),
@@ -169,11 +184,20 @@ func (ctx *Context) avgEMUWithParams(params profile.Params) float64 {
 			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be,
 				Seed: ctx.Scale.Seed + uint64(10+i)})
 		}
-		m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyPIVOT}, tasks)
-		m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+		m, err := machine.New(ctx.Cfg, ctx.guard(machine.Options{Policy: machine.PolicyPIVOT}), tasks)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.RunChecked(ctx.runContext(), ctx.Scale.Warmup, ctx.Scale.Measure); err != nil {
+			return 0, err
+		}
 		r := RunResult{AllQoS: m.LCp95(0) != 0 && m.LCp95(0) <= cal.QoSTarget}
 		r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
-		sum += ctx.EMU([]LCSpec{{App: app, LoadPct: 70}}, workload.IBench, n, n, r)
+		emu, err := ctx.EMU([]LCSpec{{App: app, LoadPct: 70}}, workload.IBench, n, n, r)
+		if err != nil {
+			return 0, err
+		}
+		sum += emu
 	}
-	return sum / float64(len(workload.LCNames()))
+	return sum / float64(len(workload.LCNames())), nil
 }

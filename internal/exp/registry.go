@@ -13,11 +13,17 @@ import (
 type Experiment struct {
 	ID    string
 	Brief string
-	Run   func(ctx *Context) []*metrics.Table
+	Run   func(ctx *Context) ([]*metrics.Table, error)
 }
 
-func one(f func(ctx *Context) *metrics.Table) func(ctx *Context) []*metrics.Table {
-	return func(ctx *Context) []*metrics.Table { return []*metrics.Table{f(ctx)} }
+func one(f func(ctx *Context) (*metrics.Table, error)) func(ctx *Context) ([]*metrics.Table, error) {
+	return func(ctx *Context) ([]*metrics.Table, error) {
+		t, err := f(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*metrics.Table{t}, nil
+	}
 }
 
 // Registry returns every experiment by id.
@@ -68,7 +74,7 @@ func IDs() []string {
 }
 
 // Table1 — the workload inventory of Table I.
-func (ctx *Context) Table1() *metrics.Table {
+func (ctx *Context) Table1() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "Table I: LC and BE workloads",
 		Headers: []string{"kind", "name", "stands in for"},
@@ -88,17 +94,17 @@ func (ctx *Context) Table1() *metrics.Table {
 	t.AddRow("BE", workload.InMemAn, "collaborative filtering (CloudSuite)")
 	t.AddRow("BE", workload.IBench, "massive streaming read/write (iBench)")
 	t.AddRow("BE", workload.StressCopy, "offline-profiling stress task (§V-B)")
-	return t
+	return t, nil
 }
 
 // Table2 — the Kunpeng-like configuration actually instantiated.
-func (ctx *Context) Table2() *metrics.Table {
-	return configTable("Table II (Kunpeng-like)", ctx.Cfg)
+func (ctx *Context) Table2() (*metrics.Table, error) {
+	return configTable("Table II (Kunpeng-like)", ctx.Cfg), nil
 }
 
 // Table3 — the Neoverse-like configuration actually instantiated.
-func (ctx *Context) Table3() *metrics.Table {
-	return configTable("Table III (Neoverse-like)", ctx.neoverse().Cfg)
+func (ctx *Context) Table3() (*metrics.Table, error) {
+	return configTable("Table III (Neoverse-like)", ctx.neoverse().Cfg), nil
 }
 
 func configTable(title string, cfg machine.Config) *metrics.Table {
@@ -120,7 +126,7 @@ func configTable(title string, cfg machine.Config) *metrics.Table {
 }
 
 // Storage — the §IV-E per-PE storage budget (1045 bits).
-func (ctx *Context) Storage() *metrics.Table {
+func (ctx *Context) Storage() (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   "§IV-E: PIVOT per-PE storage budget (bits)",
 		Headers: []string{"component", "bits"},
@@ -132,5 +138,5 @@ func (ctx *Context) Storage() *metrics.Table {
 	t.AddRow("RRBP table (64x6)", "384")
 	t.AddRow("load-queue bits (64x7)", "448")
 	t.AddRow("total", fmt.Sprint(8+5+8+192+384+448))
-	return t
+	return t, nil
 }

@@ -2,7 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime/debug"
 
+	"pivot/internal/faultinject"
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/mem"
@@ -61,6 +63,11 @@ type RunSpec struct {
 
 	// Extra policy options (leave-one-out MSC, RRBP overrides, ...).
 	Opt machine.Options
+
+	// Faults, when non-nil, attaches seed-derived fault injectors to the four
+	// MSC stations before the run (see internal/faultinject). Used by
+	// resilience tests; production sweeps leave it nil.
+	Faults *faultinject.Config
 }
 
 // RunResult summarises one simulation.
@@ -79,9 +86,24 @@ type RunResult struct {
 }
 
 // Run executes one co-location scenario and evaluates QoS against the
-// calibrated knee targets.
-func (ctx *Context) Run(spec RunSpec) RunResult {
-	opt := spec.Opt
+// calibrated knee targets. All failure modes come back as errors: invalid
+// machine configs, aborted runs (watchdog stall, invariant-audit violation,
+// deadline, cycle budget), and any panic escaping the simulator, which is
+// recovered into a *machine.PanicError carrying the goroutine stack and a
+// diagnostic snapshot of the machine at the moment it died.
+func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
+	var m *machine.Machine
+	defer func() {
+		if p := recover(); p != nil {
+			pe := &machine.PanicError{Value: p, Stack: string(debug.Stack())}
+			if m != nil {
+				pe.Diag = m.Diagnose()
+			}
+			res, err = RunResult{}, pe
+		}
+	}()
+
+	opt := ctx.guard(spec.Opt)
 	opt.Policy = spec.Method.Policy
 	if ctx.StatsEpoch > 0 && opt.SampleRequests == 0 {
 		// Recording request lifecycles is purely observational; it feeds the
@@ -92,7 +114,10 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 	var tasks []machine.TaskSpec
 	var targets []uint32
 	for _, lc := range spec.LCs {
-		cal := ctx.Calib(lc.App)
+		cal, cerr := ctx.Calib(lc.App)
+		if cerr != nil {
+			return RunResult{}, cerr
+		}
 		tasks = append(tasks, machine.TaskSpec{
 			Kind:             machine.TaskLC,
 			LC:               cal.App,
@@ -113,7 +138,10 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 		}
 	}
 
-	m := machine.MustNew(ctx.Cfg, opt, tasks)
+	m, err = machine.New(ctx.Cfg, opt, tasks)
+	if err != nil {
+		return RunResult{}, err
+	}
 	if ctx.StatsEpoch > 0 {
 		m.EnableStats(ctx.StatsEpoch, 0)
 	}
@@ -124,26 +152,34 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 			}
 		}
 	}
-
-	switch spec.Method.Manager {
-	case "PARTIES":
-		manager.Run(manager.NewPARTIES(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
-	case "CLITE":
-		manager.Run(manager.NewCLITE(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
-	default:
-		m.Run(ctx.Scale.Warmup, ctx.Scale.Measure)
+	if spec.Faults != nil {
+		faultinject.Attach(m, *spec.Faults)
 	}
 
-	res := RunResult{AllQoS: true}
+	rc := ctx.runContext()
+	switch spec.Method.Manager {
+	case "PARTIES":
+		err = manager.RunChecked(rc, manager.NewPARTIES(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+	case "CLITE":
+		err = manager.RunChecked(rc, manager.NewCLITE(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+	default:
+		err = m.RunChecked(rc, ctx.Scale.Warmup, ctx.Scale.Measure)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	res = RunResult{AllQoS: true}
 	for i, lc := range spec.LCs {
 		src := m.LCTasks()[i].Source
 		lat := src.Latencies()
 		qs := metrics.Quantiles(lat, 50, 95, 99) // one sort for all three
 		p95 := qs[1]
+		cal, _ := ctx.Calib(lc.App) // cached above; cannot fail here
 		// An open-loop source whose backlog keeps growing has saturated even
 		// if too few requests completed to show it in p95 yet.
 		saturated := src.QueueDepth() > 32
-		met := p95 != 0 && p95 <= ctx.Calib(lc.App).QoSTarget && !saturated
+		met := p95 != 0 && p95 <= cal.QoSTarget && !saturated
 		res.P50 = append(res.P50, qs[0])
 		res.P95 = append(res.P95, p95)
 		res.P99 = append(res.P99, qs[2])
@@ -158,7 +194,7 @@ func (ctx *Context) Run(spec RunSpec) RunResult {
 	res.BWUtil = m.BWUtil()
 	res.Split, res.SplitN = m.SplitAverages()
 	ctx.captureStats(m, spec)
-	return res
+	return res, nil
 }
 
 // captureStats records the stats dump and timeline of the just-finished run
@@ -169,13 +205,15 @@ func (ctx *Context) captureStats(m *machine.Machine, spec RunSpec) {
 		return
 	}
 	d := m.StatsDump()
-	ctx.Stats = &d
-	ctx.statsRuns++
-	label := fmt.Sprintf("run %d: %s", ctx.statsRuns, spec.Method.Name)
+	ctx.sh.statsMu.Lock()
+	defer ctx.sh.statsMu.Unlock()
+	ctx.sh.stats = &d
+	ctx.sh.statsRuns++
+	label := fmt.Sprintf("run %d: %s", ctx.sh.statsRuns, spec.Method.Name)
 	for _, lc := range spec.LCs {
 		label += fmt.Sprintf(" %s@%d%%", lc.App, lc.LoadPct)
 	}
-	ctx.Timeline = m.BuildTimeline(ctx.statsRuns, label)
+	ctx.sh.timeline = m.BuildTimeline(ctx.sh.statsRuns, label)
 }
 
 // potentialFor computes the potential set only for the methods that use it.
@@ -195,79 +233,192 @@ var mbaLevels = []int{100, 80, 60, 40, 20, 10, 5, 2}
 // QoS (what an operator tuning MBA would deploy) and returns its result
 // together with the chosen level. If no level protects QoS it returns the
 // most throttled attempt.
-func (ctx *Context) RunBestMBA(lcs []LCSpec, bes []BESpec) (RunResult, int) {
+func (ctx *Context) RunBestMBA(lcs []LCSpec, bes []BESpec) (RunResult, int, error) {
 	var last RunResult
 	lastLvl := mbaLevels[len(mbaLevels)-1]
 	for _, lvl := range mbaLevels {
-		r := ctx.Run(RunSpec{Method: MethodMBA(lvl), LCs: lcs, BEs: bes})
+		r, err := ctx.Run(RunSpec{Method: MethodMBA(lvl), LCs: lcs, BEs: bes})
+		if err != nil {
+			return RunResult{}, 0, err
+		}
 		last, lastLvl = r, lvl
 		if r.AllQoS {
-			return r, lvl
+			return r, lvl, nil
 		}
 	}
-	return last, lastLvl
+	return last, lastLvl, nil
 }
 
 // MaxBEThroughput sweeps the BE thread count downward and returns the best
 // normalised BE throughput achieved with QoS met (the Fig 3/13 metric),
 // normalising against `normThreads` threads running alone. It returns 0
 // when no thread count (including 1) meets QoS.
-func (ctx *Context) MaxBEThroughput(mth Method, lcs []LCSpec, beApp string, normThreads int) float64 {
-	base := ctx.BEAloneIPC(beApp, normThreads)
+func (ctx *Context) MaxBEThroughput(mth Method, lcs []LCSpec, beApp string, normThreads int) (float64, error) {
+	base, err := ctx.BEAloneIPC(beApp, normThreads)
+	if err != nil {
+		return 0, err
+	}
 	if base <= 0 {
-		return 0
+		return 0, nil
 	}
 	for n := ctx.Scale.MaxBEThreads; n >= 1; n-- {
 		if len(lcs)+n > ctx.Cfg.Cores {
 			continue
 		}
-		r := ctx.Run(RunSpec{Method: mth, LCs: lcs, BEs: []BESpec{{App: beApp, Threads: n}}})
+		r, err := ctx.Run(RunSpec{Method: mth, LCs: lcs, BEs: []BESpec{{App: beApp, Threads: n}}})
+		if err != nil {
+			return 0, err
+		}
 		if r.AllQoS {
-			return r.BEIPC / base
+			return r.BEIPC / base, nil
 		}
 	}
-	return 0
+	return 0, nil
 }
 
 // MaxBEThroughputMBA is MaxBEThroughput for the static-MBA method, which
 // additionally searches the throttle level at each thread count.
-func (ctx *Context) MaxBEThroughputMBA(lcs []LCSpec, beApp string, normThreads int) float64 {
-	base := ctx.BEAloneIPC(beApp, normThreads)
-	if base <= 0 {
-		return 0
+func (ctx *Context) MaxBEThroughputMBA(lcs []LCSpec, beApp string, normThreads int) (float64, error) {
+	base, err := ctx.BEAloneIPC(beApp, normThreads)
+	if err != nil {
+		return 0, err
 	}
-	best := 0.0
+	if base <= 0 {
+		return 0, nil
+	}
 	for n := ctx.Scale.MaxBEThreads; n >= 1; n-- {
 		if len(lcs)+n > ctx.Cfg.Cores {
 			continue
 		}
-		r, _ := ctx.RunBestMBA(lcs, []BESpec{{App: beApp, Threads: n}})
+		r, _, err := ctx.RunBestMBA(lcs, []BESpec{{App: beApp, Threads: n}})
+		if err != nil {
+			return 0, err
+		}
 		if r.AllQoS {
-			v := r.BEIPC / base
-			if v > best {
-				best = v
-			}
-			return best // thread counts below n only lose throughput
+			return r.BEIPC / base, nil // thread counts below n only lose throughput
 		}
 	}
-	return best
+	return 0, nil
 }
 
 // EMU computes effective machine utilisation for a co-location result: the
 // summed normalised loads of all tasks, zero if any LC task violates QoS.
-func (ctx *Context) EMU(lcs []LCSpec, beApp string, beThreads, normThreads int, r RunResult) float64 {
+func (ctx *Context) EMU(lcs []LCSpec, beApp string, beThreads, normThreads int, r RunResult) (float64, error) {
 	if !r.AllQoS {
-		return 0
+		return 0, nil
 	}
 	var sum float64
 	for _, lc := range lcs {
 		sum += float64(lc.LoadPct) / 100
 	}
 	if beThreads > 0 {
-		base := ctx.BEAloneIPC(beApp, normThreads)
+		base, err := ctx.BEAloneIPC(beApp, normThreads)
+		if err != nil {
+			return 0, err
+		}
 		if base > 0 {
 			sum += r.BEIPC / base
 		}
 	}
-	return sum * 100
+	return sum * 100, nil
+}
+
+// runner is a sticky-error view of a Context for figure bodies: the first
+// failure latches and every subsequent call becomes a cheap no-op returning
+// zero values, so sweep loops stay expression-shaped (like bufio.Scanner)
+// and each figure ends with `return t, rn.err`.
+type runner struct {
+	ctx *Context
+	err error
+}
+
+func (ctx *Context) runner() *runner { return &runner{ctx: ctx} }
+
+// zeroResult pads the per-LC slices so figure code indexing r.P95[i] after a
+// latched error reads zeros instead of panicking.
+func zeroResult(nLC int) RunResult {
+	return RunResult{
+		P50: make([]uint32, nLC), P95: make([]uint32, nLC), P99: make([]uint32, nLC),
+		QoSMet: make([]bool, nLC), MeanLat: make([]float64, nLC), LCIPC: make([]float64, nLC),
+	}
+}
+
+func (rn *runner) run(spec RunSpec) RunResult {
+	if rn.err != nil {
+		return zeroResult(len(spec.LCs))
+	}
+	r, err := rn.ctx.Run(spec)
+	if err != nil {
+		rn.err = err
+		return zeroResult(len(spec.LCs))
+	}
+	return r
+}
+
+func (rn *runner) calib(app string) *AppCalib {
+	if rn.err == nil {
+		if c, err := rn.ctx.Calib(app); err == nil {
+			return c
+		} else {
+			rn.err = err
+		}
+	}
+	// Zero-valued stand-in: the figure's arithmetic on it is discarded once
+	// the latched error is returned.
+	return &AppCalib{Curve: []CurvePoint{{}}}
+}
+
+func (rn *runner) bestMBA(lcs []LCSpec, bes []BESpec) (RunResult, int) {
+	if rn.err == nil {
+		r, lvl, err := rn.ctx.RunBestMBA(lcs, bes)
+		if err == nil {
+			return r, lvl
+		}
+		rn.err = err
+	}
+	return zeroResult(len(lcs)), 0
+}
+
+func (rn *runner) maxBE(mth Method, lcs []LCSpec, beApp string, normThreads int) float64 {
+	if rn.err != nil {
+		return 0
+	}
+	v, err := rn.ctx.MaxBEThroughput(mth, lcs, beApp, normThreads)
+	if err != nil {
+		rn.err = err
+	}
+	return v
+}
+
+func (rn *runner) maxBEMBA(lcs []LCSpec, beApp string, normThreads int) float64 {
+	if rn.err != nil {
+		return 0
+	}
+	v, err := rn.ctx.MaxBEThroughputMBA(lcs, beApp, normThreads)
+	if err != nil {
+		rn.err = err
+	}
+	return v
+}
+
+func (rn *runner) beAlone(app string, threads int) float64 {
+	if rn.err != nil {
+		return 0
+	}
+	v, err := rn.ctx.BEAloneIPC(app, threads)
+	if err != nil {
+		rn.err = err
+	}
+	return v
+}
+
+func (rn *runner) emu(lcs []LCSpec, beApp string, beThreads, normThreads int, r RunResult) float64 {
+	if rn.err != nil {
+		return 0
+	}
+	v, err := rn.ctx.EMU(lcs, beApp, beThreads, normThreads, r)
+	if err != nil {
+		rn.err = err
+	}
+	return v
 }

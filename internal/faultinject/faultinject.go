@@ -1,0 +1,119 @@
+// Package faultinject provides deterministic, seed-derived fault injection
+// for the four shared memory-system components. An Injector implements
+// mem.Fault: it perturbs a station's admission (transient queue-full), its
+// service time (latency spikes) and its arbitration (delayed grants) from a
+// private RNG stream, so a seeded campaign is exactly reproducible and two
+// stations' injections never interfere.
+//
+// Faults are conservative by construction — a dropped Accept leaves the
+// request with its upstream owner, a spike only delays readiness, a held
+// grant only postpones forwarding — so the machine's request-conservation
+// invariant holds under any injection mix. Tests use that to prove the
+// watchdog, the auditor and the back-pressure paths fire for real.
+package faultinject
+
+import (
+	"fmt"
+
+	"pivot/internal/machine"
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// Config parameterises one injector. Probabilities are per decision (one
+// DropAccept decision per offered request, one HoldGrant decision per
+// station tick).
+type Config struct {
+	Seed uint64
+
+	// DropProb refuses an offered request as if the queue were full.
+	DropProb float64
+	// SpikeProb adds SpikeCycles of traversal latency to an accepted
+	// request.
+	SpikeProb   float64
+	SpikeCycles sim.Cycle
+	// HoldProb makes the station grant nothing this cycle.
+	HoldProb float64
+
+	// PanicAfter, when non-zero, panics on the Nth injected event — the
+	// harness tests use it to prove a mid-simulation panic is recovered into
+	// a structured RunError instead of crashing the sweep.
+	PanicAfter uint64
+}
+
+// Counts tallies what an injector actually did.
+type Counts struct {
+	Drops  uint64
+	Spikes uint64
+	Holds  uint64
+}
+
+// Injector implements mem.Fault deterministically. Not safe for concurrent
+// use; each machine's simulation goroutine owns its injectors.
+type Injector struct {
+	cfg Config
+	rng *sim.RNG
+
+	Counts Counts
+}
+
+// New builds an injector over its own seed-derived RNG stream.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0xFA417)}
+}
+
+func (in *Injector) event() {
+	if in.cfg.PanicAfter == 0 {
+		return
+	}
+	if n := in.Counts.Drops + in.Counts.Spikes + in.Counts.Holds; n >= in.cfg.PanicAfter {
+		panic(fmt.Sprintf("faultinject: injected panic after %d events", n))
+	}
+}
+
+// DropAccept implements mem.Fault.
+func (in *Injector) DropAccept(now sim.Cycle) bool {
+	if in.cfg.DropProb <= 0 || in.rng.Float64() >= in.cfg.DropProb {
+		return false
+	}
+	in.Counts.Drops++
+	in.event()
+	return true
+}
+
+// ExtraLatency implements mem.Fault.
+func (in *Injector) ExtraLatency(now sim.Cycle) sim.Cycle {
+	if in.cfg.SpikeProb <= 0 || in.rng.Float64() >= in.cfg.SpikeProb {
+		return 0
+	}
+	in.Counts.Spikes++
+	in.event()
+	return in.cfg.SpikeCycles
+}
+
+// HoldGrant implements mem.Fault.
+func (in *Injector) HoldGrant(now sim.Cycle) bool {
+	if in.cfg.HoldProb <= 0 || in.rng.Float64() >= in.cfg.HoldProb {
+		return false
+	}
+	in.Counts.Holds++
+	in.event()
+	return true
+}
+
+// Attach installs one injector per MSC station on m, each with a seed
+// derived from cfg.Seed and the station's component id so streams stay
+// independent. It returns the injectors keyed by component for inspection.
+func Attach(m *machine.Machine, cfg Config) map[mem.Component]*Injector {
+	out := make(map[mem.Component]*Injector, len(mem.MSCs))
+	for _, comp := range mem.MSCs {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(comp)*0x9E3779B97F4A7C15
+		in := New(c)
+		if err := m.SetFault(comp, in); err != nil {
+			panic(err) // unreachable: mem.MSCs are exactly the injectable set
+		}
+		out[comp] = in
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+// Package harness is the resilient sweep runner: a worker pool that executes
+// experiment jobs in parallel, converts panics into structured errors with a
+// machine diagnostic attached, bounds each run with a wall-clock deadline,
+// retries transient host failures with backoff, and journals completed runs
+// so an interrupted sweep resumes without recomputing.
+//
+// Determinism: each simulation's state lives entirely inside its own
+// machine, and the exp.Context caches are synchronised, so a sweep run with
+// Parallel=N produces results identical to a serial run of the same jobs.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pivot/internal/machine"
+)
+
+// Config parameterises one sweep.
+type Config struct {
+	// Parallel is the worker count; values < 1 mean serial.
+	Parallel int
+	// Timeout is the per-run wall-clock deadline (0 = unbounded).
+	Timeout time.Duration
+	// Retries is how many times a job is re-attempted after a transient
+	// failure (deterministic simulation failures are never retried).
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	Backoff time.Duration
+	// JournalPath, when set, appends one JSONL entry per completed job and
+	// enables Resume.
+	JournalPath string
+	// Resume skips jobs whose IDs already have journal entries, returning
+	// the journaled value instead of recomputing.
+	Resume bool
+	// Out receives progress notes; nil silences them.
+	Out io.Writer
+}
+
+// Job is one unit of work. Run receives a context carrying the per-run
+// deadline; its returned value must be JSON-marshalable for journaling.
+type Job struct {
+	ID  string
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one job, in job order.
+type Result struct {
+	ID string
+	// Value is what Run returned — or a json.RawMessage when the value was
+	// replayed from the journal (decode with ValueAs).
+	Value any
+	// Err is nil on success; otherwise a *RunError.
+	Err      error
+	Attempts int
+	// Resumed marks values replayed from the journal without recomputation.
+	Resumed bool
+	Elapsed time.Duration
+}
+
+// RunError wraps a job failure with its identity and attempt count. The
+// underlying cause may be a *machine.StallError, *machine.AuditError,
+// *machine.PanicError, *machine.AbortError or any host error.
+type RunError struct {
+	JobID    string
+	Attempts int
+	Err      error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("harness: job %s failed after %d attempt(s): %v", e.JobID, e.Attempts, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Diag extracts the machine diagnostic snapshot from the failure, if the
+// underlying error carries one.
+func (e *RunError) Diag() (machine.Diagnostic, bool) { return machine.DiagOf(e.Err) }
+
+// ErrTransient marks an error as a transient host failure worth retrying;
+// wrap it (fmt.Errorf("...: %w", harness.ErrTransient)) or implement
+// `Transient() bool` on the error type.
+var ErrTransient = errors.New("transient failure")
+
+// transient reports whether err should be retried. Simulation failures are
+// deterministic — the same seed reproduces them exactly — so retrying them
+// burns time to learn nothing; only errors explicitly marked transient
+// (host-level flakiness) qualify.
+func transient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Runner executes sweeps. Zero value is unusable; build with New.
+type Runner struct {
+	cfg     Config
+	journal *journal // nil when journaling is off
+}
+
+// New builds a runner, loading the journal when resuming.
+func New(cfg Config) (*Runner, error) {
+	r := &Runner{cfg: cfg}
+	if cfg.JournalPath != "" {
+		j, err := openJournal(cfg.JournalPath, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		r.journal = j
+	}
+	return r, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Out != nil {
+		fmt.Fprintf(r.cfg.Out, format+"\n", args...)
+	}
+}
+
+// Run executes all jobs and returns one Result per job, in job order. It
+// never returns early: failed jobs are reported in their Result while the
+// remaining jobs keep running. Failed reports whether any job failed.
+func (r *Runner) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := r.cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Failed counts the failures in a result set.
+func Failed(results []Result) int {
+	n := 0
+	for _, res := range results {
+		if res.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Runner) runOne(job Job) Result {
+	if r.journal != nil && r.cfg.Resume {
+		if raw, ok := r.journal.lookup(job.ID); ok {
+			r.logf("%-40s resumed from journal", job.ID)
+			return Result{ID: job.ID, Value: raw, Resumed: true}
+		}
+	}
+	start := time.Now()
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.cfg.Backoff << (attempt - 1))
+			r.logf("%-40s retry %d/%d", job.ID, attempt, r.cfg.Retries)
+		}
+		attempts++
+		v, err := r.attempt(job)
+		if err == nil {
+			if r.journal != nil {
+				if jerr := r.journal.append(job.ID, v); jerr != nil {
+					r.logf("%-40s journal write failed: %v", job.ID, jerr)
+				}
+			}
+			r.logf("%-40s ok (%.1fs)", job.ID, time.Since(start).Seconds())
+			return Result{ID: job.ID, Value: v, Attempts: attempts, Elapsed: time.Since(start)}
+		}
+		lastErr = err
+		if !transient(err) {
+			break
+		}
+	}
+	r.logf("%-40s FAILED: %v", job.ID, lastErr)
+	return Result{
+		ID:       job.ID,
+		Err:      &RunError{JobID: job.ID, Attempts: attempts, Err: lastErr},
+		Attempts: attempts,
+		Elapsed:  time.Since(start),
+	}
+}
+
+// attempt runs the job once under its deadline, converting an escaped panic
+// into a *machine.PanicError so one poisoned run cannot kill the sweep.
+func (r *Runner) attempt(job Job) (v any, err error) {
+	ctx := context.Background()
+	if r.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, &machine.PanicError{Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return job.Run(ctx)
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Entry is one journal line: a completed job and its JSON-encoded value.
+// The journal records only successes — failed jobs re-run on resume.
+type Entry struct {
+	ID    string          `json:"id"`
+	Value json.RawMessage `json:"value"`
+}
+
+// journal is an append-only JSONL file of completed jobs, safe for
+// concurrent appends from worker goroutines.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]json.RawMessage
+}
+
+// openJournal opens (creating if needed) the journal for appending. When
+// resume is set, existing entries are loaded first; a trailing partial line
+// (the process died mid-write) is ignored.
+func openJournal(path string, resume bool) (*journal, error) {
+	j := &journal{seen: make(map[string]json.RawMessage)}
+	if resume {
+		loaded, err := LoadJournal(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		j.seen = loaded
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// LoadJournal reads a JSONL journal into a map of job ID to raw value.
+// Malformed lines (a crash mid-append) are skipped, not fatal.
+func LoadJournal(path string) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage)
+	f, err := os.Open(path)
+	if err != nil {
+		return out, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.ID == "" {
+			continue
+		}
+		out[e.ID] = e.Value
+	}
+	return out, sc.Err()
+}
+
+func (j *journal) lookup(id string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.seen[id]
+	return v, ok
+}
+
+// append journals one completed job. The line is built in memory and issued
+// as a single O_APPEND write so concurrent workers never interleave bytes.
+func (j *journal) append(id string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("harness: journal value for %s: %w", id, err)
+	}
+	line, err := json.Marshal(Entry{ID: id, Value: raw})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	j.seen[id] = raw
+	return nil
+}
+
+// ValueAs decodes a Result's value as T, handling both live values (returned
+// by the job this process ran) and journal-replayed json.RawMessage values.
+func ValueAs[T any](res Result) (T, error) {
+	var out T
+	switch v := res.Value.(type) {
+	case T:
+		return v, nil
+	case json.RawMessage:
+		err := json.Unmarshal(v, &out)
+		return out, err
+	default:
+		// Round-trip through JSON: covers live values whose concrete type
+		// differs from T only by encoding (e.g. any-typed maps).
+		raw, err := json.Marshal(res.Value)
+		if err != nil {
+			return out, err
+		}
+		return out, json.Unmarshal(raw, &out)
+	}
+}
+
+// WriteFileAtomic writes data to path via a temp file + rename in the same
+// directory, so readers never observe a half-written result and an aborted
+// sweep cannot corrupt a previous complete output.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = ""
+	return nil
+}

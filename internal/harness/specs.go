@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"pivot/internal/exp"
+	"pivot/internal/metrics"
+)
+
+// SpecLabel renders a stable, human-readable identity for a RunSpec, used as
+// the job ID suffix and in failure summaries.
+func SpecLabel(spec exp.RunSpec) string {
+	var b strings.Builder
+	b.WriteString(spec.Method.Name)
+	for _, lc := range spec.LCs {
+		fmt.Fprintf(&b, "+%s@%d", lc.App, lc.LoadPct)
+	}
+	for _, be := range spec.BEs {
+		fmt.Fprintf(&b, "+%sx%d", be.App, be.Threads)
+	}
+	return b.String()
+}
+
+// SpecJobs builds one job per RunSpec against a shared Context. Each job
+// derives a deadline-bounded view of ctx from its run context, so the
+// harness timeout reaches down into the simulation loop. Job IDs are
+// "<index>:<label>" — index keeps IDs unique when a sweep repeats a spec.
+func SpecJobs(ctx *exp.Context, specs []exp.RunSpec) []Job {
+	jobs := make([]Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = Job{
+			ID: fmt.Sprintf("%03d:%s", i, SpecLabel(spec)),
+			Run: func(rc context.Context) (any, error) {
+				return ctx.WithRunContext(rc).Run(spec)
+			},
+		}
+	}
+	return jobs
+}
+
+// ExperimentJobs builds one job per registered experiment ID. Each job's
+// value is the experiment's fully rendered table text (render formats one
+// table; nil renders the default text form), so a journal replay reproduces
+// the sweep's output byte-for-byte without recomputation.
+func ExperimentJobs(ctx *exp.Context, ids []string, render func(*metrics.Table) string) ([]Job, error) {
+	if render == nil {
+		render = func(t *metrics.Table) string { return t.String() + "\n" }
+	}
+	reg := exp.Registry()
+	jobs := make([]Job, 0, len(ids))
+	for _, id := range ids {
+		e, ok := reg[id]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown experiment %q", id)
+		}
+		jobs = append(jobs, Job{
+			ID: e.ID,
+			Run: func(rc context.Context) (any, error) {
+				tables, err := e.Run(ctx.WithRunContext(rc))
+				if err != nil {
+					return nil, err
+				}
+				var b strings.Builder
+				for _, t := range tables {
+					b.WriteString(render(t))
+				}
+				return b.String(), nil
+			},
+		})
+	}
+	return jobs, nil
+}

@@ -79,6 +79,11 @@ type Station struct {
 	// served FCFS.
 	Classify func(r *mem.Req) int
 
+	// Fault, when non-nil, injects admission refusals, latency spikes and
+	// grant delays (see mem.Fault). Only tests and fault-injection campaigns
+	// set it; production runs leave it nil.
+	Fault mem.Fault
+
 	Stats Stats
 }
 
@@ -112,6 +117,14 @@ func (s *Station) QueueLen() (normal, prio int) { return len(s.normal), len(s.pr
 
 // Accept implements Acceptor: enqueue r if there is space.
 func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
+	var spike sim.Cycle
+	if s.Fault != nil {
+		if s.Fault.DropAccept(now) {
+			s.Stats.Refused++
+			return false
+		}
+		spike = s.Fault.ExtraLatency(now)
+	}
 	usePrio := s.PriorityEnabled && r.Critical
 	if usePrio {
 		if len(s.prio) >= s.cfg.CapPrio {
@@ -121,7 +134,7 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 			s.Stats.Refused++
 			return false
 		}
-		s.prio = append(s.prio, entry{req: r, ready: now + s.cfg.Latency, enq: now})
+		s.prio = append(s.prio, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
 		s.Stats.Accepted++
 		return true
 	}
@@ -129,7 +142,7 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 		s.Stats.Refused++
 		return false
 	}
-	s.normal = append(s.normal, entry{req: r, ready: now + s.cfg.Latency, enq: now})
+	s.normal = append(s.normal, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
 	s.Stats.Accepted++
 	return true
 }
@@ -188,6 +201,9 @@ func (s *Station) removePrio(now sim.Cycle) *mem.Req {
 // Priority-queue requests go first, except that a starved normal request is
 // promoted ahead of them.
 func (s *Station) Tick(now sim.Cycle) {
+	if s.Fault != nil && s.Fault.HoldGrant(now) {
+		return // injected arbitration stall: no grants this cycle
+	}
 	for n := 0; n < s.cfg.Bandwidth; n++ {
 		var r *mem.Req
 		var fromPrio bool

@@ -7,6 +7,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"pivot/internal/bwctrl"
 	"pivot/internal/cache"
 	"pivot/internal/cpu"
@@ -96,6 +98,27 @@ type Config struct {
 
 	// LLCRespLatency is the return latency for LLC hits.
 	LLCRespLatency sim.Cycle
+}
+
+// Validate reports a descriptive error for impossible machine
+// configurations, checking the pieces whose constructors would otherwise
+// panic deep inside assembly (cache geometries, core pipeline widths).
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: core count %d must be positive", c.Cores)
+	}
+	for _, cc := range []cache.Config{c.L1, c.L2, c.LLC} {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+	}
+	if err := c.Core.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if c.PortOutCap <= 0 {
+		return fmt.Errorf("machine: PortOutCap %d must be positive", c.PortOutCap)
+	}
+	return nil
 }
 
 // ScaledRRBPRefresh is the default RRBP refresh interval (the paper's 1M

@@ -102,6 +102,25 @@ type Options struct {
 
 	// PrefetchCfg overrides the prefetcher geometry (zero value = default).
 	PrefetchCfg prefetch.Config
+
+	// WatchdogWindow enables the forward-progress watchdog: if no core
+	// commits an instruction for this many cycles, StepChecked aborts the run
+	// with a *StallError carrying a diagnostic snapshot instead of spinning
+	// forever. 0 disables the watchdog (and plain Run never checks it).
+	WatchdogWindow sim.Cycle
+
+	// Audit enables the invariant auditor: every AuditEpoch cycles of a
+	// StepChecked run, the machine asserts request conservation, queue
+	// capacity bounds and bandwidth-credit accounting, aborting with a
+	// *AuditError on the first violation.
+	Audit bool
+
+	// AuditEpoch is the auditing period in cycles (0 = DefaultStatsEpoch).
+	AuditEpoch sim.Cycle
+
+	// MaxCycles bounds the total simulated cycles a StepChecked run may
+	// consume (a runaway budget); 0 = unbounded.
+	MaxCycles sim.Cycle
 }
 
 // LCTask is the runtime state of one latency-critical task.
@@ -154,11 +173,25 @@ type Machine struct {
 
 	measureStart sim.Cycle
 	measured     sim.Cycle
+
+	// Request-conservation accounting for the invariant auditor: every
+	// pooled request is either recycled or held somewhere the auditor can
+	// count (a port's out queue, an MSC queue, DRAM's response pipe, or a
+	// req-carrying delay slot tracked by reqsDelayed).
+	reqsIssued   uint64
+	reqsRecycled uint64
+	reqsDelayed  int
+	// statsResetAt anchors elapsed-cycle accounting (bandwidth credit) to
+	// the last ResetStats.
+	statsResetAt sim.Cycle
 }
 
 // New assembles a machine running the given tasks under opt. Task i runs on
 // core i with PartID i; len(tasks) must not exceed cfg.Cores.
 func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(tasks) > cfg.Cores {
 		return nil, fmt.Errorf("machine: %d tasks exceed %d cores", len(tasks), cfg.Cores)
 	}
@@ -177,8 +210,9 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 	}
 	m := &Machine{Cfg: cfg, Opt: opt, Engine: sim.NewEngine(), tasks: tasks}
 
-	// Memory side, downstream to upstream.
-	m.llc = cache.New(cfg.LLC)
+	// Memory side, downstream to upstream. Cache geometries were validated
+	// above, so the Must constructors cannot fire.
+	m.llc = cache.MustNew(cfg.LLC)
 	m.mc = dram.New(applyGuard(cfg.DRAM, opt), cfg.L1.LineBytes)
 	m.mc.Respond = m.onResp
 	m.bw = bwctrl.New(guardBW(cfg.BW, opt), m.mc)
@@ -434,7 +468,7 @@ func (m *Machine) llcAccept(r *mem.Req, now sim.Cycle) bool {
 			}
 			due := now + sim.Cycle(m.Cfg.LLC.HitCycles) + m.Cfg.LLCRespLatency
 			req := r
-			m.delays.after(due, func(at sim.Cycle) { m.deliver(req, at, false) })
+			m.delayReq(due, func(at sim.Cycle) { m.deliver(req, at, false) })
 			return true
 		}
 		r.LLCMiss = true
@@ -484,6 +518,7 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 }
 
 func (m *Machine) newReq() *mem.Req {
+	m.reqsIssued++
 	if n := len(m.reqPool); n > 0 {
 		r := m.reqPool[n-1]
 		m.reqPool = m.reqPool[:n-1]
@@ -493,7 +528,40 @@ func (m *Machine) newReq() *mem.Req {
 	return &mem.Req{}
 }
 
-func (m *Machine) recycle(r *mem.Req) { m.reqPool = append(m.reqPool, r) }
+func (m *Machine) recycle(r *mem.Req) {
+	m.reqsRecycled++
+	m.reqPool = append(m.reqPool, r)
+}
+
+// delayReq schedules a delay-slot callback that holds a live request (a
+// fixed-latency hop), keeping the in-flight count the invariant auditor
+// checks exact.
+func (m *Machine) delayReq(due sim.Cycle, fn func(now sim.Cycle)) {
+	m.reqsDelayed++
+	m.delays.after(due, func(now sim.Cycle) {
+		m.reqsDelayed--
+		fn(now)
+	})
+}
+
+// SetFault installs a fault model on one of the four MSC stations (see
+// mem.Fault); passing nil removes it. Components other than the four MSCs
+// are rejected.
+func (m *Machine) SetFault(c mem.Component, f mem.Fault) error {
+	switch c {
+	case mem.CompInterconnect:
+		m.ic.Fault = f
+	case mem.CompBus:
+		m.bus.Fault = f
+	case mem.CompBWCtrl:
+		m.bw.Station.Fault = f
+	case mem.CompMemCtrl:
+		m.mc.Fault = f
+	default:
+		return fmt.Errorf("machine: component %v is not a fault-injectable MSC", c)
+	}
+	return nil
+}
 
 // SetStatsFilter restricts the per-component latency split to requests whose
 // PC is in set (nil = all LC requests). Used by the Fig 5 harness.
@@ -535,6 +603,7 @@ func (m *Machine) Run(warmup, measure sim.Cycle) {
 // ResetStats clears all statistics, marking the start of measurement.
 func (m *Machine) ResetStats() {
 	m.measureStart = m.Engine.Now()
+	m.statsResetAt = m.Engine.Now()
 	m.measured = 0
 	for _, c := range m.Cores {
 		c.ResetStats()

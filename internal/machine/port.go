@@ -64,8 +64,8 @@ func newCorePort(m *Machine, id int, isLC bool) *corePort {
 		m:    m,
 		id:   id,
 		isLC: isLC,
-		l1:   cache.New(m.Cfg.L1),
-		l2:   cache.New(m.Cfg.L2),
+		l1:   cache.MustNew(m.Cfg.L1),
+		l2:   cache.MustNew(m.Cfg.L2),
 		mshr: cache.NewMSHRFile(m.Cfg.L1.MSHRs),
 	}
 	if m.Opt.Prefetch {
@@ -123,7 +123,7 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	r.Issued = now
 	r.AddSplit(mem.CompL1, l1Hit)
 	r.AddSplit(mem.CompL2, l2Hit)
-	p.m.delays.after(now+l1Hit+l2Hit, func(at sim.Cycle) { p.out = append(p.out, r) })
+	p.m.delayReq(now+l1Hit+l2Hit, func(at sim.Cycle) { p.out = append(p.out, r) })
 	p.maybePrefetch(line, now)
 	return true
 }
@@ -157,7 +157,7 @@ func (p *corePort) maybePrefetch(line uint64, now sim.Cycle) {
 		r.LCTask = p.isLC
 		r.Prefetch = true
 		r.Issued = now
-		p.m.delays.after(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
+		p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
 			p.out = append(p.out, r)
 		})
 	}
@@ -195,7 +195,7 @@ func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
 	r.Critical = p.storeCritical
 	r.LCTask = p.isLC
 	r.Issued = now
-	p.m.delays.after(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
+	p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
 		p.out = append(p.out, r)
 	})
 	return true

@@ -9,6 +9,8 @@
 package manager
 
 import (
+	"context"
+
 	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/sim"
@@ -39,6 +41,31 @@ func Run(mgr Manager, m *machine.Machine, warmup, measure, epoch sim.Cycle) {
 		mgr.Decide(m, m.Engine.Now())
 	}
 	m.MarkMeasured(measure)
+}
+
+// RunChecked is Run driving the machine through StepChecked, so the
+// watchdog, auditor, deadline and cycle budget also protect manager-driven
+// (PARTIES/CLITE) simulations. The first guard failure aborts the run and
+// is returned; statistics of an aborted run are unusable.
+func RunChecked(ctx context.Context, mgr Manager, m *machine.Machine, warmup, measure, epoch sim.Cycle) error {
+	if epoch == 0 {
+		epoch = 50_000
+	}
+	for t := sim.Cycle(0); t < warmup; t += epoch {
+		if err := m.StepChecked(ctx, epoch); err != nil {
+			return err
+		}
+		mgr.Decide(m, m.Engine.Now())
+	}
+	m.ResetStats()
+	for t := sim.Cycle(0); t < measure; t += epoch {
+		if err := m.StepChecked(ctx, epoch); err != nil {
+			return err
+		}
+		mgr.Decide(m, m.Engine.Now())
+	}
+	m.MarkMeasured(measure)
+	return nil
 }
 
 // bePartIDs returns the PartIDs of the machine's BE tasks.
