@@ -25,15 +25,25 @@
 // timeline, so a slow or QoS-violating figure can be diagnosed from its
 // artifacts alone. -debug-addr serves net/http/pprof and runtime metrics
 // for profiling the simulator itself.
+//
+// Crash safety: -checkpoint-dir makes each co-location run periodically
+// write its full machine state (every -checkpoint-interval cycles) so a
+// killed sweep resumes mid-run, not just mid-sweep; combined with
+// -journal/-resume no completed or partial work is lost. The first SIGINT or
+// SIGTERM shuts down gracefully — in-flight runs flush a final checkpoint
+// and the process exits 130; a second signal force-quits immediately.
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pivot/internal/exp"
 	"pivot/internal/harness"
@@ -58,6 +68,8 @@ func main() {
 	statsEpoch := flag.Uint64("stats-epoch", uint64(machine.DefaultStatsEpoch), "stats sampling period in cycles")
 	timelineOut := flag.String("timeline-out", "", "write the last run's Chrome trace-event timeline here (open in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address (e.g. localhost:6060)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint in-flight runs here; a rerun resumes them mid-simulation")
+	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
 	flag.Parse()
 
 	args := flag.Args()
@@ -88,6 +100,24 @@ func main() {
 	}
 	ctx.Watchdog = sim.Cycle(*watchdog)
 	ctx.Audit = *audit
+	ctx.CheckpointDir = *ckptDir
+	ctx.CheckpointInterval = sim.Cycle(*ckptInterval)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep — every
+	// in-flight simulation aborts at its next check, flushing a final
+	// checkpoint when -checkpoint-dir is set — then artifacts are written and
+	// the process exits 130. A second signal hard-exits immediately.
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "\npivot-exp: %v: stopping (flushing checkpoints); signal again to force quit\n", s)
+		cancelRun()
+		<-sigCh
+		os.Exit(130)
+	}()
 
 	reg := exp.Registry()
 	if args[0] == "list" {
@@ -122,7 +152,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
 		os.Exit(1)
 	}
-	results := runner.Run(jobs)
+	results := runner.RunContext(runCtx, jobs)
 
 	// Emit completed experiments in sweep order; collect failures.
 	var failed []harness.Result
@@ -152,6 +182,14 @@ func main() {
 		}
 	}
 
+	if runCtx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "\npivot-exp: interrupted; %d of %d experiment(s) incomplete", len(failed), len(results))
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, " (rerun with -resume to continue)")
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(130)
+	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "\npivot-exp: %d of %d experiment(s) failed:\n", len(failed), len(results))
 		for _, res := range failed {
@@ -216,6 +254,7 @@ func writeTimeline(ctx *exp.Context, path string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] [-parallel n] [-timeout d]
                  [-journal f [-resume]] [-audit] [-watchdog n]
+                 [-checkpoint-dir d] [-checkpoint-interval n]
                  [-stats-out f] [-timeline-out f] <list | all | experiment-id...>
 
 Regenerates the paper's figures/tables as text tables. Experiment ids:

@@ -6,17 +6,29 @@
 // co-located with 7 iBench threads under PIVOT:
 //
 //	pivotsim -lc masstree -ia 4000 -be ibench -threads 7 -policy pivot
+//
+// Crash safety: with -checkpoint-dir the run periodically snapshots its full
+// machine state; rerunning the identical command resumes from the newest
+// good checkpoint with bit-identical final results. The first SIGINT or
+// SIGTERM stops the run gracefully (flushing a final checkpoint, exit 130);
+// a second signal force-quits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pivot"
+	"pivot/internal/checkpoint"
+	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
+	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
 
@@ -48,6 +60,8 @@ func main() {
 	statsTable := flag.Bool("stats-table", false, "print the stats registry as an aligned table after the run")
 	timelineOut := flag.String("timeline-out", "", "write a Chrome trace-event timeline here (open in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint the run here; an identical rerun resumes mid-simulation")
+	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
 	flag.Parse()
 
 	pol, ok := policies[*policyName]
@@ -105,7 +119,42 @@ func main() {
 	if wantStats {
 		m.EnableStats(pivot.Cycle(*statsEpoch), 0)
 	}
-	m.Run(pivot.Cycle(*warmup), pivot.Cycle(*measure))
+
+	// Graceful shutdown: first signal cancels the run (flushing a final
+	// checkpoint when -checkpoint-dir is set), second force-quits.
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Fprintf(os.Stderr, "\npivotsim: %v: stopping (flushing checkpoint); signal again to force quit\n", s)
+		cancelRun()
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	resumed, err := m.RunCheckpointed(runCtx, pivot.Cycle(*warmup), pivot.Cycle(*measure),
+		machine.CheckpointConfig{Dir: *ckptDir, Interval: sim.Cycle(*ckptInterval)})
+	interrupted := runCtx.Err() != nil
+	cancelRun()
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "pivotsim: resumed from checkpoint at cycle %d\n", resumed)
+	}
+	if err != nil {
+		if interrupted {
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "pivotsim: interrupted; state saved — rerun the same command to resume\n")
+			} else {
+				fmt.Fprintf(os.Stderr, "pivotsim: interrupted\n")
+			}
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *ckptDir != "" {
+		_ = checkpoint.Remove(*ckptDir) // run complete; nothing left to protect
+	}
 
 	if wantStats {
 		if err := exportStats(m, *statsOut, *timelineOut, *statsTable, *policyName); err != nil {

@@ -11,10 +11,13 @@ type MSHRFile struct {
 	entries map[uint64]*MSHREntry
 }
 
-// MSHREntry is one outstanding miss with its coalesced waiters.
+// MSHREntry is one outstanding miss with its coalesced waiters. Waiters are
+// opaque load sequence numbers (cpu.LoadRequest.Seq); the owner interprets
+// them. Plain integers rather than callbacks keep in-flight misses
+// serialisable for checkpointing.
 type MSHREntry struct {
 	Addr    uint64
-	Waiters []any // opaque to the cache; the owner interprets them
+	Waiters []uint64
 }
 
 // NewMSHRFile returns an MSHR file with capacity max.

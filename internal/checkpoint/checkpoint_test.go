@@ -1,0 +1,243 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Checkpoint{
+		Cycle:       123_456_789,
+		Fingerprint: 0xDEADBEEFCAFEF00D,
+		Payload:     []byte("machine state goes here"),
+	}
+	out, err := Decode(Encode(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Version != Version {
+		t.Errorf("Version = %d, want %d", out.Version, Version)
+	}
+	if out.Cycle != in.Cycle || out.Fingerprint != in.Fingerprint {
+		t.Errorf("header mismatch: got cycle=%d fp=%x", out.Cycle, out.Fingerprint)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("payload mismatch: %q", out.Payload)
+	}
+}
+
+func TestDecodeEmptyPayload(t *testing.T) {
+	out, err := Decode(Encode(Checkpoint{Cycle: 1}))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out.Payload) != 0 {
+		t.Errorf("payload = %q, want empty", out.Payload)
+	}
+}
+
+// TestDecodeBitFlips flips every bit of a valid frame in turn; each flip must
+// be rejected as corrupt (the CRC covers header and payload alike).
+func TestDecodeBitFlips(t *testing.T) {
+	frame := Encode(Checkpoint{Cycle: 42, Fingerprint: 7, Payload: []byte("payload bytes")})
+	for i := range frame {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestDecodeTruncation truncates a valid frame at every length; all must be
+// rejected, never mis-decoded or panicking.
+func TestDecodeTruncation(t *testing.T) {
+	frame := Encode(Checkpoint{Cycle: 42, Fingerprint: 7, Payload: []byte("payload bytes")})
+	for n := 0; n < len(frame); n++ {
+		if _, err := Decode(frame[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// Trailing garbage makes the stored length disagree with the file size.
+	if _, err := Decode(append(append([]byte(nil), frame...), 0xFF)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	frame := Encode(Checkpoint{Cycle: 1, Payload: []byte("x")})
+	frame[8] = Version + 1 // bump version; CRC now wrong too, but version is checked first
+	if _, err := Decode(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	in := Checkpoint{Cycle: 500, Fingerprint: 99, Payload: []byte("abc")}
+	path, err := Write(dir, in)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if filepath.Base(path) != FileName(500) {
+		t.Errorf("path = %s, want base %s", path, FileName(500))
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if out.Cycle != 500 || out.Fingerprint != 99 || !bytes.Equal(out.Payload, []byte("abc")) {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	// No temp droppings left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("dir holds %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadLatestPicksNewestAndSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	const fp = 7
+	for _, cyc := range []uint64{100, 200, 300} {
+		if _, err := Write(dir, Checkpoint{Cycle: cyc, Fingerprint: fp, Payload: []byte{byte(cyc)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, _, err := LoadLatest(dir, fp)
+	if err != nil || ck.Cycle != 300 {
+		t.Fatalf("LoadLatest = cycle %d, %v; want 300, nil", ck.Cycle, err)
+	}
+
+	// Corrupt the newest (bit flip) — recovery falls back to 200.
+	corrupt(t, filepath.Join(dir, FileName(300)))
+	ck, _, err = LoadLatest(dir, fp)
+	if err != nil || ck.Cycle != 200 {
+		t.Fatalf("after corrupting newest: cycle %d, %v; want 200, nil", ck.Cycle, err)
+	}
+
+	// Truncate 200 — falls back to 100.
+	truncate(t, filepath.Join(dir, FileName(200)))
+	ck, _, err = LoadLatest(dir, fp)
+	if err != nil || ck.Cycle != 100 {
+		t.Fatalf("after truncating 200: cycle %d, %v; want 100, nil", ck.Cycle, err)
+	}
+
+	// Corrupt everything — from-scratch floor.
+	corrupt(t, filepath.Join(dir, FileName(100)))
+	if _, _, err := LoadLatest(dir, fp); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all corrupt: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLoadLatestSkipsForeignFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, Checkpoint{Cycle: 900, Fingerprint: 1, Payload: []byte("other machine")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, Checkpoint{Cycle: 100, Fingerprint: 2, Payload: []byte("ours")}); err != nil {
+		t.Fatal(err)
+	}
+	ck, _, err := LoadLatest(dir, 2)
+	if err != nil || ck.Cycle != 100 {
+		t.Fatalf("cycle %d, %v; want the fingerprint-2 checkpoint at 100", ck.Cycle, err)
+	}
+	if _, _, err := LoadLatest(dir, 3); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("unknown fingerprint: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLoadLatestMissingDir(t *testing.T) {
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "never-created"), 1); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, cyc := range []uint64{10, 20, 30, 40} {
+		if _, err := Write(dir, Checkpoint{Cycle: cyc, Fingerprint: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	for _, want := range []struct {
+		cyc  uint64
+		kept bool
+	}{{10, false}, {20, false}, {30, true}, {40, true}} {
+		_, err := os.Stat(filepath.Join(dir, FileName(want.cyc)))
+		if got := err == nil; got != want.kept {
+			t.Errorf("checkpoint %d kept = %v, want %v", want.cyc, got, want.kept)
+		}
+	}
+	// keep < 1 clamps to 1 rather than deleting everything.
+	if err := Prune(dir, 0); err != nil {
+		t.Fatalf("Prune(0): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName(40))); err != nil {
+		t.Errorf("newest checkpoint pruned by keep=0: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	if _, err := Write(dir, Checkpoint{Cycle: 1, Fingerprint: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("empty checkpoint dir not removed: %v", err)
+	}
+
+	// With a foreign file present, checkpoints go but the dir (and file) stay.
+	if _, err := Write(dir, Checkpoint{Cycle: 2, Fingerprint: 1}); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Remove(dir); err != nil {
+		t.Fatalf("Remove with foreign file: %v", err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("foreign file deleted: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName(2))); !os.IsNotExist(err) {
+		t.Errorf("checkpoint survived Remove: %v", err)
+	}
+}
+
+// corrupt flips one bit in the middle of a file.
+func corrupt(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// truncate cuts a file to half its length.
+func truncate(t *testing.T, path string) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}

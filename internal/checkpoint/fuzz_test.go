@@ -1,0 +1,30 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode holds Decode to its contract: on arbitrary bytes it either
+// returns an error or a checkpoint that re-encodes to the exact input — and
+// it never panics. Run with `go test -fuzz=FuzzDecode ./internal/checkpoint`.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PIVOTCKP"))
+	f.Add(Encode(Checkpoint{Cycle: 1, Fingerprint: 2, Payload: []byte("seed")}))
+	long := Encode(Checkpoint{Cycle: 1 << 40, Fingerprint: ^uint64(0), Payload: bytes.Repeat([]byte{0xAB}, 512)})
+	f.Add(long)
+	mutated := append([]byte(nil), long...)
+	mutated[40] ^= 0xFF // break the CRC field itself
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(ck), data) {
+			t.Fatalf("valid frame does not re-encode to itself (len %d)", len(data))
+		}
+	})
+}

@@ -58,8 +58,10 @@ type LoadRequest struct {
 	Addr     uint64
 	PC       uint64
 	Critical bool
-	// Done must be called exactly once when the value is back in the core.
-	Done func(llcMiss bool, now sim.Cycle)
+	// Seq identifies the load's ROB entry. The port completes the load by
+	// calling Core.CompleteLoad(Seq, ...) exactly once — a plain descriptor
+	// rather than a callback, so in-flight loads are checkpointable.
+	Seq uint64
 }
 
 // MemPort is the core's window into the memory hierarchy (its private L1D
@@ -325,12 +327,7 @@ func (c *Core) tryIssueMem(seq uint64, now sim.Cycle) bool {
 			Addr:     e.op.Addr,
 			PC:       e.op.PC,
 			Critical: crit,
-			Done: func(llcMiss bool, at sim.Cycle) {
-				if le := c.slotOf(seq); le != nil {
-					le.llcMiss = llcMiss
-				}
-				c.complete(seq, at)
-			},
+			Seq:      seq,
 		}, now)
 		return ok
 	case OpStore:
@@ -342,6 +339,17 @@ func (c *Core) tryIssueMem(seq uint64, now sim.Cycle) bool {
 		return ok
 	}
 	return true
+}
+
+// CompleteLoad finishes the load identified by its LoadRequest.Seq: records
+// whether it missed the LLC and wakes its dependents. Completing a seq that
+// already retired (or was never issued) is a no-op, matching the old
+// callback's slotOf guard.
+func (c *Core) CompleteLoad(seq uint64, llcMiss bool, now sim.Cycle) {
+	if e := c.slotOf(seq); e != nil {
+		e.llcMiss = llcMiss
+	}
+	c.complete(seq, now)
 }
 
 func (c *Core) dispatch(now sim.Cycle) {

@@ -23,6 +23,7 @@ func (s *sliceStream) Next(op *MicroOp) bool {
 
 // fakePort completes loads after a fixed latency, driven by a tick callback.
 type fakePort struct {
+	core     *Core // completion target, set by runCore
 	latency  sim.Cycle
 	pending  []fakePending
 	loads    int
@@ -33,8 +34,8 @@ type fakePort struct {
 }
 
 type fakePending struct {
-	due  sim.Cycle
-	done func(bool, sim.Cycle)
+	due sim.Cycle
+	seq uint64
 }
 
 func (p *fakePort) Load(r LoadRequest, now sim.Cycle) bool {
@@ -47,7 +48,7 @@ func (p *fakePort) Load(r LoadRequest, now sim.Cycle) bool {
 	if p.inFlight > p.maxInFly {
 		p.maxInFly = p.inFlight
 	}
-	p.pending = append(p.pending, fakePending{due: now + p.latency, done: r.Done})
+	p.pending = append(p.pending, fakePending{due: now + p.latency, seq: r.Seq})
 	return true
 }
 
@@ -61,7 +62,7 @@ func (p *fakePort) tick(now sim.Cycle) {
 	for _, e := range p.pending {
 		if e.due <= now {
 			p.inFlight--
-			e.done(false, now)
+			p.core.CompleteLoad(e.seq, false, now)
 		} else {
 			rest = append(rest, e)
 		}
@@ -75,6 +76,7 @@ func testCfg() Config {
 }
 
 func runCore(c *Core, p *fakePort, cycles sim.Cycle) {
+	p.core = c
 	for now := sim.Cycle(0); now < cycles; now++ {
 		p.tick(now)
 		c.Tick(now)
@@ -296,6 +298,7 @@ func TestRegisterOverwrite(t *testing.T) {
 	}
 	p := &fakePort{latency: 40}
 	c := New(0, testCfg(), &sliceStream{ops: ops}, p, Hooks{})
+	p.core = c
 	// After 20 cycles the load is still outstanding: the consumer must not
 	// have committed (it depends on the load, not the first ALU write).
 	for now := sim.Cycle(0); now < 20; now++ {
@@ -353,6 +356,7 @@ func TestCommitWidthBound(t *testing.T) {
 	cfg := testCfg()
 	cfg.CommitWidth = 1
 	c := New(0, cfg, &sliceStream{ops: ops}, p, Hooks{})
+	p.core = c
 	prev := uint64(0)
 	for now := sim.Cycle(0); now < 40; now++ {
 		p.tick(now)

@@ -2,13 +2,17 @@ package exp
 
 import (
 	"fmt"
+	"hash/fnv"
+	"path/filepath"
 	"runtime/debug"
 
+	"pivot/internal/checkpoint"
 	"pivot/internal/faultinject"
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
+	"pivot/internal/sim"
 	"pivot/internal/workload"
 )
 
@@ -163,7 +167,21 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	case "CLITE":
 		err = manager.RunChecked(rc, manager.NewCLITE(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
 	default:
-		err = m.RunChecked(rc, ctx.Scale.Warmup, ctx.Scale.Measure)
+		if dir := ctx.checkpointDir(m, spec); dir != "" {
+			var resumed sim.Cycle
+			resumed, err = m.RunCheckpointed(rc, ctx.Scale.Warmup, ctx.Scale.Measure,
+				machine.CheckpointConfig{Dir: dir, Interval: ctx.CheckpointInterval})
+			if resumed > 0 {
+				ctx.logf("  %s: resumed from checkpoint at cycle %d", spec.Method.Name, resumed)
+			}
+			if err == nil {
+				// The run completed; its checkpoints have nothing left to
+				// protect (the journal records the result).
+				_ = checkpoint.Remove(dir)
+			}
+		} else {
+			err = m.RunChecked(rc, ctx.Scale.Warmup, ctx.Scale.Measure)
+		}
 	}
 	if err != nil {
 		return RunResult{}, err
@@ -214,6 +232,27 @@ func (ctx *Context) captureStats(m *machine.Machine, spec RunSpec) {
 		label += fmt.Sprintf(" %s@%d%%", lc.App, lc.LoadPct)
 	}
 	ctx.sh.timeline = m.BuildTimeline(ctx.sh.statsRuns, label)
+}
+
+// checkpointDir derives the per-run checkpoint subdirectory for a spec, or
+// "" when checkpointing is off or the run cannot be checkpointed (manager
+// runs mutate allocation state between epochs from outside the machine;
+// fault-injected runs hold injector state the snapshot does not cover). The
+// name hashes the machine fingerprint together with the post-construction
+// knobs (method name, static MBA level) and the run lengths, so an identical
+// re-invocation resumes its own checkpoints and different specs never
+// collide — even when several harness workers checkpoint concurrently.
+func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec) string {
+	if ctx.CheckpointDir == "" || spec.Method.Manager != "" || spec.Faults != nil {
+		return ""
+	}
+	if m.Checkpointable() != nil {
+		return ""
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x|%s|%d|%d|%d", m.Fingerprint(), spec.Method.Name,
+		spec.Method.MBALevel, ctx.Scale.Warmup, ctx.Scale.Measure)
+	return filepath.Join(ctx.CheckpointDir, fmt.Sprintf("run-%016x", h.Sum64()))
 }
 
 // potentialFor computes the potential set only for the methods that use it.

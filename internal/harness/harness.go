@@ -128,6 +128,18 @@ func (r *Runner) logf(format string, args ...any) {
 // never returns early: failed jobs are reported in their Result while the
 // remaining jobs keep running. Failed reports whether any job failed.
 func (r *Runner) Run(jobs []Job) []Result {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run bounded by a parent context: cancelling it aborts
+// in-flight jobs (their simulations flush a final checkpoint when
+// checkpointing is on, so a resumed sweep loses no work) and fails not-yet-
+// started jobs immediately with the cancellation cause. Per-job timeouts
+// still apply on top of the parent deadline.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(jobs))
 	workers := r.cfg.Parallel
 	if workers < 1 {
@@ -143,7 +155,7 @@ func (r *Runner) Run(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = r.runOne(jobs[i])
+				results[i] = r.runOne(ctx, jobs[i])
 			}
 		}()
 	}
@@ -166,12 +178,17 @@ func Failed(results []Result) int {
 	return n
 }
 
-func (r *Runner) runOne(job Job) Result {
+func (r *Runner) runOne(ctx context.Context, job Job) Result {
 	if r.journal != nil && r.cfg.Resume {
 		if raw, ok := r.journal.lookup(job.ID); ok {
 			r.logf("%-40s resumed from journal", job.ID)
 			return Result{ID: job.ID, Value: raw, Resumed: true}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Sweep cancelled before this job started: fail fast instead of
+		// burning a full simulation that would abort at its first check.
+		return Result{ID: job.ID, Err: &RunError{JobID: job.ID, Err: err}}
 	}
 	start := time.Now()
 	var lastErr error
@@ -182,7 +199,7 @@ func (r *Runner) runOne(job Job) Result {
 			r.logf("%-40s retry %d/%d", job.ID, attempt, r.cfg.Retries)
 		}
 		attempts++
-		v, err := r.attempt(job)
+		v, err := r.attempt(ctx, job)
 		if err == nil {
 			if r.journal != nil {
 				if jerr := r.journal.append(job.ID, v); jerr != nil {
@@ -193,7 +210,7 @@ func (r *Runner) runOne(job Job) Result {
 			return Result{ID: job.ID, Value: v, Attempts: attempts, Elapsed: time.Since(start)}
 		}
 		lastErr = err
-		if !transient(err) {
+		if !transient(err) || ctx.Err() != nil {
 			break
 		}
 	}
@@ -207,9 +224,11 @@ func (r *Runner) runOne(job Job) Result {
 }
 
 // attempt runs the job once under its deadline, converting an escaped panic
-// into a *machine.PanicError so one poisoned run cannot kill the sweep.
-func (r *Runner) attempt(job Job) (v any, err error) {
-	ctx := context.Background()
+// into a *machine.PanicError so one poisoned run cannot kill the sweep. The
+// per-run deadline nests inside the sweep's parent context, so cancelling
+// the sweep (graceful shutdown) reaches every in-flight simulation.
+func (r *Runner) attempt(parent context.Context, job Job) (v any, err error) {
+	ctx := parent
 	if r.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)

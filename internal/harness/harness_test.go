@@ -373,3 +373,46 @@ func TestUnknownExperimentRejected(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+func TestRunContextCancellation(t *testing.T) {
+	r, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Already-cancelled sweep: jobs fail fast without running.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	results := r.RunContext(cancelled, []Job{{ID: "a", Run: func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, ctx.Err()
+	}}})
+	if ran {
+		t.Error("job ran under an already-cancelled sweep")
+	}
+	if results[0].Err == nil || !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("cancelled job error = %v, want context.Canceled", results[0].Err)
+	}
+
+	// Mid-sweep cancellation reaches the in-flight job's context, and a
+	// cancelled failure is never retried even when marked transient.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	r2, err := New(Config{Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	results = r2.RunContext(ctx2, []Job{{ID: "b", Run: func(ctx context.Context) (any, error) {
+		attempts++
+		cancel2()
+		<-ctx.Done()
+		return nil, fmt.Errorf("aborted: %w: %w", ctx.Err(), ErrTransient)
+	}}})
+	if results[0].Err == nil {
+		t.Error("cancelled in-flight job reported success")
+	}
+	if attempts != 1 {
+		t.Errorf("cancelled job attempted %d times, want 1", attempts)
+	}
+}

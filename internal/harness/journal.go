@@ -89,6 +89,12 @@ func (j *journal) append(id string, value any) error {
 	if _, err := j.f.Write(line); err != nil {
 		return err
 	}
+	// fsync per entry: a journaled result must survive the host dying right
+	// after we report the job complete, or resume would silently recompute
+	// (or worse, trust a torn line — LoadJournal skips those).
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
 	j.seen[id] = raw
 	return nil
 }
@@ -116,7 +122,11 @@ func ValueAs[T any](res Result) (T, error) {
 
 // WriteFileAtomic writes data to path via a temp file + rename in the same
 // directory, so readers never observe a half-written result and an aborted
-// sweep cannot corrupt a previous complete output.
+// sweep cannot corrupt a previous complete output. The temp file is fsynced
+// before the rename and the parent directory after it, so the result is
+// durable: after WriteFileAtomic returns, a crash (or power loss) leaves
+// either the old content or the complete new content — never a torn file and
+// never a dangling directory entry.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
@@ -137,6 +147,10 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
@@ -144,5 +158,15 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return err
 	}
 	tmpName = ""
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

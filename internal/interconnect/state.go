@@ -1,0 +1,56 @@
+package interconnect
+
+import (
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+)
+
+// EntryState is one queued request in serialisable form.
+type EntryState struct {
+	Req   mem.ReqState
+	Ready sim.Cycle
+	Enq   sim.Cycle
+}
+
+// StationState is the serialisable form of a Station: both queues (with the
+// requests they own, by value) and the traffic counters. Wiring (downstream,
+// Classify, Fault, PriorityEnabled) is configuration, reapplied by rebuilding
+// the machine.
+type StationState struct {
+	Normal []EntryState
+	Prio   []EntryState
+	Stats  Stats
+}
+
+func snapQueue(q []entry) []EntryState {
+	out := make([]EntryState, len(q))
+	for i, e := range q {
+		out[i] = EntryState{Req: e.req.State(), Ready: e.ready, Enq: e.enq}
+	}
+	return out
+}
+
+func restoreQueue(q []EntryState) []entry {
+	out := make([]entry, len(q))
+	for i, e := range q {
+		out[i] = entry{req: e.Req.Materialize(), ready: e.Ready, enq: e.Enq}
+	}
+	return out
+}
+
+// SnapshotState captures the station's mutable state.
+func (s *Station) SnapshotState() StationState {
+	return StationState{
+		Normal: snapQueue(s.normal),
+		Prio:   snapQueue(s.prio),
+		Stats:  s.Stats,
+	}
+}
+
+// RestoreState overwrites the station's queues and counters from a snapshot.
+// The restored queues own freshly materialised requests.
+func (s *Station) RestoreState(st StationState) {
+	s.normal = append(s.normal[:0], restoreQueue(st.Normal)...)
+	s.prio = append(s.prio[:0], restoreQueue(st.Prio)...)
+	s.Stats = st.Stats
+}

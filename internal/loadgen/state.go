@@ -1,0 +1,55 @@
+package loadgen
+
+import (
+	"pivot/internal/cpu"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// SourceState is the serialisable form of a Source: the arrival process (RNG
+// cursor, next-arrival clock, backlog and full arrival history — OnReqEnd
+// indexes it by request ID), the in-flight program buffer, the recorded
+// latencies, and the embedded request generator's cursors.
+type SourceState struct {
+	RNG         uint64
+	NextArrival sim.Cycle
+	Backlog     []uint64
+	Arrival     []sim.Cycle
+	Buf         []cpu.MicroOp
+	BufPos      int
+	Latencies   []uint32
+	Started     uint64
+	Completed   uint64
+	Gen         workload.ReqGenState
+}
+
+// SnapshotState captures the source's complete mutable state.
+func (s *Source) SnapshotState() SourceState {
+	return SourceState{
+		RNG:         s.rng.State(),
+		NextArrival: s.nextArrival,
+		Backlog:     append([]uint64(nil), s.backlog...),
+		Arrival:     append([]sim.Cycle(nil), s.arrival...),
+		Buf:         append([]cpu.MicroOp(nil), s.buf...),
+		BufPos:      s.bufPos,
+		Latencies:   append([]uint32(nil), s.latencies...),
+		Started:     s.started,
+		Completed:   s.completed,
+		Gen:         s.gen.SnapshotState(),
+	}
+}
+
+// RestoreState overwrites the source's mutable state from a snapshot taken on
+// an identically configured source.
+func (s *Source) RestoreState(st SourceState) {
+	s.rng.SetState(st.RNG)
+	s.nextArrival = st.NextArrival
+	s.backlog = append(s.backlog[:0], st.Backlog...)
+	s.arrival = append(s.arrival[:0], st.Arrival...)
+	s.buf = append(s.buf[:0], st.Buf...)
+	s.bufPos = st.BufPos
+	s.latencies = append(s.latencies[:0], st.Latencies...)
+	s.started = st.Started
+	s.completed = st.Completed
+	s.gen.RestoreState(st.Gen)
+}

@@ -154,6 +154,9 @@ type Machine struct {
 
 	tasks []TaskSpec
 	lcs   []*LCTask
+	// bes holds the generated BE streams by core index (nil for LC cores and
+	// custom-stream tasks) so checkpointing can reach their cursors.
+	bes []*workload.BEStream
 
 	reqPool []*mem.Req
 
@@ -208,7 +211,8 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 	if opt.CBP == (cbp.Config{}) {
 		opt.CBP = cbp.DefaultConfig()
 	}
-	m := &Machine{Cfg: cfg, Opt: opt, Engine: sim.NewEngine(), tasks: tasks}
+	m := &Machine{Cfg: cfg, Opt: opt, Engine: sim.NewEngine(), tasks: tasks,
+		bes: make([]*workload.BEStream, len(tasks))}
 
 	// Memory side, downstream to upstream. Cache geometries were validated
 	// above, so the Must constructors cannot fire.
@@ -253,7 +257,9 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 		} else if spec.CustomStream != nil {
 			stream = spec.CustomStream
 		} else {
-			stream = workload.NewBEStream(spec.BE, i, rng.Fork())
+			be := workload.NewBEStream(spec.BE, i, rng.Fork())
+			m.bes[i] = be
+			stream = be
 		}
 
 		core := cpu.New(i, cfg.Core, stream, port, hooks)
@@ -430,7 +436,7 @@ func (m *Machine) retireHook(lc *LCTask) func(pc uint64, stall sim.Cycle, llcMis
 // per-core L2-miss egress, and (coarsely) predictor refresh and threshold
 // adaptation.
 func (m *Machine) auxTick(now sim.Cycle) {
-	m.delays.drain(now)
+	m.drainDelays(now)
 	for _, p := range m.ports {
 		p.flush(now)
 	}
@@ -467,8 +473,7 @@ func (m *Machine) llcAccept(r *mem.Req, now sim.Cycle) bool {
 				return true
 			}
 			due := now + sim.Cycle(m.Cfg.LLC.HitCycles) + m.Cfg.LLCRespLatency
-			req := r
-			m.delayReq(due, func(at sim.Cycle) { m.deliver(req, at, false) })
+			m.delayReq(due, delayDeliver, r)
 			return true
 		}
 		r.LLCMiss = true
@@ -494,7 +499,7 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 	p.l1.Insert(r.Addr, r.Part, false)
 	if e := p.mshr.Fill(r.Addr); e != nil {
 		for _, w := range e.Waiters {
-			w.(func(bool, sim.Cycle))(llcMiss, now)
+			m.Cores[r.CoreID].CompleteLoad(w, llcMiss, now)
 		}
 	}
 	if r.LCTask && !r.Prefetch && now >= m.measureStart {
@@ -533,15 +538,12 @@ func (m *Machine) recycle(r *mem.Req) {
 	m.reqPool = append(m.reqPool, r)
 }
 
-// delayReq schedules a delay-slot callback that holds a live request (a
-// fixed-latency hop), keeping the in-flight count the invariant auditor
-// checks exact.
-func (m *Machine) delayReq(due sim.Cycle, fn func(now sim.Cycle)) {
+// delayReq schedules a request-carrying delay event (a fixed-latency hop),
+// keeping the in-flight count the invariant auditor checks exact: the count
+// rises here and falls when dispatchDelayed releases the request.
+func (m *Machine) delayReq(due sim.Cycle, kind delayKind, r *mem.Req) {
 	m.reqsDelayed++
-	m.delays.after(due, func(now sim.Cycle) {
-		m.reqsDelayed--
-		fn(now)
-	})
+	m.delays.after(delayed{due: due, kind: kind, req: r})
 }
 
 // SetFault installs a fault model on one of the four MSC stations (see

@@ -8,32 +8,75 @@ import (
 	"pivot/internal/sim"
 )
 
-// delayQ schedules fixed-latency callbacks on a 256-slot timing wheel. Every
-// latency scheduled through it (L1/L2 hits, LLC-hit responses) is far below
-// 256 cycles, so slot collisions across laps cannot occur.
+// delayQ schedules fixed-latency completion events on a 256-slot timing
+// wheel. Every latency scheduled through it (L1/L2 hits, LLC-hit responses)
+// is far below 256 cycles, so slot collisions across laps cannot occur.
 type delayQ struct {
 	wheel [256][]delayed
 }
 
+// delayKind discriminates the four fixed-latency completion events the wheel
+// carries. The events are plain descriptors rather than closures so that the
+// wheel's contents — completions in flight — are serialisable for
+// checkpointing.
+type delayKind uint8
+
+const (
+	// delayLoadDone completes an L1-hit load (core + seq).
+	delayLoadDone delayKind = iota
+	// delayFillLocal fills a core's L1 after an L2 hit and wakes the line's
+	// coalesced MSHR waiters (core + line).
+	delayFillLocal
+	// delayEgress appends req to its core's egress queue after the
+	// private-cache lookup latency (req).
+	delayEgress
+	// delayDeliver delivers an LLC-hit response to the requesting core (req).
+	delayDeliver
+)
+
+// delayed is one scheduled completion event.
 type delayed struct {
-	due sim.Cycle
-	fn  func(now sim.Cycle)
+	due  sim.Cycle
+	kind delayKind
+	core int
+	seq  uint64
+	line uint64
+	req  *mem.Req // delayEgress / delayDeliver only
 }
 
-func (d *delayQ) after(due sim.Cycle, fn func(now sim.Cycle)) {
-	slot := int(due) & 255
-	d.wheel[slot] = append(d.wheel[slot], delayed{due: due, fn: fn})
+func (d *delayQ) after(e delayed) {
+	slot := int(e.due) & 255
+	d.wheel[slot] = append(d.wheel[slot], e)
 }
 
-func (d *delayQ) drain(now sim.Cycle) {
+// drainDelays dispatches every completion event due this cycle. Dispatched
+// events may schedule new ones, but always at a sub-256-cycle latency, never
+// into the slot being drained.
+func (m *Machine) drainDelays(now sim.Cycle) {
 	slot := int(now) & 255
-	pend := d.wheel[slot]
+	pend := m.delays.wheel[slot]
 	if len(pend) == 0 {
 		return
 	}
-	d.wheel[slot] = pend[:0]
+	m.delays.wheel[slot] = pend[:0]
 	for _, e := range pend {
-		e.fn(now)
+		m.dispatchDelayed(e, now)
+	}
+}
+
+func (m *Machine) dispatchDelayed(e delayed, now sim.Cycle) {
+	switch e.kind {
+	case delayLoadDone:
+		m.Cores[e.core].CompleteLoad(e.seq, false, now)
+	case delayFillLocal:
+		m.ports[e.core].fillLocal(e.line, now)
+	case delayEgress:
+		m.reqsDelayed--
+		p := m.ports[e.req.CoreID]
+		p.out = append(p.out, e.req)
+	case delayDeliver:
+		m.reqsDelayed--
+		m.deliver(e.req, now, false)
 	}
 }
 
@@ -90,12 +133,11 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	l1Hit := sim.Cycle(p.m.Cfg.L1.HitCycles)
 
 	if p.l1.Lookup(line, part) {
-		done := lr.Done
-		p.m.delays.after(now+l1Hit, func(at sim.Cycle) { done(false, at) })
+		p.m.delays.after(delayed{due: now + l1Hit, kind: delayLoadDone, core: p.id, seq: lr.Seq})
 		return true
 	}
 	if e := p.mshr.Lookup(line); e != nil {
-		e.Waiters = append(e.Waiters, lr.Done)
+		e.Waiters = append(e.Waiters, lr.Seq)
 		return true
 	}
 	if p.mshr.Full() || len(p.out) >= p.m.Cfg.PortOutCap {
@@ -105,14 +147,14 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	l2Hit := sim.Cycle(p.m.Cfg.L2.HitCycles)
 	if p.l2.Lookup(line, part) {
 		e, _ := p.mshr.Allocate(line)
-		e.Waiters = append(e.Waiters, lr.Done)
-		p.m.delays.after(now+l1Hit+l2Hit, func(at sim.Cycle) { p.fillLocal(line, at) })
+		e.Waiters = append(e.Waiters, lr.Seq)
+		p.m.delays.after(delayed{due: now + l1Hit + l2Hit, kind: delayFillLocal, core: p.id, line: line})
 		return true
 	}
 
 	// L2 miss: a shared-path request is born.
 	e, _ := p.mshr.Allocate(line)
-	e.Waiters = append(e.Waiters, lr.Done)
+	e.Waiters = append(e.Waiters, lr.Seq)
 	r := p.m.newReq()
 	r.Addr = line
 	r.PC = lr.PC
@@ -123,7 +165,7 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	r.Issued = now
 	r.AddSplit(mem.CompL1, l1Hit)
 	r.AddSplit(mem.CompL2, l2Hit)
-	p.m.delayReq(now+l1Hit+l2Hit, func(at sim.Cycle) { p.out = append(p.out, r) })
+	p.m.delayReq(now+l1Hit+l2Hit, delayEgress, r)
 	p.maybePrefetch(line, now)
 	return true
 }
@@ -157,9 +199,7 @@ func (p *corePort) maybePrefetch(line uint64, now sim.Cycle) {
 		r.LCTask = p.isLC
 		r.Prefetch = true
 		r.Issued = now
-		p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
-			p.out = append(p.out, r)
-		})
+		p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
 	}
 }
 
@@ -168,7 +208,7 @@ func (p *corePort) fillLocal(line uint64, now sim.Cycle) {
 	p.l1.Insert(line, mem.PartID(p.id), false)
 	if e := p.mshr.Fill(line); e != nil {
 		for _, w := range e.Waiters {
-			w.(func(bool, sim.Cycle))(false, now)
+			p.m.Cores[p.id].CompleteLoad(w, false, now)
 		}
 	}
 }
@@ -195,9 +235,7 @@ func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
 	r.Critical = p.storeCritical
 	r.LCTask = p.isLC
 	r.Issued = now
-	p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), func(at sim.Cycle) {
-		p.out = append(p.out, r)
-	})
+	p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
 	return true
 }
 

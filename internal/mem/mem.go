@@ -109,10 +109,6 @@ type Req struct {
 	enteredAt sim.Cycle
 	Split     [NumComponents]uint32
 
-	// Done is invoked exactly once when the response arrives back at the
-	// core side (MSHR fill). It must not be nil for demand requests.
-	Done func(r *Req, now sim.Cycle)
-
 	// LLCMiss records whether the request missed in the LLC, needed by the
 	// offline profiler (per-PC LLC miss rate) and the online statistics.
 	LLCMiss bool
@@ -158,4 +154,43 @@ func (r *Req) TotalCycles() uint64 {
 // Reset clears a request for reuse from a free pool.
 func (r *Req) Reset() {
 	*r = Req{}
+}
+
+// ReqState is the fully exported serialisable form of a Req, used by the
+// machine checkpoint layer. Every field of Req (including the private
+// enteredAt stamp) round-trips through it.
+type ReqState struct {
+	Addr       uint64
+	PC         uint64
+	CoreID     int
+	Part       PartID
+	IsWrite    bool
+	Critical   bool
+	LCTask     bool
+	Issued     sim.Cycle
+	EnteredAt  sim.Cycle
+	Split      [NumComponents]uint32
+	LLCMiss    bool
+	LLCChecked bool
+	Prefetch   bool
+}
+
+// State captures the request's complete state.
+func (r *Req) State() ReqState {
+	return ReqState{
+		Addr: r.Addr, PC: r.PC, CoreID: r.CoreID, Part: r.Part,
+		IsWrite: r.IsWrite, Critical: r.Critical, LCTask: r.LCTask,
+		Issued: r.Issued, EnteredAt: r.enteredAt, Split: r.Split,
+		LLCMiss: r.LLCMiss, LLCChecked: r.LLCChecked, Prefetch: r.Prefetch,
+	}
+}
+
+// Materialize rebuilds a live request from its serialised state.
+func (s ReqState) Materialize() *Req {
+	return &Req{
+		Addr: s.Addr, PC: s.PC, CoreID: s.CoreID, Part: s.Part,
+		IsWrite: s.IsWrite, Critical: s.Critical, LCTask: s.LCTask,
+		Issued: s.Issued, enteredAt: s.EnteredAt, Split: s.Split,
+		LLCMiss: s.LLCMiss, LLCChecked: s.LLCChecked, Prefetch: s.Prefetch,
+	}
 }

@@ -1,0 +1,82 @@
+package rrbp
+
+import (
+	"sort"
+
+	"pivot/internal/sim"
+)
+
+// UnlimitedEntryState is one (pc → counter/flag) pair of the unlimited table
+// variant, sorted by PC for deterministic encoding.
+type UnlimitedEntryState struct {
+	PC      uint64
+	Counter uint8
+	Flag    bool
+}
+
+// TableState is the serialisable form of an RRBP table: counters, sticky
+// flags, the adaptive threshold, the refresh clock and the statistics.
+type TableState struct {
+	Counters    []uint8
+	Flags       []bool
+	Unlimited   []UnlimitedEntryState
+	Threshold   uint8
+	LastRefresh sim.Cycle
+	LongStalls  uint64
+	Flagged     uint64
+	Lookups     uint64
+	Refreshes   uint64
+}
+
+// SnapshotState captures the table's complete mutable state.
+func (t *Table) SnapshotState() TableState {
+	s := TableState{
+		Counters:    append([]uint8(nil), t.counters...),
+		Flags:       append([]bool(nil), t.flags...),
+		Threshold:   t.threshold,
+		LastRefresh: t.lastRefresh,
+		LongStalls:  t.LongStalls,
+		Flagged:     t.Flagged,
+		Lookups:     t.Lookups,
+		Refreshes:   t.Refreshes,
+	}
+	if t.unlimited != nil {
+		for pc, c := range t.unlimited {
+			s.Unlimited = append(s.Unlimited, UnlimitedEntryState{PC: pc, Counter: c, Flag: t.unlFlags[pc]})
+		}
+		for pc, f := range t.unlFlags {
+			if _, seen := t.unlimited[pc]; !seen && f {
+				s.Unlimited = append(s.Unlimited, UnlimitedEntryState{PC: pc, Flag: true})
+			}
+		}
+		sort.Slice(s.Unlimited, func(i, j int) bool { return s.Unlimited[i].PC < s.Unlimited[j].PC })
+	}
+	return s
+}
+
+// RestoreState overwrites the table's mutable state from a snapshot taken on
+// an identically configured table.
+func (t *Table) RestoreState(s TableState) {
+	if t.counters != nil {
+		copy(t.counters, s.Counters)
+		copy(t.flags, s.Flags)
+	}
+	if t.unlimited != nil {
+		clear(t.unlimited)
+		clear(t.unlFlags)
+		for _, e := range s.Unlimited {
+			if e.Counter > 0 {
+				t.unlimited[e.PC] = e.Counter
+			}
+			if e.Flag {
+				t.unlFlags[e.PC] = true
+			}
+		}
+	}
+	t.threshold = s.Threshold
+	t.lastRefresh = s.LastRefresh
+	t.LongStalls = s.LongStalls
+	t.Flagged = s.Flagged
+	t.Lookups = s.Lookups
+	t.Refreshes = s.Refreshes
+}

@@ -1,0 +1,27 @@
+package sim
+
+// EngineState is the serialisable form of an Engine: the cycle counter. The
+// ticker registry is wiring, reconstructed by rebuilding the machine.
+type EngineState struct {
+	Now Cycle
+}
+
+// SnapshotState captures the engine's mutable state.
+func (e *Engine) SnapshotState() EngineState { return EngineState{Now: e.now} }
+
+// RestoreState rewinds (or fast-forwards) the engine to a snapshot. The
+// ticker registry is untouched.
+func (e *Engine) RestoreState(s EngineState) { e.now = s.Now }
+
+// State exposes the generator's internal state word for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores the generator to a previously captured state word. A zero
+// word is remapped as in NewRNG (xorshift never reaches zero from a non-zero
+// state, so this only defends against corrupted input).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
