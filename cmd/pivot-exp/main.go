@@ -70,6 +70,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address (e.g. localhost:6060)")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint in-flight runs here; a rerun resumes them mid-simulation")
 	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
+	dense := flag.Bool("dense", false, "force the naive per-cycle tick loop instead of quiescence-aware skip-ahead (bit-identical results, slower)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -100,6 +101,7 @@ func main() {
 	}
 	ctx.Watchdog = sim.Cycle(*watchdog)
 	ctx.Audit = *audit
+	ctx.Dense = *dense
 	ctx.CheckpointDir = *ckptDir
 	ctx.CheckpointInterval = sim.Cycle(*ckptInterval)
 

@@ -62,6 +62,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/metrics on this address")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint the run here; an identical rerun resumes mid-simulation")
 	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
+	dense := flag.Bool("dense", false, "force the naive per-cycle tick loop instead of quiescence-aware skip-ahead (bit-identical results, slower)")
 	flag.Parse()
 
 	pol, ok := policies[*policyName]
@@ -115,7 +116,7 @@ func main() {
 		*sample = 64 // lifecycle events come from the request sampler
 	}
 
-	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pol, SampleRequests: *sample}, tasks)
+	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pol, SampleRequests: *sample, Dense: *dense}, tasks)
 	if wantStats {
 		m.EnableStats(pivot.Cycle(*statsEpoch), 0)
 	}

@@ -136,6 +136,25 @@ func (c *Controller) Tick(now sim.Cycle) {
 	c.Station.Tick(now)
 }
 
+// NextWork implements sim.IdleReporter, shadowing the embedded Station's so
+// that engine skip-ahead registered against the Controller also honours the
+// monitoring-window boundary: rollWindow mutates usage and class state even
+// in a window with zero traffic, so a skip may never jump across it.
+func (c *Controller) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	boundary := c.windowStart + c.cfg.WindowCycles
+	if boundary <= now {
+		return 0, false
+	}
+	next, idle := c.Station.NextWork(now)
+	if !idle {
+		return 0, false
+	}
+	if boundary < next {
+		next = boundary
+	}
+	return next, true
+}
+
 // WindowsDone reports how many monitoring windows have completed; usage
 // readings are meaningless before the first.
 func (c *Controller) WindowsDone() uint64 { return c.windowsDone }

@@ -153,6 +153,19 @@ func (c *Cache) Lookup(addr uint64, p mem.PartID) bool {
 	return false
 }
 
+// SkipMissProbes applies the side effects of n elided Lookup calls that are
+// known to miss (a core re-probing its L1 for a refused memory op under
+// skip-ahead): the LRU stamp advances and the miss counters grow exactly as
+// n dense Lookups would have left them. Valid only while no line's recency
+// actually changes, which holds because a missing probe touches no line.
+func (c *Cache) SkipMissProbes(p mem.PartID, n uint64) {
+	c.stamp += n
+	c.Stats.Misses += n
+	if int(p) < len(c.PartStats) {
+		c.PartStats[p].Misses += n
+	}
+}
+
 // Contains probes without updating LRU or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)

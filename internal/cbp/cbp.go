@@ -96,6 +96,25 @@ func (p *Predictor) IsCritical(pc uint64) bool {
 	return crit
 }
 
+// SkipLookups applies the side effects of n elided IsCritical(pc) calls made
+// under skip-ahead while the table is otherwise untouched (no stall record
+// or refresh can interleave while the probing core is parked): n identical
+// lookups with an unchanged verdict.
+func (p *Predictor) SkipLookups(pc uint64, n uint64) {
+	p.Lookups += n
+	c := p.counters[p.index(pc)]
+	var crit bool
+	switch p.cfg.Variant {
+	case Binary:
+		crit = c > 0
+	default:
+		crit = c >= p.cfg.Threshold
+	}
+	if crit {
+		p.Flagged += n
+	}
+}
+
 // MaybeRefresh ages the table.
 func (p *Predictor) MaybeRefresh(now sim.Cycle) {
 	if p.cfg.RefreshCycles == 0 || now-p.lastRefresh < p.cfg.RefreshCycles {

@@ -51,6 +51,33 @@ type Hooks struct {
 	// OnReqEnd fires when an op flagged FlagReqEnd commits; the load
 	// generator computes request latency from it.
 	OnReqEnd func(reqID uint64, now sim.Cycle)
+
+	// SkipCritical compensates the observable side effects (lookup and
+	// flagged counters in the criticality predictor) of n elided IsCritical
+	// probes for the load at pc. It must be set whenever IsCritical has such
+	// side effects and the machine wants skip-ahead over stuck retries; when
+	// IsCritical is set but SkipCritical is nil the core conservatively
+	// refuses to report a refused load retry as idle.
+	SkipCritical func(pc uint64, n uint64)
+}
+
+// IdleStream is the optional quiescence interface an instruction Stream may
+// implement. NextAvailable(now) returns (next, true) when Next would return
+// false without observable side effects every cycle until next at the
+// earliest; (_, false) means an op is (or may be) available now.
+type IdleStream interface {
+	NextAvailable(now sim.Cycle) (next sim.Cycle, idle bool)
+}
+
+// RetryPort is the optional quiescence interface a MemPort may implement so
+// a core stuck re-trying a refused memory op can be skipped. RetryReady
+// reports whether re-issuing the refused op at addr could make progress this
+// cycle (i.e. Load/Store would not refuse again); SkipRetries applies the
+// side effects of n elided refused probes (the L1 miss-probe statistics a
+// dense retry would have bumped).
+type RetryPort interface {
+	RetryReady(kind OpKind, addr uint64) bool
+	SkipRetries(kind OpKind, addr uint64, n uint64)
 }
 
 // LoadRequest is what the core hands to the memory port for one load.
@@ -134,6 +161,23 @@ type Core struct {
 	// each Tick drains only the current slot — O(completions) rather than
 	// O(ROB) per cycle.
 	aluWheel [256][]uint64
+	// aluPending counts seqs currently parked in aluWheel, so quiescence
+	// detection never scans the wheel. Derived state: recomputed on restore.
+	aluPending int
+
+	// Cached optional capabilities of mem/src, resolved once.
+	retry   RetryPort
+	idleSrc IdleStream
+
+	// Memoized NextWork verdict. Valid until the core ticks or an external
+	// event (load completion, port-state change) invalidates it via WakeIdle;
+	// this makes polling a parked core O(1) instead of re-probing the port.
+	idleValid bool
+	idleNext  sim.Cycle
+	// shape caches, alongside a valid idle verdict, exactly which counters a
+	// quiescent cycle accrues, so the per-cycle SkipCycles fast path applies
+	// precomputed increments instead of re-deriving them.
+	shape skipShape
 
 	Stats Stats
 }
@@ -143,7 +187,7 @@ func New(id int, cfg Config, src Stream, port MemPort, hook Hooks) *Core {
 	if cfg.ROBSize <= 0 {
 		panic("cpu: ROBSize must be positive")
 	}
-	return &Core{
+	c := &Core{
 		ID:   id,
 		cfg:  cfg,
 		mem:  port,
@@ -151,13 +195,20 @@ func New(id int, cfg Config, src Stream, port MemPort, hook Hooks) *Core {
 		hook: hook,
 		rob:  make([]robEntry, cfg.ROBSize),
 	}
+	c.retry, _ = port.(RetryPort)
+	c.idleSrc, _ = src.(IdleStream)
+	return c
 }
 
 // Config returns the core configuration.
 func (c *Core) Config() Config { return c.cfg }
 
 // SetStream replaces the instruction source (used when restarting phases).
-func (c *Core) SetStream(s Stream) { c.src = s }
+func (c *Core) SetStream(s Stream) {
+	c.src = s
+	c.idleSrc, _ = s.(IdleStream)
+	c.idleValid = false
+}
 
 func (c *Core) slotOf(seq uint64) *robEntry {
 	if seq < c.headSeq || seq >= c.headSeq+uint64(c.count) {
@@ -181,9 +232,148 @@ func (c *Core) depReady(seq uint64) bool {
 
 // Tick advances the core one cycle: commit, issue, dispatch.
 func (c *Core) Tick(now sim.Cycle) {
+	c.idleValid = false
 	c.commit(now)
 	c.issue(now)
 	c.dispatch(now)
+}
+
+// WakeIdle invalidates the memoized quiescence verdict. The machine calls it
+// whenever it mutates state the verdict depends on from outside the core's
+// own Tick (a fill into the private cache hierarchy, an egress-queue drain).
+func (c *Core) WakeIdle() { c.idleValid = false }
+
+// NextWork implements sim.IdleReporter: the core is quiescent exactly when a
+// dense Tick would change nothing but the stall/idle counters SkipCycles
+// compensates — no commit, no issue, no dispatch, no retry that could
+// succeed, and no instruction arriving from the stream.
+func (c *Core) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if c.idleValid && c.idleNext > now {
+		return c.idleNext, true
+	}
+	next, idle := c.nextWork(now)
+	c.idleValid = idle
+	c.idleNext = next
+	return next, idle
+}
+
+// skipShape is the precomputed per-quiescent-cycle counter delta.
+type skipShape struct {
+	headEntry *robEntry // non-nil: head stalls (entry pointer is stable while idle)
+	headLoad  bool
+	hasRetry  bool
+	skipCrit  bool
+	retryKind OpKind
+	retryPC   uint64
+	retryAddr uint64
+	dispatch  uint8 // 0 = none, 1 = DispatchStall, 2 = IdleCycles
+}
+
+func (c *Core) nextWork(now sim.Cycle) (sim.Cycle, bool) {
+	// ALU completions pending or ops ready to issue: work this cycle.
+	if c.aluPending > 0 || len(c.readyQ) > 0 {
+		return 0, false
+	}
+	sh := skipShape{}
+	// Commit would retire the head.
+	if c.count > 0 {
+		e := &c.rob[c.head]
+		if e.state == stDone {
+			return 0, false
+		}
+		sh.headEntry = e
+		sh.headLoad = e.op.Kind == OpLoad
+	}
+	// A refused memory op is retried every cycle; that retry is elidable
+	// only when the port can prove it would be refused again and its probe
+	// side effects are fully compensable.
+	if len(c.retryQ) > 0 {
+		if c.retry == nil {
+			return 0, false
+		}
+		e := c.slotOf(c.retryQ[0])
+		if e == nil {
+			return 0, false // stale seq: the retry queue itself would shrink
+		}
+		if e.op.Kind == OpLoad && c.hook.IsCritical != nil && c.hook.SkipCritical == nil {
+			return 0, false // cannot compensate the predictor probe
+		}
+		if c.retry.RetryReady(e.op.Kind, e.op.Addr) {
+			return 0, false
+		}
+		sh.hasRetry = true
+		sh.skipCrit = e.op.Kind == OpLoad && c.hook.IsCritical != nil
+		sh.retryKind = e.op.Kind
+		sh.retryPC = e.op.PC
+		sh.retryAddr = e.op.Addr
+	}
+	// Dispatch progress: possible only when the ROB has room.
+	next := NeverWork
+	if c.count >= c.cfg.ROBSize {
+		sh.dispatch = 1
+	} else if c.fetched {
+		op := &c.fetchBuf
+		lqBlocked := op.Kind == OpLoad && c.lqUsed >= c.cfg.LQSize
+		sqBlocked := op.Kind == OpStore && c.sqUsed >= c.cfg.SQSize
+		if !lqBlocked && !sqBlocked {
+			return 0, false
+		}
+		sh.dispatch = 1
+	} else {
+		if c.idleSrc == nil {
+			return 0, false
+		}
+		n, idle := c.idleSrc.NextAvailable(now)
+		if !idle {
+			return 0, false
+		}
+		next = n
+		if c.count == 0 {
+			sh.dispatch = 2
+		}
+	}
+	c.shape = sh
+	return next, true
+}
+
+// NeverWork mirrors sim.NeverWork without importing it twice at call sites.
+const NeverWork = ^sim.Cycle(0)
+
+// SkipCycles implements sim.Skipper: it applies exactly the counter updates
+// that n := to-from consecutive quiescent Ticks would have applied — the
+// commit-stall attribution, the refused-retry probe statistics, and the
+// dispatch-stall/idle accounting — in the same at-most-once-per-cycle
+// pattern as the dense loop. The engine only calls it after an idle NextWork
+// verdict, so the shape cached by that verdict (and still valid, or
+// idleValid would have been dropped) describes this instant exactly.
+func (c *Core) SkipCycles(from, to sim.Cycle) {
+	n := uint64(to - from)
+	if n == 0 {
+		return
+	}
+	sh := &c.shape
+	if sh.headEntry != nil {
+		// commit: committed == 0 every skipped cycle (the head is not done).
+		c.Stats.StallCycles += n
+		sh.headEntry.stall += sim.Cycle(n)
+		if sh.headLoad {
+			c.Stats.LoadStallCyc += n
+		}
+	}
+	if sh.hasRetry {
+		// issue: one refused retry probe of the head op per skipped cycle.
+		if sh.skipCrit {
+			c.hook.SkipCritical(sh.retryPC, n)
+		}
+		c.retry.SkipRetries(sh.retryKind, sh.retryAddr, n)
+	}
+	// dispatch: blocked or idle, attributed once per cycle.
+	switch sh.dispatch {
+	case 1:
+		c.Stats.DispatchStall += n
+	case 2:
+		c.Stats.IdleCycles += n
+	}
 }
 
 func (c *Core) commit(now sim.Cycle) {
@@ -283,6 +473,7 @@ func (c *Core) issue(now sim.Cycle) {
 			e.doneAt = now + lat
 			slot := int(e.doneAt) & 255
 			c.aluWheel[slot] = append(c.aluWheel[slot], seq)
+			c.aluPending++
 			issued++
 		case OpLoad, OpStore:
 			e.state = stIssued
@@ -304,6 +495,7 @@ func (c *Core) drainALUWheel(now sim.Cycle) {
 		return
 	}
 	c.aluWheel[slot] = pend[:0]
+	c.aluPending -= len(pend)
 	for _, seq := range pend {
 		e := c.slotOf(seq)
 		if e != nil && e.state == stIssued && e.op.Kind == OpALU && e.doneAt <= now {
@@ -346,6 +538,7 @@ func (c *Core) tryIssueMem(seq uint64, now sim.Cycle) bool {
 // already retired (or was never issued) is a no-op, matching the old
 // callback's slotOf guard.
 func (c *Core) CompleteLoad(seq uint64, llcMiss bool, now sim.Cycle) {
+	c.idleValid = false
 	if e := c.slotOf(seq); e != nil {
 		e.llcMiss = llcMiss
 	}

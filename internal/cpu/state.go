@@ -93,8 +93,11 @@ func (c *Core) RestoreState(s CoreState) {
 	c.sqUsed = s.SQUsed
 	c.fetchBuf = s.FetchBuf
 	c.fetched = s.Fetched
+	c.aluPending = 0
 	for slot := range c.aluWheel {
 		c.aluWheel[slot] = append(c.aluWheel[slot][:0], s.ALUWheel[slot]...)
+		c.aluPending += len(c.aluWheel[slot])
 	}
 	c.Stats = s.Stats
+	c.idleValid = false // derived; never serialised
 }

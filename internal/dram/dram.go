@@ -130,6 +130,26 @@ type Controller struct {
 	lineBits    uint
 	nextRefresh sim.Cycle
 
+	// Derived decode accelerators, precomputed from the (immutable) config in
+	// New — never serialised. fastDecode is set when channel, bank and column
+	// counts are all powers of two (every stock config), replacing decode's
+	// divisions with shifts; bankCh maps a global bank id to its channel.
+	fastDecode bool
+	chMask     uint64
+	chShift    uint
+	colShift   uint
+	bankMask   uint64
+	bankShift  uint
+	bankCh     []int32
+
+	// actSettled memoises startActivates: the earliest cycle at which another
+	// run could change any bank's state, valid only while the queues, banks
+	// and refresh clock stay untouched (every mutation zeroes it). Only used
+	// on the unranked, fault-free path — Classify reads MPAM classes that
+	// mutate outside the controller, and fault injectors perturb grant
+	// timing. Derived state: never serialised; restore zeroes it.
+	actSettled sim.Cycle
+
 	Stats Stats
 }
 
@@ -154,11 +174,42 @@ func New(cfg Config, lineBytes int) *Controller {
 	for b := lineBytes; b > 1; b >>= 1 {
 		c.lineBits++
 	}
+	c.claimed = make([]bool, len(c.banks))
+	c.bankCh = make([]int32, len(c.banks))
+	for i := range c.bankCh {
+		c.bankCh[i] = int32(i / cfg.Banks)
+	}
+	if pow2(cfg.Channels) && pow2(cfg.ColumnLines) && pow2(cfg.Banks) {
+		c.fastDecode = true
+		c.chMask = uint64(cfg.Channels - 1)
+		c.chShift = log2(cfg.Channels)
+		c.colShift = log2(cfg.ColumnLines)
+		c.bankMask = uint64(cfg.Banks - 1)
+		c.bankShift = log2(cfg.Banks)
+	}
+	if cfg.RefreshInterval > 0 {
+		// Initialise the refresh deadline eagerly (maybeRefresh keeps its
+		// lazy form for restored pre-init snapshots): NextWork must know the
+		// deadline before the first Tick, and it is serialised state, so it
+		// has to be identical in dense and skip-ahead runs at every cycle.
+		c.nextRefresh = cfg.RefreshInterval
+	}
 	return c
 }
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
 
 // decode maps a line address to (bank, row). Address layout, line-granular:
 // [ row | bank | column | channel ]: channels interleave at line granularity
@@ -166,6 +217,13 @@ func (c *Controller) Config() Config { return c.cfg }
 // bank. The returned bank id is global (channel * Banks + bank-in-channel).
 func (c *Controller) decode(addr uint64) (bank int, row int64) {
 	line := addr >> c.lineBits
+	if c.fastDecode {
+		ch := int(line & c.chMask)
+		rest := line >> c.chShift >> c.colShift
+		bank = ch<<c.bankShift + int(rest&c.bankMask)
+		row = int64(rest >> c.bankShift)
+		return bank, row
+	}
 	ch := int(line % uint64(c.cfg.Channels))
 	rest := line / uint64(c.cfg.Channels)
 	rest /= uint64(c.cfg.ColumnLines)
@@ -175,7 +233,7 @@ func (c *Controller) decode(addr uint64) (bank int, row int64) {
 }
 
 // channelOf maps a global bank id back to its channel.
-func (c *Controller) channelOf(bank int) int { return bank / c.cfg.Banks }
+func (c *Controller) channelOf(bank int) int { return int(c.bankCh[bank]) }
 
 // Accept implements the MSC queue interface.
 func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
@@ -187,21 +245,27 @@ func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
 		}
 		ready += c.Fault.ExtraLatency(now)
 	}
-	bank, row := c.decode(r.Addr)
-	e := entry{req: r, enq: now, bank: bank, row: row, ready: ready}
-	if c.PriorityEnabled && r.Critical {
+	// Capacity check before the address decode: a full queue refuses without
+	// paying for the (pure) bank/row computation, and full-queue refusals are
+	// retried every cycle under back-pressure.
+	usePrio := c.PriorityEnabled && r.Critical
+	if usePrio {
 		if len(c.prio) >= c.cfg.CapPrio {
 			c.Stats.Refused++
 			return false
 		}
-		c.prio = append(c.prio, e)
-		return true
-	}
-	if len(c.normal) >= c.cfg.CapNormal {
+	} else if len(c.normal) >= c.cfg.CapNormal {
 		c.Stats.Refused++
 		return false
 	}
-	c.normal = append(c.normal, e)
+	bank, row := c.decode(r.Addr)
+	e := entry{req: r, enq: now, bank: bank, row: row, ready: ready}
+	c.actSettled = 0 // a new entry may claim a previously idle bank
+	if usePrio {
+		c.prio = append(c.prio, e)
+	} else {
+		c.normal = append(c.normal, e)
+	}
 	return true
 }
 
@@ -222,7 +286,14 @@ func (c *Controller) rowOpenFor(e *entry, now sim.Cycle) bool {
 // requests, then normal requests in FCFS order — so a younger request can
 // never close a row an older request is about to use (that would livelock
 // two same-bank requests into perpetually re-activating each other's rows).
-func (c *Controller) startActivates(now sim.Cycle) {
+//
+// The returned cycle is when a re-run could first change any bank's state,
+// assuming queues, banks and the refresh clock stay untouched until then:
+// the winner per bank is fixed by the (deterministic) scan order, a blocked
+// winner acts when its bank frees, and the scan order itself changes only
+// when the queue head crosses the starvation threshold. Callers on the
+// memoised path skip re-running until that cycle.
+func (c *Controller) startActivates(now sim.Cycle) sim.Cycle {
 	if c.claimed == nil || len(c.claimed) < len(c.banks) {
 		c.claimed = make([]bool, len(c.banks))
 	} else {
@@ -230,8 +301,13 @@ func (c *Controller) startActivates(now sim.Cycle) {
 			c.claimed[i] = false
 		}
 	}
-	if c.cfg.MaxWait > 0 && len(c.normal) > 0 && now-c.normal[0].enq > c.cfg.MaxWait {
-		c.claim(&c.normal[0], now)
+	next := sim.NeverWork
+	if c.cfg.MaxWait > 0 && len(c.normal) > 0 {
+		if starveAt := c.normal[0].enq + c.cfg.MaxWait + 1; now >= starveAt {
+			c.claim(&c.normal[0], now, &next)
+		} else if starveAt < next {
+			next = starveAt // scan order changes when the head starves
+		}
 	}
 	// Priority service is near-FIFO: only the first few priority entries may
 	// open new rows. This is the §III-B cost of prioritisation — a strict
@@ -241,31 +317,39 @@ func (c *Controller) startActivates(now sim.Cycle) {
 	// (FullPath) therefore pay more idle bus time than ones that prioritise
 	// a sliver (PIVOT).
 	for i := 0; i < len(c.prio) && i < prioActivateWindow; i++ {
-		c.claim(&c.prio[i], now)
+		c.claim(&c.prio[i], now, &next)
 	}
 	if c.Classify != nil {
 		// Class-ordered activation: high-class (LC) normal requests claim
 		// their banks ahead of best-effort traffic.
 		for i := range c.normal {
 			if c.Classify(c.normal[i].req) == 0 {
-				c.claim(&c.normal[i], now)
+				c.claim(&c.normal[i], now, &next)
 			}
 		}
 	}
 	for i := range c.normal {
-		c.claim(&c.normal[i], now)
+		c.claim(&c.normal[i], now, &next)
 	}
+	return next
 }
 
 // claim lets e control its bank's row this cycle if no older request already
-// did, activating e's row when needed.
-func (c *Controller) claim(e *entry, now sim.Cycle) {
+// did, activating e's row when needed. next is lowered to the cycle this
+// winner will act if it is currently blocked on a busy bank.
+func (c *Controller) claim(e *entry, now sim.Cycle, next *sim.Cycle) {
 	if c.claimed[e.bank] {
 		return
 	}
 	c.claimed[e.bank] = true
 	b := &c.banks[e.bank]
-	if b.readyAt > now || b.openRow == e.row {
+	if b.openRow == e.row {
+		return
+	}
+	if b.readyAt > now {
+		if b.readyAt < *next {
+			*next = b.readyAt
+		}
 		return
 	}
 	pen := c.cfg.TRCD
@@ -366,6 +450,7 @@ func (c *Controller) maybeRefresh(now sim.Cycle) {
 	}
 	c.nextRefresh = now + c.cfg.RefreshInterval
 	c.Stats.Refreshes++
+	c.actSettled = 0 // every row closes; pending activation decisions reset
 	until := now + c.cfg.RefreshLatency
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -392,10 +477,19 @@ func (c *Controller) Tick(now sim.Cycle) {
 	}
 
 	c.maybeRefresh(now)
-	if c.Fault != nil && c.Fault.HoldGrant(now) {
-		return // injected scheduler stall: no activates or grants this cycle
+	if c.Fault != nil {
+		if c.Fault.HoldGrant(now) {
+			return // injected scheduler stall: no activates or grants this cycle
+		}
+		c.actSettled = 0 // grant holds perturb timing; don't trust the memo
+		c.startActivates(now)
+	} else if c.Classify != nil {
+		// Ranked activation reads MPAM classes that mutate outside the
+		// controller, so the settled memo cannot be trusted across cycles.
+		c.startActivates(now)
+	} else if now >= c.actSettled {
+		c.actSettled = c.startActivates(now)
 	}
-	c.startActivates(now)
 
 	for ch := range c.busFreeAt {
 		if c.busFreeAt[ch] > now {
@@ -407,6 +501,7 @@ func (c *Controller) Tick(now sim.Cycle) {
 			continue
 		}
 		e := remove(q, i)
+		c.actSettled = 0 // the scan order lost an entry; re-run activations
 		c.Stats.Served++
 		c.Stats.RowHits++ // row was open by construction of pick
 		c.Stats.LinesMoved++
@@ -428,6 +523,45 @@ func (c *Controller) Tick(now sim.Cycle) {
 		e.req.AddSplit(mem.CompResp, c.cfg.RespLatency)
 		c.pendingResp = append(c.pendingResp, respEntry{req: e.req, due: done + c.cfg.RespLatency})
 	}
+}
+
+// NextWork implements sim.IdleReporter. The controller is quiescent when
+// both request queues are empty, every channel's data bus is free (a busy
+// bus accrues BusyCycles each Tick), no response is due, and no fault
+// injector could hold a grant; it then sleeps until the earlier of the next
+// response delivery and the next refresh deadline. The `claimed` scratch
+// slab an idle Tick would have zeroed carries no state (it is rebuilt every
+// tick and never serialised), so eliding it is unobservable.
+func (c *Controller) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if c.Fault != nil || len(c.normal) > 0 || len(c.prio) > 0 {
+		return 0, false
+	}
+	for _, free := range c.busFreeAt {
+		if free > now {
+			return 0, false
+		}
+	}
+	next := sim.NeverWork
+	if len(c.pendingResp) > 0 {
+		due := c.pendingResp[0].due
+		if due <= now {
+			return 0, false
+		}
+		next = due
+	}
+	if c.cfg.RefreshInterval > 0 {
+		nr := c.nextRefresh
+		if nr == 0 {
+			nr = c.cfg.RefreshInterval // matches maybeRefresh's lazy init
+		}
+		if nr <= now {
+			return 0, false
+		}
+		if nr < next {
+			next = nr
+		}
+	}
+	return next, true
 }
 
 // RegisterStats registers the controller's instruments under prefix (e.g.

@@ -96,4 +96,5 @@ func (c *Controller) RestoreState(s ControllerState) {
 	}
 	c.nextRefresh = s.NextRefresh
 	c.Stats = s.Stats
+	c.actSettled = 0 // derived memo; rebuild from the restored queues
 }

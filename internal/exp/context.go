@@ -180,6 +180,11 @@ type Context struct {
 	// Audit enables the machine's per-epoch invariant auditor on every run.
 	Audit bool
 
+	// Dense forces every run onto the naive per-cycle tick loop instead of
+	// the quiescence-aware skip-ahead engine (the -dense escape hatch; see
+	// machine.Options.Dense). Results are bit-identical either way.
+	Dense bool
+
 	// CheckpointDir, when set, makes every checkpointable co-location run
 	// crash-safe: it periodically writes its full machine state to a per-run
 	// subdirectory and, on a later identical invocation, resumes from the
@@ -234,6 +239,7 @@ func (ctx *Context) runContext() context.Context {
 func (ctx *Context) guard(opt machine.Options) machine.Options {
 	opt.WatchdogWindow = ctx.Watchdog
 	opt.Audit = ctx.Audit
+	opt.Dense = ctx.Dense
 	return opt
 }
 

@@ -240,8 +240,9 @@ func (ctx *Context) Fig08() (*metrics.Table, error) {
 		Headers: []string{"app", "loads", "top 5%", "top 10%", "top 20%", "top 50%"},
 	}
 	for _, app := range []string{workload.Silo, workload.Moses} {
-		prof := machine.RunProfiler(ctx.Cfg, workload.LCApps()[app],
-			ctx.Scale.MaxBEThreads, ctx.Scale.Seed, machine.ProfileCycles)
+		prof := machine.RunProfilerOpt(ctx.Cfg, workload.LCApps()[app],
+			ctx.Scale.MaxBEThreads, ctx.Scale.Seed, machine.ProfileCycles,
+			ctx.guard(machine.Options{}))
 		loadFrac, stallFrac := prof.CDF()
 		share := func(frac float64) string {
 			for i, lf := range loadFrac {

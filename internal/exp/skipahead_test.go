@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"testing"
+
+	"pivot/internal/machine"
+)
+
+// TestSkipAheadEquivalenceFigures renders experiment tables from the
+// registry twice — once on the skip-ahead engine, once forced dense via the
+// Context's -dense escape hatch — and demands byte-identical output. fig5
+// exercises calibration sweeps plus co-location runs with the split filter;
+// fig8 exercises the offline profiling phase. A tiny scale keeps this fast:
+// equivalence needs identical bytes, not statistical quality.
+func TestSkipAheadEquivalenceFigures(t *testing.T) {
+	scale := Quick()
+	scale.Warmup = 80_000
+	scale.Measure = 100_000
+	scale.CalMeasure = 80_000
+	scale.LoadFracs = []float64{0.3, 0.7}
+	scale.MaxBEThreads = 3
+
+	render := func(dense bool) map[string]string {
+		ctx := NewContext(machine.KunpengConfig(4), scale)
+		ctx.Dense = dense
+		out := map[string]string{}
+		for _, id := range []string{"fig5", "fig8"} {
+			e, ok := Registry()[id]
+			if !ok {
+				t.Fatalf("experiment %s missing from registry", id)
+			}
+			tables, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s (dense=%v): %v", id, dense, err)
+			}
+			s := ""
+			for _, tb := range tables {
+				s += tb.String()
+			}
+			if len(s) == 0 {
+				t.Fatalf("%s rendered empty (dense=%v)", id, dense)
+			}
+			out[id] = s
+		}
+		return out
+	}
+
+	skip := render(false)
+	dense := render(true)
+	for _, id := range []string{"fig5", "fig8"} {
+		if skip[id] != dense[id] {
+			t.Errorf("%s renders differently under skip-ahead:\n--- skip ---\n%s\n--- dense ---\n%s",
+				id, skip[id], dense[id])
+		}
+	}
+}

@@ -84,6 +84,12 @@ type Station struct {
 	// set it; production runs leave it nil.
 	Fault mem.Fault
 
+	// sawSpike notes that an injected latency spike broke the FIFO
+	// ready-order invariant NextWork relies on; while any spiked entry may
+	// still be queued the station reports itself active. Derived advisory
+	// state: never serialised (checkpoints refuse faulted machines anyway).
+	sawSpike bool
+
 	Stats Stats
 }
 
@@ -124,6 +130,9 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 			return false
 		}
 		spike = s.Fault.ExtraLatency(now)
+		if spike > 0 {
+			s.sawSpike = true
+		}
 	}
 	usePrio := s.PriorityEnabled && r.Critical
 	if usePrio {
@@ -149,12 +158,19 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 
 // pickNormal returns the index of the next normal-queue entry to serve under
 // the Classify ranking (FCFS within a rank), or -1 when nothing is ready.
+// Ranks are non-negative (MPAM classes), so the scan stops at the first
+// ready rank-0 entry — no later entry can beat it, and FCFS breaks the tie
+// in its favour. Absent injected latency spikes, ready order follows queue
+// order, so the scan also stops at the first not-yet-ready entry.
 func (s *Station) pickNormal(now sim.Cycle) int {
 	best := -1
 	bestRank := int(^uint(0) >> 1)
 	for i := range s.normal {
 		e := &s.normal[i]
 		if e.ready > now {
+			if !s.sawSpike {
+				break
+			}
 			continue
 		}
 		rank := 0
@@ -163,6 +179,9 @@ func (s *Station) pickNormal(now sim.Cycle) int {
 		}
 		if rank < bestRank {
 			best, bestRank = i, rank
+			if rank <= 0 {
+				break
+			}
 		}
 	}
 	return best
@@ -242,6 +261,42 @@ func (s *Station) Tick(now sim.Cycle) {
 		}
 		s.Stats.Forwarded++
 	}
+}
+
+// NextWork implements sim.IdleReporter. A station with no fault injector and
+// no entry whose ready cycle has arrived performs no observable work in
+// Tick (the grant loop returns at "nothing ready" before touching any
+// state), so it sleeps until the earliest head ready cycle. Queue order
+// implies ready order (ready = enqueue + fixed latency), so the two heads
+// bound every entry — unless an injected latency spike broke that
+// invariant, in which case the station stays dense until it drains.
+func (s *Station) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if s.Fault != nil {
+		return 0, false
+	}
+	if len(s.normal) == 0 && len(s.prio) == 0 {
+		s.sawSpike = false
+		return sim.NeverWork, true
+	}
+	if s.sawSpike {
+		return 0, false
+	}
+	next := sim.NeverWork
+	if len(s.prio) > 0 {
+		if s.prio[0].ready <= now {
+			return 0, false
+		}
+		next = s.prio[0].ready
+	}
+	if len(s.normal) > 0 {
+		if s.normal[0].ready <= now {
+			return 0, false
+		}
+		if s.normal[0].ready < next {
+			next = s.normal[0].ready
+		}
+	}
+	return next, true
 }
 
 // RegisterStats registers the station's instruments under prefix (e.g.

@@ -118,6 +118,24 @@ func (s *Source) Next(op *cpu.MicroOp) bool {
 	return true
 }
 
+// NextAvailable implements cpu.IdleStream. An open-loop source with the
+// current request fully drained and no queued arrival is idle until its next
+// Poisson arrival: Next would return false every cycle until then, and pump
+// is pure while nextArrival lies in the future (the RNG is consumed only
+// when an arrival is admitted). A closed-loop source always has work.
+func (s *Source) NextAvailable(now sim.Cycle) (next sim.Cycle, idle bool) {
+	if s.meanInterarrival <= 0 {
+		return 0, false
+	}
+	if s.bufPos < len(s.buf) || len(s.backlog) > 0 {
+		return 0, false
+	}
+	if s.nextArrival <= now {
+		return 0, false
+	}
+	return s.nextArrival, true
+}
+
 // OnReqEnd records a completed request. Matches cpu.Hooks.OnReqEnd.
 func (s *Source) OnReqEnd(reqID uint64, now sim.Cycle) {
 	if reqID >= uint64(len(s.arrival)) {

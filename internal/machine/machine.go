@@ -121,6 +121,13 @@ type Options struct {
 	// MaxCycles bounds the total simulated cycles a StepChecked run may
 	// consume (a runaway budget); 0 = unbounded.
 	MaxCycles sim.Cycle
+
+	// Dense forces naive per-cycle stepping instead of the quiescence-aware
+	// skip-ahead engine (the -dense escape hatch). Results are bit-identical
+	// either way — dense is the trusted reference the equivalence suite
+	// compares against — so Dense is deliberately NOT part of the checkpoint
+	// fingerprint: dense and skip-ahead runs share checkpoints.
+	Dense bool
 }
 
 // LCTask is the runtime state of one latency-critical task.
@@ -170,9 +177,18 @@ type Machine struct {
 
 	// Stats framework (nil until EnableStats): the instrument registry, the
 	// epoch sampler, and the LC memory-latency distribution it feeds.
+	// statsOn caches "EnableStats was called" as a plain bool so per-request
+	// hot paths pay a single flag test, not pointer comparisons, when the
+	// framework is disabled.
 	statsReg *stats.Registry
 	sampler  *stats.Sampler
 	latDist  *stats.Distribution
+	statsOn  bool
+
+	// predTick notes that at least one LC task carries an online predictor
+	// (RRBP or CBP), so auxTick has observable work at every 1024-cycle
+	// refresh boundary and skip-ahead must not jump across one.
+	predTick bool
 
 	measureStart sim.Cycle
 	measured     sim.Cycle
@@ -251,7 +267,7 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 			case PolicyCBP, PolicyCBPFullPath:
 				lc.CBP = cbp.New(opt.CBP)
 			}
-			hooks.IsCritical = m.criticalHook(lc)
+			hooks.IsCritical, hooks.SkipCritical = m.criticalHook(lc)
 			hooks.OnLoadRetire = m.retireHook(lc)
 			m.lcs = append(m.lcs, lc)
 		} else if spec.CustomStream != nil {
@@ -266,16 +282,28 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 		m.Cores = append(m.Cores, core)
 	}
 
+	// Skip-ahead needs to know whether any predictor expects the coarse
+	// 1024-cycle refresh/adaptation tick in auxTick.
+	for _, lc := range m.lcs {
+		if lc.RRBP != nil || lc.CBP != nil {
+			m.predTick = true
+		}
+	}
+
 	// Tick order: DRAM first so responses land before upstream moves, then
 	// MSCs downstream-to-upstream, then machine plumbing, then cores.
-	m.Engine.Register(sim.TickFunc(m.mc.Tick))
-	m.Engine.Register(sim.TickFunc(m.bw.Tick))
+	// Components are registered as concrete values (not TickFunc closures) so
+	// the engine can discover their IdleReporter/Skipper sides and the hot
+	// loop dispatches through a single interface call per component.
+	m.Engine.Register(m.mc)
+	m.Engine.Register(m.bw)
 	m.Engine.Register(m.bus)
 	m.Engine.Register(m.ic)
-	m.Engine.Register(sim.TickFunc(m.auxTick))
+	m.Engine.Register(&auxTicker{m: m})
 	for _, c := range m.Cores {
-		m.Engine.Register(sim.TickFunc(c.Tick))
+		m.Engine.Register(c)
 	}
+	m.Engine.SetDense(opt.Dense)
 	return m, nil
 }
 
@@ -368,68 +396,114 @@ func (m *Machine) applyPolicy() {
 	}
 }
 
-// criticalHook builds the per-load criticality decision for an LC core.
-func (m *Machine) criticalHook(lc *LCTask) func(pc uint64) bool {
+// criticalHook builds the per-load criticality decision for an LC core,
+// together with the matching skip compensator: skip(pc, n) must account for
+// exactly n evaluations of the decision (predictor lookup counters and
+// threshold-crossing flags) without issuing them one by one. Cores refuse to
+// report idle on a critical-flagged retry when SkipCritical is nil, so the
+// two are always produced as a pair.
+func (m *Machine) criticalHook(lc *LCTask) (crit func(pc uint64) bool, skip func(pc uint64, n uint64)) {
 	switch m.Opt.Policy {
 	case PolicyFullPath:
-		return func(uint64) bool { return true }
+		// Always-critical is pure: skipping evaluations touches nothing.
+		return func(uint64) bool { return true }, func(uint64, uint64) {}
 	case PolicyPIVOT:
 		pot := lc.Spec.Potential
 		tbl := lc.RRBP
-		return func(pc uint64) bool {
+		crit = func(pc uint64) bool {
 			if pot != nil && !pot.Contains(pc) {
 				return false // the extra instruction bit is not set
 			}
 			return tbl.IsCritical(pc)
 		}
+		skip = func(pc uint64, n uint64) {
+			if pot != nil && !pot.Contains(pc) {
+				return
+			}
+			tbl.SkipLookups(pc, n)
+		}
+		return crit, skip
 	case PolicyCBP, PolicyCBPFullPath:
 		pred := lc.CBP
-		return func(pc uint64) bool { return pred.IsCritical(pc) }
+		return func(pc uint64) bool { return pred.IsCritical(pc) },
+			func(pc uint64, n uint64) { pred.SkipLookups(pc, n) }
 	default:
-		return nil
+		return nil, nil
+	}
+}
+
+// retireObserver is the per-load retire observer for an LC core. It replaces
+// the earlier closure chain: a single struct with a fixed method keeps the
+// retire path free of per-call closure allocation (see the AllocsPerRun
+// regression test) and dispatches each consumer with one nil check.
+type retireObserver struct {
+	long     sim.Cycle
+	pot      profile.CriticalSet
+	profiler *profile.Profiler
+	rrbp     *rrbp.Table
+	cbp      *cbp.Predictor
+}
+
+func (o *retireObserver) onLoadRetire(pc uint64, stall sim.Cycle, llcMiss bool) {
+	if o.profiler != nil {
+		o.profiler.OnLoadRetire(pc, stall, llcMiss)
+	}
+	if o.rrbp != nil {
+		// Online phase: only loads carrying the potential bit are measured
+		// (§IV-C) — this is what keeps the overhead minimal.
+		if o.pot == nil || o.pot.Contains(pc) {
+			o.rrbp.RecordRetire(pc, stall > o.long)
+		}
+	}
+	if o.cbp != nil && stall > o.long {
+		o.cbp.RecordStall(pc)
 	}
 }
 
 // retireHook builds the per-load retire observer for an LC core.
 func (m *Machine) retireHook(lc *LCTask) func(pc uint64, stall sim.Cycle, llcMiss bool) {
-	long := m.Cfg.Core.LongStall
-	pot := lc.Spec.Potential
-	var fns []func(pc uint64, stall sim.Cycle, llcMiss bool)
-
-	if lc.Profiler != nil {
-		fns = append(fns, lc.Profiler.OnLoadRetire)
-	}
-	if lc.RRBP != nil {
-		tbl := lc.RRBP
-		fns = append(fns, func(pc uint64, stall sim.Cycle, llcMiss bool) {
-			// Online phase: only loads carrying the potential bit are
-			// measured (§IV-C) — this is what keeps the overhead minimal.
-			if pot != nil && !pot.Contains(pc) {
-				return
-			}
-			tbl.RecordRetire(pc, stall > long)
-		})
-	}
-	if lc.CBP != nil {
-		pred := lc.CBP
-		fns = append(fns, func(pc uint64, stall sim.Cycle, llcMiss bool) {
-			if stall > long {
-				pred.RecordStall(pc)
-			}
-		})
-	}
-	switch len(fns) {
-	case 0:
+	if lc.Profiler == nil && lc.RRBP == nil && lc.CBP == nil {
 		return nil
-	case 1:
-		return fns[0]
-	default:
-		return func(pc uint64, stall sim.Cycle, llcMiss bool) {
-			for _, f := range fns {
-				f(pc, stall, llcMiss)
-			}
+	}
+	o := &retireObserver{
+		long:     m.Cfg.Core.LongStall,
+		pot:      lc.Spec.Potential,
+		profiler: lc.Profiler,
+		rrbp:     lc.RRBP,
+		cbp:      lc.CBP,
+	}
+	return o.onLoadRetire
+}
+
+// auxTicker registers Machine.auxTick with the engine and reports when the
+// machine-level plumbing is quiescent: no port has a pending L2-miss egress,
+// no delay slot is due before the reported cycle, and (when any predictor is
+// attached) the next 1024-cycle refresh boundary bounds the sleep. An idle
+// auxTick is pure, so no SkipCycles compensation is needed.
+type auxTicker struct{ m *Machine }
+
+func (a *auxTicker) Tick(now sim.Cycle) { a.m.auxTick(now) }
+
+func (a *auxTicker) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	m := a.m
+	for _, p := range m.ports {
+		if len(p.out) > 0 {
+			return 0, false
 		}
 	}
+	next, idle := m.delays.nextDue(now)
+	if !idle {
+		return 0, false
+	}
+	if m.predTick {
+		if now&1023 == 0 {
+			return 0, false
+		}
+		if b := (now | 1023) + 1; b < next {
+			next = b
+		}
+	}
+	return next, true
 }
 
 // auxTick runs the machine-level plumbing each cycle: delayed completions,
@@ -502,6 +576,9 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 			m.Cores[r.CoreID].CompleteLoad(w, llcMiss, now)
 		}
 	}
+	// Even a waiter-less fill (a prefetch) frees an MSHR that may unblock a
+	// structurally refused load: drop the core's cached idle verdict.
+	m.Cores[r.CoreID].WakeIdle()
 	if r.LCTask && !r.Prefetch && now >= m.measureStart {
 		if m.statsSet == nil || m.statsSet.Contains(r.PC) {
 			for c := 0; c < int(mem.NumComponents); c++ {
@@ -509,7 +586,7 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 			}
 			m.splitCount++
 		}
-		if m.latDist != nil {
+		if m.statsOn {
 			m.latDist.Observe(float64(now - r.Issued))
 		}
 		if len(m.sampled) < m.Opt.SampleRequests {

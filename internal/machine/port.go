@@ -11,8 +11,13 @@ import (
 // delayQ schedules fixed-latency completion events on a 256-slot timing
 // wheel. Every latency scheduled through it (L1/L2 hits, LLC-hit responses)
 // is far below 256 cycles, so slot collisions across laps cannot occur.
+//
+// count caches the wheel occupancy for skip-ahead's quiescence poll. It is
+// derived state — never serialised; RestoreState rebuilds it with recount.
 type delayQ struct {
 	wheel [256][]delayed
+
+	count int
 }
 
 // delayKind discriminates the four fixed-latency completion events the wheel
@@ -47,6 +52,38 @@ type delayed struct {
 func (d *delayQ) after(e delayed) {
 	slot := int(e.due) & 255
 	d.wheel[slot] = append(d.wheel[slot], e)
+	d.count++
+}
+
+// nextDue reports the earliest cycle at which a wheel event falls due, or
+// (0, false) when an event is due at now and the wheel must be drained this
+// cycle. Every live event's due cycle lies in [now, now+256) — latencies are
+// strictly below 256 and past-due events were drained the cycle they fell
+// due — so each slot holds at most one distinct due cycle and a forward walk
+// from now stops at the first occupied slot with the exact earliest due. In
+// a busy machine that slot is a handful of cycles away; in an empty one the
+// count guard answers without touching the wheel.
+func (d *delayQ) nextDue(now sim.Cycle) (sim.Cycle, bool) {
+	if d.count == 0 {
+		return sim.NeverWork, true
+	}
+	if len(d.wheel[int(now)&255]) > 0 {
+		return 0, false
+	}
+	for off := sim.Cycle(1); off < 256; off++ {
+		if len(d.wheel[int(now+off)&255]) > 0 {
+			return now + off, true
+		}
+	}
+	return 0, false // unreachable while count > 0; fail dense, not idle
+}
+
+// recount rebuilds the derived occupancy count after a checkpoint restore.
+func (d *delayQ) recount() {
+	d.count = 0
+	for slot := range d.wheel {
+		d.count += len(d.wheel[slot])
+	}
 }
 
 // drainDelays dispatches every completion event due this cycle. Dispatched
@@ -59,6 +96,7 @@ func (m *Machine) drainDelays(now sim.Cycle) {
 		return
 	}
 	m.delays.wheel[slot] = pend[:0]
+	m.delays.count -= len(pend)
 	for _, e := range pend {
 		m.dispatchDelayed(e, now)
 	}
@@ -211,6 +249,32 @@ func (p *corePort) fillLocal(line uint64, now sim.Cycle) {
 			p.m.Cores[p.id].CompleteLoad(w, false, now)
 		}
 	}
+	// The freed MSHR may unblock a structurally refused load: drop the
+	// core's cached idle verdict.
+	p.m.Cores[p.id].WakeIdle()
+}
+
+// RetryReady implements cpu.RetryPort: would a retry of the blocked head op
+// be accepted this cycle? Mirrors exactly the refusal conditions of Load and
+// Store above; it must never report false when the op would in fact issue,
+// or the core could sleep through its own unblocking.
+func (p *corePort) RetryReady(kind cpu.OpKind, addr uint64) bool {
+	line := p.lineOf(addr)
+	if kind == cpu.OpStore {
+		return p.l1.Contains(line) || len(p.out) < p.m.Cfg.PortOutCap
+	}
+	return p.l1.Contains(line) || p.mshr.Lookup(line) != nil ||
+		(!p.mshr.Full() && len(p.out) < p.m.Cfg.PortOutCap)
+}
+
+// SkipRetries implements cpu.RetryPort: account for n elided retry attempts
+// of a blocked op. Each dense-loop attempt performs one mutating L1 miss
+// probe (LRU stamp + miss counters) before being structurally refused —
+// Loads via the l1.Lookup at the top of Load, Stores likewise — so n
+// attempts compensate as n miss probes. Everything else on the refusal path
+// (MSHR lookup, capacity checks) is pure.
+func (p *corePort) SkipRetries(kind cpu.OpKind, addr uint64, n uint64) {
+	p.l1.SkipMissProbes(mem.PartID(p.id), n)
 }
 
 // Store implements cpu.MemPort. Stores are absorbed by the write buffer
@@ -242,12 +306,18 @@ func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
 // flush pushes pending L2-miss traffic into the MBA throttle / interconnect,
 // stopping at the first refusal (in-order egress).
 func (p *corePort) flush(now sim.Cycle) {
+	popped := false
 	for len(p.out) > 0 {
 		r := p.out[0]
 		if !p.m.thr.Accept(r, now) {
-			return
+			break
 		}
 		copy(p.out, p.out[1:])
 		p.out = p.out[:len(p.out)-1]
+		popped = true
+	}
+	if popped {
+		// Freed egress slots may unblock a refused load or store retry.
+		p.m.Cores[p.id].WakeIdle()
 	}
 }

@@ -33,12 +33,22 @@ func ProfileLCWith(cfg Config, app workload.LCParams, stressThreads int, seed ui
 // which callers can draw both the potential set and the Figure 8 CDF.
 func RunProfiler(cfg Config, app workload.LCParams, stressThreads int, seed uint64,
 	cycles sim.Cycle) *profile.Profiler {
+	return RunProfilerOpt(cfg, app, stressThreads, seed, cycles, Options{})
+}
+
+// RunProfilerOpt is RunProfiler with explicit machine options, so the harness
+// can thread its watchdog / audit / dense settings through the offline phase.
+// Policy and Profile are forced to the profiling configuration.
+func RunProfilerOpt(cfg Config, app workload.LCParams, stressThreads int, seed uint64,
+	cycles sim.Cycle, opt Options) *profile.Profiler {
 	stress := workload.BEApps()[workload.StressCopy]
 	tasks := []TaskSpec{{Kind: TaskLC, LC: app, MeanInterarrival: 0, Seed: seed}}
 	for i := 0; i < stressThreads && len(tasks) < cfg.Cores; i++ {
 		tasks = append(tasks, TaskSpec{Kind: TaskBE, BE: stress, Seed: seed + uint64(100+i)})
 	}
-	m := MustNew(cfg, Options{Policy: PolicyDefault, Profile: true}, tasks)
+	opt.Policy = PolicyDefault
+	opt.Profile = true
+	m := MustNew(cfg, opt, tasks)
 	m.Run(cycles/6, cycles)
 	return m.LCTasks()[0].Profiler
 }

@@ -330,6 +330,9 @@ func (m *Machine) RestoreState(s *MachineState) error {
 			m.delays.wheel[slot] = append(m.delays.wheel[slot], e)
 		}
 	}
+	// The occupancy cache feeding skip-ahead's quiescence poll is derived
+	// state: rebuild it from the restored wheel.
+	m.delays.recount()
 
 	for i, lc := range m.lcs {
 		ls := s.LCs[i]

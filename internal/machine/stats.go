@@ -60,14 +60,34 @@ func (m *Machine) EnableStats(epochCycles sim.Cycle, ringCap int) {
 	m.latDist = reg.Distribution("machine.lc_mem_latency", 0)
 
 	m.statsReg = reg
+	m.statsOn = true
 	m.sampler = stats.NewSampler(reg, uint64(epochCycles), ringCap)
 	// Registered after every component, so each sample sees the cycle's
-	// final state.
-	m.Engine.Register(sim.TickFunc(func(now sim.Cycle) {
-		if now%epochCycles == 0 {
-			m.sampler.Sample(uint64(now))
-		}
-	}))
+	// final state. The ticker reports its next epoch boundary so skip-ahead
+	// never jumps over a sample point.
+	m.Engine.Register(&samplerTicker{m: m, epoch: epochCycles})
+}
+
+// samplerTicker drives the epoch sampler and bounds engine skips to epoch
+// boundaries: samples must land at exactly the same cycles as in a dense
+// run, or the sampled time series (and therefore exported timelines) would
+// diverge between the two modes.
+type samplerTicker struct {
+	m     *Machine
+	epoch sim.Cycle
+}
+
+func (s *samplerTicker) Tick(now sim.Cycle) {
+	if now%s.epoch == 0 {
+		s.m.sampler.Sample(uint64(now))
+	}
+}
+
+func (s *samplerTicker) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if now%s.epoch == 0 {
+		return 0, false
+	}
+	return now + (s.epoch - now%s.epoch), true
 }
 
 // StatsEnabled reports whether EnableStats has been called.

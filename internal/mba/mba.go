@@ -15,6 +15,12 @@ import (
 // A level of 100 means unthrottled; level L < 100 enforces a minimum gap
 // between consecutive requests sized so the partition's request rate is L%
 // of one request per baseGap cycles.
+//
+// The throttle is an interconnect.Acceptor only, never a sim.Ticker, so it
+// needs no NextWork for the skip-ahead engine: it mutates state (nextOK,
+// Delayed) only inside Accept, which is reached exclusively from port
+// flushes — and the machine's auxTicker already reports itself active while
+// any port has pending egress traffic.
 type Throttle struct {
 	down    interconnect.Acceptor
 	baseGap sim.Cycle

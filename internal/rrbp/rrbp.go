@@ -159,6 +159,27 @@ func (t *Table) IsCritical(pc uint64) bool {
 	return false
 }
 
+// SkipLookups applies the side effects of n elided IsCritical(pc) calls made
+// under skip-ahead while the table is otherwise untouched (the probing core
+// is parked, so no retire, refresh or threshold flip can interleave): the
+// lookup counter grows by n, and — because the flag is sticky — a critical
+// verdict repeats identically for all n probes.
+func (t *Table) SkipLookups(pc uint64, n uint64) {
+	t.Lookups += n
+	if t.counters != nil {
+		i := t.index(pc)
+		if t.flags[i] || t.counters[i] >= t.threshold {
+			t.flags[i] = true
+			t.Flagged += n
+		}
+		return
+	}
+	if t.unlFlags[pc] || t.unlimited[pc] >= t.threshold {
+		t.unlFlags[pc] = true
+		t.Flagged += n
+	}
+}
+
 // SetUnderBandwidth switches the threshold: under=true means the LC task is
 // consuming less than its expected bandwidth, so PIVOT aggressively includes
 // more loads from the potential set.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — record (or gate on) the simulator's headline perf number.
+#
+# Default mode runs BenchmarkSimulatorCyclesPerSecond and writes the result
+# to BENCH_cycles_per_sec.json in the repo root, machine-readable:
+#
+#   {"commit": ..., "date": ..., "benchmark": ..., "ns_per_cycle": ...,
+#    "cycles_per_sec": ...}
+#
+# so the perf trajectory is one JSON file per commit in git history.
+#
+#   scripts/bench.sh              # measure and (re)write the JSON
+#   scripts/bench.sh -check       # measure and FAIL if cycles/sec regressed
+#                                 # >20% vs the committed JSON baseline
+#
+# The benchmark steps the Fig-1 default mix (1 LC Silo + 3 BE iBench) in
+# 10,000-cycle granules, so ns_per_cycle = ns/op / 10000.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_cycles_per_sec.json
+bench=BenchmarkSimulatorCyclesPerSecond
+benchtime=${BENCHTIME:-2s}
+mode=${1:-write}
+
+line=$(go test -bench "^${bench}\$" -benchtime "$benchtime" -run '^$' . | tee /dev/stderr | grep "^${bench}")
+ns_per_op=$(echo "$line" | awk '{for (i=1;i<=NF;i++) if ($(i)=="ns/op") print $(i-1)}')
+if [ -z "$ns_per_op" ]; then
+    echo "bench.sh: could not parse ns/op from: $line" >&2
+    exit 1
+fi
+
+ns_per_cycle=$(awk -v n="$ns_per_op" 'BEGIN{printf "%.4f", n/10000}')
+cycles_per_sec=$(awk -v n="$ns_per_op" 'BEGIN{printf "%.0f", 1e9/(n/10000)}')
+
+if [ "$mode" = "-check" ]; then
+    if [ ! -f "$out" ]; then
+        echo "bench.sh: no committed $out baseline to check against" >&2
+        exit 1
+    fi
+    base=$(grep -o '"cycles_per_sec"[^,}]*' "$out" | grep -o '[0-9.]*$')
+    floor=$(awk -v b="$base" 'BEGIN{printf "%.0f", b*0.8}')
+    echo "bench.sh: current ${cycles_per_sec} cycles/s, baseline ${base}, floor ${floor}"
+    if awk -v c="$cycles_per_sec" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
+        echo "bench.sh: FAIL — cycles/sec regressed >20% vs committed baseline" >&2
+        exit 1
+    fi
+    echo "bench.sh: OK"
+    exit 0
+fi
+
+commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+cat >"$out" <<EOF
+{"commit": "${commit}", "date": "${date}", "benchmark": "${bench}", "ns_per_cycle": ${ns_per_cycle}, "cycles_per_sec": ${cycles_per_sec}}
+EOF
+echo "bench.sh: wrote $out (${cycles_per_sec} sim-cycles/s)"
