@@ -3,11 +3,17 @@
 // Usage:
 //
 //	pivot-exp [-quick] [-cores n] list
+//	pivot-exp [-quick] [-cores n] scenarios
 //	pivot-exp [-quick] [-cores n] <experiment-id>...
 //	pivot-exp [-quick] [-cores n] all
+//	pivot-exp [-quick] [-cores n] -scenario file.json
 //
 // Each experiment prints a text table whose rows/series mirror the paper's
 // figure; EXPERIMENTS.md records the paper-vs-measured comparison.
+// "scenarios" lists the declarative builtin scenarios behind the figures
+// (internal/scenario), and -scenario expands a user scenario file into run
+// units and executes them through the same parallel harness, printing one
+// summary row per unit.
 //
 // Robustness: experiments run through the resilient harness
 // (internal/harness). -parallel runs several experiments concurrently
@@ -49,6 +55,7 @@ import (
 	"pivot/internal/harness"
 	"pivot/internal/machine"
 	"pivot/internal/metrics"
+	"pivot/internal/scenario"
 	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
@@ -71,10 +78,11 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint in-flight runs here; a rerun resumes them mid-simulation")
 	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
 	dense := flag.Bool("dense", false, "force the naive per-cycle tick loop instead of quiescence-aware skip-ahead (bit-identical results, slower)")
+	scenarioPath := flag.String("scenario", "", "run a user scenario file (JSON) through the harness instead of experiment ids")
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *scenarioPath == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -122,27 +130,20 @@ func main() {
 	}()
 
 	reg := exp.Registry()
-	if args[0] == "list" {
+	if *scenarioPath == "" && args[0] == "list" {
 		for _, id := range exp.IDs() {
 			fmt.Printf("%-10s %s\n", id, reg[id].Brief)
 		}
 		return
 	}
-
-	ids := args
-	if args[0] == "all" {
-		ids = exp.IDs()
+	if *scenarioPath == "" && args[0] == "scenarios" {
+		screg := scenario.Builtins()
+		for _, id := range scenario.BuiltinIDs() {
+			fmt.Printf("%-10s %s\n", id, screg[id].Brief)
+		}
+		return
 	}
 
-	render := func(t *metrics.Table) string { return t.String() + "\n" }
-	if *csv {
-		render = func(t *metrics.Table) string { return fmt.Sprintf("# %s\n%s\n", t.Title, t.CSV()) }
-	}
-	jobs, err := harness.ExperimentJobs(ctx, ids, render)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pivot-exp: %v (try 'list')\n", err)
-		os.Exit(2)
-	}
 	runner, err := harness.New(harness.Config{
 		Parallel:    *parallel,
 		Timeout:     *timeout,
@@ -154,21 +155,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
 		os.Exit(1)
 	}
+
+	var jobs []harness.Job
+	var sc *scenario.Scenario
+	var unitLabels []string
+	if *scenarioPath != "" {
+		sc, err = scenario.Load(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+			os.Exit(2)
+		}
+		jobs, unitLabels, err = harness.ScenarioJobs(ctx, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		ids := args
+		if args[0] == "all" {
+			ids = exp.IDs()
+		}
+		render := func(t *metrics.Table) string { return t.String() + "\n" }
+		if *csv {
+			render = func(t *metrics.Table) string { return fmt.Sprintf("# %s\n%s\n", t.Title, t.CSV()) }
+		}
+		jobs, err = harness.ExperimentJobs(ctx, ids, render)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v (try 'list')\n", err)
+			os.Exit(2)
+		}
+	}
 	results := runner.RunContext(runCtx, jobs)
 
-	// Emit completed experiments in sweep order; collect failures.
+	// Emit completed work in sweep order; collect failures.
 	var failed []harness.Result
-	for _, res := range results {
-		if res.Err != nil {
-			failed = append(failed, res)
-			continue
+	if sc != nil {
+		unitResults := make([]exp.RunResult, 0, len(results))
+		labels := make([]string, 0, len(results))
+		for i, res := range results {
+			if res.Err != nil {
+				failed = append(failed, res)
+				continue
+			}
+			r, err := harness.ValueAs[exp.RunResult](res)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pivot-exp: decoding journaled %s: %v\n", res.ID, err)
+				os.Exit(1)
+			}
+			unitResults = append(unitResults, r)
+			labels = append(labels, unitLabels[i])
 		}
-		text, err := harness.ValueAs[string](res)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pivot-exp: decoding journaled %s: %v\n", res.ID, err)
-			os.Exit(1)
+		fmt.Print(exp.ScenarioTable(sc, labels, unitResults).String() + "\n")
+	} else {
+		for _, res := range results {
+			if res.Err != nil {
+				failed = append(failed, res)
+				continue
+			}
+			text, err := harness.ValueAs[string](res)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pivot-exp: decoding journaled %s: %v\n", res.ID, err)
+				os.Exit(1)
+			}
+			fmt.Print(text)
 		}
-		fmt.Print(text)
 	}
 
 	if *statsOut != "" {
@@ -257,10 +307,14 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: pivot-exp [-quick] [-cores n] [-quiet] [-parallel n] [-timeout d]
                  [-journal f [-resume]] [-audit] [-watchdog n]
                  [-checkpoint-dir d] [-checkpoint-interval n]
-                 [-stats-out f] [-timeline-out f] <list | all | experiment-id...>
+                 [-stats-out f] [-timeline-out f]
+                 <list | scenarios | all | experiment-id...> | -scenario file.json
 
 Regenerates the paper's figures/tables as text tables. Experiment ids:
 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig12 fig13 fig13emu fig14 fig15 fig16
 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 sens table1 table2
-table3 storage`)
+table3 storage
+
+"scenarios" lists the declarative builtin scenarios; -scenario runs a user
+scenario file through the parallel harness.`)
 }

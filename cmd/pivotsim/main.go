@@ -7,6 +7,12 @@
 //
 //	pivotsim -lc masstree -ia 4000 -be ibench -threads 7 -policy pivot
 //
+// Scenario mode: -scenario file.json ignores the per-task flags and runs a
+// declarative scenario (see README "Scenarios" and examples/scenarios/)
+// through validation, sweep expansion and execution, printing one summary row
+// per expanded run unit. -quick selects the coarse calibration scale and
+// -quiet suppresses progress notes.
+//
 // Crash safety: with -checkpoint-dir the run periodically snapshots its full
 // machine state; rerunning the identical command resumes from the newest
 // good checkpoint with bit-identical final results. The first SIGINT or
@@ -18,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +32,7 @@ import (
 
 	"pivot"
 	"pivot/internal/checkpoint"
+	"pivot/internal/exp"
 	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
@@ -63,7 +71,26 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint the run here; an identical rerun resumes mid-simulation")
 	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
 	dense := flag.Bool("dense", false, "force the naive per-cycle tick loop instead of quiescence-aware skip-ahead (bit-identical results, slower)")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario file (JSON) instead of the flag-built co-location")
+	quick := flag.Bool("quick", false, "with -scenario: use the fast (coarser) calibration scale")
+	quiet := flag.Bool("quiet", false, "with -scenario: suppress calibration progress notes")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		scale := exp.Full()
+		if *quick {
+			scale = exp.Quick()
+		}
+		progress := io.Writer(os.Stderr)
+		if *quiet {
+			progress = nil
+		}
+		if err := runScenario(os.Stdout, progress, *scenarioPath, *cores, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	pol, ok := policies[*policyName]
 	if !ok {

@@ -1,0 +1,32 @@
+// Scenario mode: -scenario file.json runs a declarative scenario
+// (internal/scenario) end to end — validation, sweep expansion, calibration
+// and profiling as needed — and prints the per-unit summary table.
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"pivot/internal/exp"
+	"pivot/internal/machine"
+	"pivot/internal/scenario"
+)
+
+// runScenario loads, validates and executes one scenario file. cores picks
+// the machine when the scenario's machine stanza leaves cores unset; the
+// scale sets the run windows and calibration grid any unswept knobs default
+// to. Calibration progress notes go to progress (nil silences them).
+func runScenario(out, progress io.Writer, path string, cores int, scale exp.Scale) error {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	ctx := exp.NewContext(machine.KunpengConfig(cores), scale)
+	ctx.Out = progress
+	t, err := ctx.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, t.String())
+	return nil
+}

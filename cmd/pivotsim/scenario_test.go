@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pivot/internal/exp"
+)
+
+// TestRunScenarioEndToEnd drives the checked-in CI smoke scenario through
+// scenario mode: load, validate, expand (policy sweep) and simulate, then
+// render the per-unit table. The scenario pins inter-arrivals and short run
+// windows so no calibration or profiling runs.
+func TestRunScenarioEndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := runScenario(&out, nil, filepath.Join("..", "..", "examples", "scenarios", "smoke.json"),
+		4, exp.Quick())
+	if err != nil {
+		t.Fatalf("runScenario: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Scenario smoke (2 run units)") {
+		t.Errorf("missing summary header:\n%s", text)
+	}
+	for _, unit := range []string{"policy=Default", "policy=FullPath"} {
+		if !strings.Contains(text, unit) {
+			t.Errorf("missing run unit %q:\n%s", unit, text)
+		}
+	}
+}
+
+// TestRunScenarioMalformed: a scenario file with an unknown field must fail
+// with an error naming the precise field path, and an invalid value must fail
+// validation the same way.
+func TestRunScenarioMalformed(t *testing.T) {
+	cases := []struct {
+		name, body, wantPath string
+	}{
+		{
+			name: "unknown field",
+			body: `{"version":1,"name":"x","policy":"Default","warmup":100,"measure":100,
+			       "tasks":[{"kind":"lc","app":"silo","interarrival":1000,"typo_field":3}]}`,
+			wantPath: `tasks[0]: unknown field "typo_field"`,
+		},
+		{
+			name: "bad value",
+			body: `{"version":1,"name":"x","policy":"Default","warmup":100,"measure":100,
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":250}]}`,
+			wantPath: "tasks[0].load_pct",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			err := runScenario(&out, nil, path, 4, exp.Quick())
+			if err == nil {
+				t.Fatal("malformed scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantPath) {
+				t.Errorf("error %q does not name field path %q", err, tc.wantPath)
+			}
+		})
+	}
+}

@@ -66,17 +66,17 @@ func TestCheckpointDirGating(t *testing.T) {
 	m := machine.MustNew(ctx.Cfg, machine.Options{Policy: machine.PolicyDefault},
 		[]machine.TaskSpec{{Kind: machine.TaskLC, LC: workload.LCApps()[workload.Silo], MeanInterarrival: 5000, Seed: 1}})
 
-	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodDefault()}); dir == "" {
+	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodDefault()}, ctx.Scale.Warmup, ctx.Scale.Measure); dir == "" {
 		t.Error("plain run denied a checkpoint dir")
 	}
-	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodPARTIES()}); dir != "" {
+	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodPARTIES()}, ctx.Scale.Warmup, ctx.Scale.Measure); dir != "" {
 		t.Error("manager run granted a checkpoint dir")
 	}
-	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodDefault(), Faults: &faultinject.Config{}}); dir != "" {
+	if dir := ctx.checkpointDir(m, RunSpec{Method: MethodDefault(), Faults: &faultinject.Config{}}, ctx.Scale.Warmup, ctx.Scale.Measure); dir != "" {
 		t.Error("fault-injected run granted a checkpoint dir")
 	}
-	a := ctx.checkpointDir(m, RunSpec{Method: MethodDefault()})
-	b := ctx.checkpointDir(m, RunSpec{Method: MethodMBA(40)})
+	a := ctx.checkpointDir(m, RunSpec{Method: MethodDefault()}, ctx.Scale.Warmup, ctx.Scale.Measure)
+	b := ctx.checkpointDir(m, RunSpec{Method: MethodMBA(40)}, ctx.Scale.Warmup, ctx.Scale.Measure)
 	if a == b {
 		t.Error("different methods share a checkpoint dir")
 	}

@@ -137,6 +137,12 @@ type shared struct {
 	pots    map[string]*cell[profile.CriticalSet]
 	beAlone map[string]*cell[float64]
 
+	// Scenario-registered custom applications, resolved by lcParams/beParams
+	// ahead of the workload catalogue (see RegisterScenarioApps).
+	appMu    sync.RWMutex
+	customLC map[string]workload.LCParams
+	customBE map[string]workload.BEParams
+
 	logMu sync.Mutex
 
 	statsMu   sync.Mutex
@@ -211,9 +217,11 @@ func NewContext(cfg machine.Config, scale Scale) *Context {
 		Cfg:   cfg,
 		Scale: scale,
 		sh: &shared{
-			calib:   make(map[string]*cell[*AppCalib]),
-			pots:    make(map[string]*cell[profile.CriticalSet]),
-			beAlone: make(map[string]*cell[float64]),
+			calib:    make(map[string]*cell[*AppCalib]),
+			pots:     make(map[string]*cell[profile.CriticalSet]),
+			beAlone:  make(map[string]*cell[float64]),
+			customLC: make(map[string]workload.LCParams),
+			customBE: make(map[string]workload.BEParams),
 		},
 	}
 }
@@ -257,7 +265,7 @@ func (ctx *Context) Potential(app string) profile.CriticalSet {
 	c := lookup(ctx.sh, ctx.sh.pots, app)
 	c.once.Do(func() {
 		ctx.logf("offline profiling %s ...", app)
-		c.v = machine.ProfileLC(ctx.Cfg, workload.LCApps()[app], ctx.Scale.MaxBEThreads, ctx.Scale.Seed)
+		c.v = machine.ProfileLC(ctx.Cfg, ctx.lcParams(app), ctx.Scale.MaxBEThreads, ctx.Scale.Seed)
 	})
 	return c.v
 }
@@ -275,7 +283,7 @@ func (ctx *Context) Calib(app string) (*AppCalib, error) {
 
 func (ctx *Context) computeCalib(app string) (*AppCalib, error) {
 	ctx.logf("calibrating %s (load-latency sweep)...", app)
-	params := workload.LCApps()[app]
+	params := ctx.lcParams(app)
 	c := &AppCalib{Name: app, App: params}
 	rc := ctx.runContext()
 	opt := ctx.guard(machine.Options{Policy: machine.PolicyDefault})
@@ -344,7 +352,7 @@ func (ctx *Context) BEAloneIPC(app string, threads int) (float64, error) {
 	key := fmt.Sprintf("%s/%d", app, threads)
 	c := lookup(ctx.sh, ctx.sh.beAlone, key)
 	c.once.Do(func() {
-		be := workload.BEApps()[app]
+		be := ctx.beParams(app)
 		var tasks []machine.TaskSpec
 		for i := 0; i < threads; i++ {
 			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be, Seed: ctx.Scale.Seed + uint64(10+i)})

@@ -6,6 +6,7 @@ import (
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/metrics"
+	"pivot/internal/scenario"
 	"pivot/internal/workload"
 )
 
@@ -42,17 +43,19 @@ func (ctx *Context) Hybrid() (*metrics.Table, error) {
 		Title:   "Extension (§VII): hybrid strong isolation — mean/p95/BE throughput",
 		Headers: []string{"app", "method", "mean", "mean target", "p95", "BE ipc", "MBA lvl"},
 	}
-	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-	for _, app := range []string{workload.Masstree, workload.Moses} {
+	sc := scenario.MustBuiltin("hybrid")
+	load := sc.Tasks[0].LoadPct
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal, err := ctx.Calib(app)
 		if err != nil {
 			return nil, err
 		}
-		meanTarget := 1.5 * cal.AloneMeanAt(70)
+		meanTarget := 1.5 * cal.AloneMeanAt(load)
 
 		// PIVOT alone.
-		r, err := ctx.Run(RunSpec{Method: MethodPIVOT(),
-			LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes})
+		r, err := ctx.Run(RunSpec{Method: mustMethod(sc.Policy),
+			LCs: []LCSpec{{App: app, LoadPct: load}}, BEs: bes})
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +64,7 @@ func (ctx *Context) Hybrid() (*metrics.Table, error) {
 			fmt.Sprint(r.P95[0]), fmt.Sprintf("%.4f", r.BEIPC), "100")
 
 		// PIVOT + hybrid strong isolation.
-		hr, lvl, err := ctx.runHybrid(app, 70, bes, meanTarget)
+		hr, lvl, err := ctx.runHybrid(app, load, bes, meanTarget)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +89,7 @@ func (ctx *Context) runHybrid(app string, pct int, bes []BESpec, meanTarget floa
 		Seed:             ctx.Scale.Seed,
 	}}
 	for _, be := range bes {
-		a := workload.BEApps()[be.App]
+		a := ctx.beParams(be.App)
 		for i := 0; i < be.Threads && len(tasks) < ctx.Cfg.Cores; i++ {
 			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: a,
 				Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
@@ -120,7 +123,11 @@ func (ctx *Context) NoProfile() (*metrics.Table, error) {
 		Title:   "Extension (§VII): PIVOT without offline profiling",
 		Headers: []string{"app", "footprint", "variant", "p95/QoS", "QoS", "BE ipc"},
 	}
-	for _, app := range []string{workload.Microservice, workload.Moses} {
+	sc := scenario.MustBuiltin("noprofile")
+	load := sc.Tasks[0].LoadPct
+	beApp := sc.Tasks[1].App
+	nBE := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal, err := ctx.Calib(app)
 		if err != nil {
 			return nil, err
@@ -131,16 +138,16 @@ func (ctx *Context) NoProfile() (*metrics.Table, error) {
 		run := func(withProfile bool) (RunResult, error) {
 			tasks := []machine.TaskSpec{{
 				Kind: machine.TaskLC, LC: cal.App,
-				MeanInterarrival: cal.MeanIAAt(70),
-				ExpectedBW:       0.9 * cal.AloneBWAt(70),
+				MeanInterarrival: cal.MeanIAAt(load),
+				ExpectedBW:       0.9 * cal.AloneBWAt(load),
 				Seed:             ctx.Scale.Seed,
 			}}
 			if withProfile {
 				tasks[0].Potential = ctx.Potential(app)
 			}
-			for i := 0; i < ctx.Scale.MaxBEThreads && len(tasks) < ctx.Cfg.Cores; i++ {
+			for i := 0; i < nBE && len(tasks) < ctx.Cfg.Cores; i++ {
 				tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE,
-					BE:   workload.BEApps()[workload.IBench],
+					BE:   ctx.beParams(beApp),
 					Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
 			}
 			m, err := machine.New(ctx.Cfg, ctx.guard(machine.Options{Policy: machine.PolicyPIVOT}), tasks)
@@ -181,13 +188,15 @@ func (ctx *Context) PrefetchAblation() (*metrics.Table, error) {
 		Title:   "Ablation: explicit stride prefetcher (DESIGN.md §6.1)",
 		Headers: []string{"app", "prefetch", "p95/QoS", "BE ipc", "BW util"},
 	}
+	sc := scenario.MustBuiltin("prefetch")
+	load := sc.Tasks[0].LoadPct
 	rn := ctx.runner()
-	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-	for _, app := range []string{workload.ImgDNN, workload.Masstree} {
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal := rn.calib(app)
-		for _, pf := range []bool{false, true} {
-			r := rn.run(RunSpec{Method: MethodPIVOT(),
-				LCs: []LCSpec{{App: app, LoadPct: 70}}, BEs: bes,
+		for _, pf := range sc.MustAxis("options.prefetch").Bools() {
+			r := rn.run(RunSpec{Method: mustMethod(sc.Policy),
+				LCs: []LCSpec{{App: app, LoadPct: load}}, BEs: bes,
 				Opt: machine.Options{Prefetch: pf}})
 			t.AddRow(app, fmt.Sprint(pf),
 				fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)),

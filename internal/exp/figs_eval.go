@@ -4,27 +4,27 @@ import (
 	"fmt"
 
 	"pivot/internal/metrics"
-	"pivot/internal/workload"
+	"pivot/internal/scenario"
 )
-
-// loadSweep is the LC load grid of §VI-A1 (percent of max load).
-var loadSweep = []int{10, 30, 50, 70, 90}
 
 // Fig13 — co-location of 1 LC task and iBench: max BE throughput (% of
 // 7-thread-alone) at each LC load, per method, with QoS met.
 func (ctx *Context) Fig13() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig13")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 13: max iBench throughput (%) vs LC load, QoS met",
-		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
+		Headers: append([]string{"app", "load"}, policies...),
 	}
 	rn := ctx.runner()
-	n := ctx.Scale.MaxBEThreads
-	for _, app := range workload.LCNames() {
-		for _, pct := range loadSweep {
+	beApp := sc.Tasks[1].App
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		for _, pct := range sc.MustAxis("tasks[0].load_pct").Ints() {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
-			for _, mth := range fig13Methods() {
-				v := rn.maxBE(mth, lcs, workload.IBench, n)
+			for _, pol := range policies {
+				v := rn.maxBE(mustMethod(pol), lcs, beApp, n)
 				cells = append(cells, fmt.Sprintf("%.0f", v*100))
 			}
 			t.AddRow(cells...)
@@ -36,19 +36,22 @@ func (ctx *Context) Fig13() (*metrics.Table, error) {
 // Fig13EMU — the EMU summary quoted in §VI-A1 (Default 86.1%, PARTIES
 // 116.0%, CLITE 116.3%, PIVOT 133.2% in the paper).
 func (ctx *Context) Fig13EMU() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig13emu")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 13 summary: average EMU (%) across apps and loads",
-		Headers: []string{"Default", "PARTIES", "CLITE", "PIVOT"},
+		Headers: policies,
 	}
 	rn := ctx.runner()
-	n := ctx.Scale.MaxBEThreads
-	sums := make([]float64, 4)
+	beApp := sc.Tasks[1].App
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	sums := make([]float64, len(policies))
 	count := 0
-	for _, app := range workload.LCNames() {
-		for _, pct := range loadSweep {
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		for _, pct := range sc.MustAxis("tasks[0].load_pct").Ints() {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
-			for mi, mth := range fig13Methods() {
-				v := rn.maxBE(mth, lcs, workload.IBench, n)
+			for mi, pol := range policies {
+				v := rn.maxBE(mustMethod(pol), lcs, beApp, n)
 				emu := 0.0
 				if v > 0 {
 					emu = float64(pct) + v*100
@@ -58,7 +61,7 @@ func (ctx *Context) Fig13EMU() (*metrics.Table, error) {
 			count++
 		}
 	}
-	cells := make([]string, 4)
+	cells := make([]string, len(sums))
 	for i := range sums {
 		cells[i] = fmt.Sprintf("%.1f", sums[i]/float64(count))
 	}
@@ -69,33 +72,27 @@ func (ctx *Context) Fig13EMU() (*metrics.Table, error) {
 // Fig14 — the LC tail latency behind Figure 13: normalized p95 at each load
 // with the full 7-thread iBench stressor.
 func (ctx *Context) Fig14() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig14")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 14: normalized p95 with 7-thread iBench (<=1.00 meets QoS)",
-		Headers: []string{"app", "load", "Default", "PARTIES", "CLITE", "PIVOT"},
+		Headers: append([]string{"app", "load"}, policies...),
 	}
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal := rn.calib(app)
-		for _, pct := range loadSweep {
+		for _, pct := range sc.MustAxis("tasks[0].load_pct").Ints() {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
-			bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
-			for _, mth := range fig13Methods() {
-				r := rn.run(RunSpec{Method: mth, LCs: lcs, BEs: bes})
+			for _, pol := range policies {
+				r := rn.run(RunSpec{Method: mustMethod(pol), LCs: lcs, BEs: bes})
 				cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 			}
 			t.AddRow(cells...)
 		}
 	}
 	return t, rn.err
-}
-
-// fig15Scenarios are the 2-LC + iBench heatmaps of Figure 15.
-func fig15Scenarios() [][2]string {
-	return [][2]string{
-		{workload.Xapian, workload.ImgDNN},
-		{workload.Moses, workload.ImgDNN},
-	}
 }
 
 // gridLoads is the 2-D load grid used for the heatmap figures.
@@ -109,21 +106,25 @@ func (ctx *Context) gridLoads() []int {
 // Fig15 — 2 LC tasks + iBench: max BE throughput (% of 6-thread alone) per
 // (load1, load2) cell and method, both LC tasks meeting QoS.
 func (ctx *Context) Fig15() ([]*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig15")
+	policies := sc.MustAxis("policy").Strings()
+	beApp := sc.Tasks[2].App
+	beThreads := sc.Tasks[2].ThreadCount()
 	var out []*metrics.Table
 	rn := ctx.runner()
 	grid := ctx.gridLoads()
-	for _, sc := range fig15Scenarios() {
+	for _, pair := range sc.MustTupleAxis().Tuples() {
 		t := &metrics.Table{
 			Title: fmt.Sprintf("Figure 15: %s + %s + iBench — max BE throughput (%%)",
-				sc[0], sc[1]),
-			Headers: []string{sc[0], sc[1], "Default", "PARTIES", "CLITE", "PIVOT"},
+				pair[0], pair[1]),
+			Headers: append([]string{pair[0], pair[1]}, policies...),
 		}
 		for _, l1 := range grid {
 			for _, l2 := range grid {
-				lcs := []LCSpec{{App: sc[0], LoadPct: l1}, {App: sc[1], LoadPct: l2}}
+				lcs := []LCSpec{{App: pair[0], LoadPct: l1}, {App: pair[1], LoadPct: l2}}
 				cells := []string{fmt.Sprintf("%d%%", l1), fmt.Sprintf("%d%%", l2)}
-				for _, mth := range fig13Methods() {
-					v := rn.maxBE(mth, lcs, workload.IBench, 6)
+				for _, pol := range policies {
+					v := rn.maxBE(mustMethod(pol), lcs, beApp, beThreads)
 					cells = append(cells, fmt.Sprintf("%.0f", v*100))
 				}
 				t.AddRow(cells...)
@@ -134,17 +135,6 @@ func (ctx *Context) Fig15() ([]*metrics.Table, error) {
 	return out, rn.err
 }
 
-// fig16Scenarios pair an LC mix with a single CloudSuite BE task.
-func fig16Scenarios() []struct {
-	LC1, LC2, BE string
-} {
-	return []struct{ LC1, LC2, BE string }{
-		{workload.Xapian, workload.ImgDNN, workload.DataAn},
-		{workload.Moses, workload.Silo, workload.GraphAn},
-		{workload.Masstree, workload.Xapian, workload.InMemAn},
-	}
-}
-
 // Fig16 — throughput of a single CloudSuite BE task (normalised to running
 // alone on the same thread count) and average memory bandwidth, co-located
 // with 2 LC tasks at 50% load.
@@ -153,39 +143,35 @@ func (ctx *Context) Fig16() (*metrics.Table, error) {
 		Title:   "Figure 16: CloudSuite BE throughput (norm) + avg bandwidth, 2 LC @40%",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	if err := ctx.fig16Body(t, fig13Methods()[1:]); err != nil { // PARTIES, CLITE, PIVOT
+	if err := ctx.fig16Body(t, scenario.MustBuiltin("fig16")); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-func (ctx *Context) fig16Body(t *metrics.Table, methods []Method) error {
+// fig16Body renders a fig16-shaped scenario (2 LC + 1 CloudSuite BE triples
+// on a tuple axis). The BE task fills the cores the two LC tasks leave free,
+// whatever the scenario declares.
+func (ctx *Context) fig16Body(t *metrics.Table, sc *scenario.Scenario) error {
 	rn := ctx.runner()
+	policies := sc.MustAxis("policy").Strings()
+	loads := [2]int{sc.Tasks[0].LoadPct, sc.Tasks[1].LoadPct}
 	beThreads := ctx.Cfg.Cores - 2
-	for _, sc := range fig16Scenarios() {
-		base := rn.beAlone(sc.BE, beThreads)
-		for _, mth := range methods {
+	for _, tr := range sc.MustTupleAxis().Tuples() {
+		lc1, lc2, be := tr[0], tr[1], tr[2]
+		base := rn.beAlone(be, beThreads)
+		for _, pol := range policies {
+			mth := mustMethod(pol)
 			r := rn.run(RunSpec{Method: mth,
-				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
-				BEs: []BESpec{{App: sc.BE, Threads: beThreads}}})
-			t.AddRow(fmt.Sprintf("%s+%s/%s", sc.LC1, sc.LC2, sc.BE), mth.Name,
+				LCs: []LCSpec{{App: lc1, LoadPct: loads[0]}, {App: lc2, LoadPct: loads[1]}},
+				BEs: []BESpec{{App: be, Threads: beThreads}}})
+			t.AddRow(fmt.Sprintf("%s+%s/%s", lc1, lc2, be), mth.Name,
 				fmt.Sprintf("%.2f", r.BEIPC/base),
 				fmt.Sprintf("%.3f", r.BWUtil),
 				qosMark(r))
 		}
 	}
 	return rn.err
-}
-
-// fig17Scenarios pair an LC mix with two CloudSuite BE tasks.
-func fig17Scenarios() []struct {
-	LC1, LC2, BE1, BE2 string
-} {
-	return []struct{ LC1, LC2, BE1, BE2 string }{
-		{workload.Xapian, workload.ImgDNN, workload.DataAn, workload.GraphAn},
-		{workload.Moses, workload.Silo, workload.GraphAn, workload.InMemAn},
-		{workload.Masstree, workload.Xapian, workload.DataAn, workload.InMemAn},
-	}
 }
 
 // Fig17 — 2 LC + 2 BE CloudSuite tasks: normalised throughput of the two BE
@@ -195,22 +181,28 @@ func (ctx *Context) Fig17() (*metrics.Table, error) {
 		Title:   "Figure 17: 2 LC + 2 BE (CloudSuite) — BE throughput (norm) + bandwidth",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	if err := ctx.fig17Body(t, fig13Methods()[1:]); err != nil {
+	if err := ctx.fig17Body(t, scenario.MustBuiltin("fig17")); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-func (ctx *Context) fig17Body(t *metrics.Table, methods []Method) error {
+// fig17Body renders a fig17-shaped scenario (2 LC + 2 CloudSuite BE quads on
+// a tuple axis), splitting the free cores evenly between the two BE tasks.
+func (ctx *Context) fig17Body(t *metrics.Table, sc *scenario.Scenario) error {
 	rn := ctx.runner()
+	policies := sc.MustAxis("policy").Strings()
+	loads := [2]int{sc.Tasks[0].LoadPct, sc.Tasks[1].LoadPct}
 	per := (ctx.Cfg.Cores - 2) / 2
-	for _, sc := range fig17Scenarios() {
-		base := rn.beAlone(sc.BE1, per) + rn.beAlone(sc.BE2, per)
-		for _, mth := range methods {
+	for _, qd := range sc.MustTupleAxis().Tuples() {
+		lc1, lc2, be1, be2 := qd[0], qd[1], qd[2], qd[3]
+		base := rn.beAlone(be1, per) + rn.beAlone(be2, per)
+		for _, pol := range policies {
+			mth := mustMethod(pol)
 			r := rn.run(RunSpec{Method: mth,
-				LCs: []LCSpec{{App: sc.LC1, LoadPct: 40}, {App: sc.LC2, LoadPct: 40}},
-				BEs: []BESpec{{App: sc.BE1, Threads: per}, {App: sc.BE2, Threads: per}}})
-			t.AddRow(fmt.Sprintf("%s+%s/%s+%s", sc.LC1, sc.LC2, sc.BE1, sc.BE2), mth.Name,
+				LCs: []LCSpec{{App: lc1, LoadPct: loads[0]}, {App: lc2, LoadPct: loads[1]}},
+				BEs: []BESpec{{App: be1, Threads: per}, {App: be2, Threads: per}}})
+			t.AddRow(fmt.Sprintf("%s+%s/%s+%s", lc1, lc2, be1, be2), mth.Name,
 				fmt.Sprintf("%.2f", r.BEIPC/base),
 				fmt.Sprintf("%.3f", r.BWUtil),
 				qosMark(r))
@@ -226,32 +218,23 @@ func qosMark(r RunResult) string {
 	return "VIOLATED"
 }
 
-// fig18Pairs are the five representative 2-LC co-locations of Figure 18.
-func fig18Pairs() [][2]string {
-	return [][2]string{
-		{workload.Xapian, workload.ImgDNN},
-		{workload.Moses, workload.ImgDNN},
-		{workload.Silo, workload.Masstree},
-		{workload.Moses, workload.Silo},
-		{workload.ImgDNN, workload.Moses},
-	}
-}
-
 // Fig18 — 2-LC co-location frontier: with the first task at a given load,
 // the maximum load (% of max) the second task can run at with both meeting
 // QoS.
 func (ctx *Context) Fig18() ([]*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig18")
+	policies := sc.MustAxis("policy").Strings()
 	var out []*metrics.Table
 	rn := ctx.runner()
-	for _, pair := range fig18Pairs() {
+	for _, pair := range sc.MustTupleAxis().Tuples() {
 		t := &metrics.Table{
 			Title:   fmt.Sprintf("Figure 18: max %s load (%%) vs %s load", pair[1], pair[0]),
-			Headers: []string{pair[0] + " load", "Default", "PARTIES", "CLITE", "PIVOT"},
+			Headers: append([]string{pair[0] + " load"}, policies...),
 		}
 		for _, l1 := range ctx.gridLoads() {
 			cells := []string{fmt.Sprintf("%d%%", l1)}
-			for _, mth := range fig13Methods() {
-				cells = append(cells, fmt.Sprintf("%d", rn.maxSecondLoad(mth, pair[0], l1, pair[1])))
+			for _, pol := range policies {
+				cells = append(cells, fmt.Sprintf("%d", rn.maxSecondLoad(mustMethod(pol), pair[0], l1, pair[1])))
 			}
 			t.AddRow(cells...)
 		}
@@ -279,21 +262,24 @@ func (rn *runner) maxSecondLoad(mth Method, app1 string, load1 int, app2 string)
 // Fig19 — 3-LC co-location: the (Xapian, Masstree) frontier with Img-DNN at
 // low (10%) and high (70%) load.
 func (ctx *Context) Fig19() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig19")
+	policies := sc.MustAxis("policy").Strings()
+	xapian, masstree, imgdnn := sc.Tasks[0].App, sc.Tasks[1].App, sc.Tasks[2].App
 	t := &metrics.Table{
 		Title:   "Figure 19: max Masstree load (%) vs Xapian load, with Img-DNN",
-		Headers: []string{"imgdnn", "xapian", "Default", "PARTIES", "CLITE", "PIVOT"},
+		Headers: append([]string{"imgdnn", "xapian"}, policies...),
 	}
 	rn := ctx.runner()
-	for _, imgLoad := range []int{10, 70} {
+	for _, imgLoad := range sc.MustAxis("tasks[2].load_pct").Ints() {
 		for _, xpLoad := range ctx.gridLoads() {
 			cells := []string{fmt.Sprintf("%d%%", imgLoad), fmt.Sprintf("%d%%", xpLoad)}
-			for _, mth := range fig13Methods() {
+			for _, pol := range policies {
 				best := 0
 				for l := 100; l >= 10 && rn.err == nil; l -= 15 {
-					r := rn.run(RunSpec{Method: mth, LCs: []LCSpec{
-						{App: workload.Xapian, LoadPct: xpLoad},
-						{App: workload.Masstree, LoadPct: l},
-						{App: workload.ImgDNN, LoadPct: imgLoad},
+					r := rn.run(RunSpec{Method: mustMethod(pol), LCs: []LCSpec{
+						{App: xapian, LoadPct: xpLoad},
+						{App: masstree, LoadPct: l},
+						{App: imgdnn, LoadPct: imgLoad},
 					}})
 					if r.AllQoS {
 						best = l

@@ -6,34 +6,39 @@ import (
 	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
+	"pivot/internal/scenario"
 	"pivot/internal/workload"
 )
-
-// motivLoadPct is the LC operating point of the §II-B motivation study:
-// 70% of max load, co-located with the 7-thread iBench stressor.
-const motivLoadPct = 70
 
 // Fig01 — normalized 95th-percentile latency of the LC tasks under Default,
 // MBA and MPAM (a value above 1.0 on the QoS-normalised scale is a
 // violation). Shows MPAM failing to enforce QoS and MBA succeeding.
 func (ctx *Context) Fig01() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig1")
+	apps := sc.MustAxis("tasks[0].app").Strings()
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 1: normalized p95 latency vs QoS (>1.00 violates)",
-		Headers: []string{"app", "Default", "MBA", "MPAM", "PIVOT"},
+		Headers: append([]string{"app"}, policies...),
 	}
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range apps {
 		cal := rn.calib(app)
-		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
-		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-		norm := func(r RunResult) string {
-			return fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget))
+		lcs := []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}
+		cells := []string{app}
+		for _, pol := range policies {
+			var r RunResult
+			if pol == "MBA" {
+				// MBA's level is searched, not declared: the best-of-ladder
+				// sweep lives in the harness.
+				r, _ = rn.bestMBA(lcs, bes)
+			} else {
+				r = rn.run(RunSpec{Method: mustMethod(pol), LCs: lcs, BEs: bes})
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 		}
-		def := rn.run(RunSpec{Method: MethodDefault(), LCs: lcs, BEs: bes})
-		mba, _ := rn.bestMBA(lcs, bes)
-		mpam := rn.run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
-		piv := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
-		t.AddRow(app, norm(def), norm(mba), norm(mpam), norm(piv))
+		t.AddRow(cells...)
 	}
 	return t, rn.err
 }
@@ -41,21 +46,26 @@ func (ctx *Context) Fig01() (*metrics.Table, error) {
 // Fig02 — memory bandwidth utilisation of MBA, MPAM, FullPath and PIVOT in
 // the same scenario. Shows the utilisation ordering MBA < FullPath < PIVOT.
 func (ctx *Context) Fig02() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig2")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 2: memory bandwidth utilisation (fraction of peak)",
-		Headers: []string{"app", "MBA", "MPAM", "FullPath", "PIVOT"},
+		Headers: append([]string{"app"}, policies...),
 	}
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
-		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
-		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-		mba, lvl := rn.bestMBA(lcs, bes)
-		mpam := rn.run(RunSpec{Method: MethodMPAM(), LCs: lcs, BEs: bes})
-		full := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
-		piv := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes})
-		t.AddRowf(app,
-			fmt.Sprintf("%.3f (lvl %d)", mba.BWUtil, lvl),
-			mpam.BWUtil, full.BWUtil, piv.BWUtil)
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		lcs := []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}
+		cells := []any{app}
+		for _, pol := range policies {
+			if pol == "MBA" {
+				r, lvl := rn.bestMBA(lcs, bes)
+				cells = append(cells, fmt.Sprintf("%.3f (lvl %d)", r.BWUtil, lvl))
+			} else {
+				cells = append(cells, rn.run(RunSpec{Method: mustMethod(pol), LCs: lcs, BEs: bes}).BWUtil)
+			}
+		}
+		t.AddRowf(cells...)
 	}
 	return t, rn.err
 }
@@ -63,19 +73,26 @@ func (ctx *Context) Fig02() (*metrics.Table, error) {
 // Fig03 — maximum normalised iBench throughput with no QoS violation
 // (normalised to 7-thread iBench running alone).
 func (ctx *Context) Fig03() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig3")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 3: max iBench throughput under QoS (vs 7-thread alone)",
-		Headers: []string{"app", "MBA", "MPAM", "FullPath", "PIVOT"},
+		Headers: append([]string{"app"}, policies...),
 	}
 	rn := ctx.runner()
-	n := ctx.Scale.MaxBEThreads
-	for _, app := range workload.LCNames() {
-		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
-		t.AddRowf(app,
-			rn.maxBEMBA(lcs, workload.IBench, n),
-			rn.maxBE(MethodMPAM(), lcs, workload.IBench, n),
-			rn.maxBE(MethodFullPath(), lcs, workload.IBench, n),
-			rn.maxBE(MethodPIVOT(), lcs, workload.IBench, n))
+	beApp := sc.Tasks[1].App
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		lcs := []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}
+		cells := []any{app}
+		for _, pol := range policies {
+			if pol == "MBA" {
+				cells = append(cells, rn.maxBEMBA(lcs, beApp, n))
+			} else {
+				cells = append(cells, rn.maxBE(mustMethod(pol), lcs, beApp, n))
+			}
+		}
+		t.AddRowf(cells...)
 	}
 	return t, rn.err
 }
@@ -89,7 +106,8 @@ func (ctx *Context) Fig05() (*metrics.Table, error) {
 		Headers: []string{"scenario", "L2", "Interconnect", "LLC", "Bus",
 			"BWCtrl", "MemCtrl", "DRAM", "Resp", "total"},
 	}
-	app := workload.Masstree
+	sc := scenario.MustBuiltin("fig5")
+	app := sc.Tasks[0].App
 	cal, err := ctx.Calib(app)
 	if err != nil {
 		return nil, err
@@ -102,7 +120,7 @@ func (ctx *Context) Fig05() (*metrics.Table, error) {
 	row := func(name string, mth Method, bes []BESpec) error {
 		opt := machine.Options{}
 		r, err := ctx.runWithSplit(RunSpec{Method: mth,
-			LCs: []LCSpec{{App: app, LoadPct: motivLoadPct}}, BEs: bes, Opt: opt}, chase)
+			LCs: []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}, BEs: bes, Opt: opt}, chase)
 		if err != nil {
 			return err
 		}
@@ -117,7 +135,7 @@ func (ctx *Context) Fig05() (*metrics.Table, error) {
 		t.AddRow(cells...)
 		return nil
 	}
-	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
 	if err := row("Run Alone", MethodDefault(), nil); err != nil {
 		return nil, err
 	}
@@ -149,7 +167,7 @@ func (ctx *Context) runWithSplit(spec RunSpec, filter map[uint64]bool) (RunResul
 		})
 	}
 	for _, be := range spec.BEs {
-		app := workload.BEApps()[be.App]
+		app := ctx.beParams(be.App)
 		for i := 0; i < be.Threads && len(tasks) < ctx.Cfg.Cores; i++ {
 			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: app,
 				Seed: ctx.Scale.Seed + uint64(10+len(tasks))})
@@ -188,18 +206,24 @@ func chaseSetFor(app workload.LCParams, seed uint64) map[uint64]bool {
 // full-path prioritisation keeps every LC task within QoS even at the
 // highest contention.
 func (ctx *Context) Fig06() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig6")
+	threads := sc.MustAxis("tasks[1].threads").Ints()
+	headers := []string{"app"}
+	for _, n := range threads {
+		headers = append(headers, fmt.Sprintf("%d thr", n))
+	}
 	t := &metrics.Table{
 		Title:   "Figure 6: normalized p95 under FullPath vs #iBench threads",
-		Headers: []string{"app", "1 thr", "3 thr", "5 thr", "7 thr"},
+		Headers: headers,
 	}
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal := rn.calib(app)
 		cells := []string{app}
-		for _, n := range []int{1, 3, 5, 7} {
-			r := rn.run(RunSpec{Method: MethodFullPath(),
-				LCs: []LCSpec{{App: app, LoadPct: motivLoadPct}},
-				BEs: []BESpec{{App: workload.IBench, Threads: n}}})
+		for _, n := range threads {
+			r := rn.run(RunSpec{Method: mustMethod(sc.Policy),
+				LCs: []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}},
+				BEs: []BESpec{{App: sc.Tasks[1].App, Threads: n}}})
 			cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 		}
 		t.AddRow(cells...)
@@ -210,21 +234,29 @@ func (ctx *Context) Fig06() (*metrics.Table, error) {
 // Fig07 — leave-one-out: normalized p95 when one MSC does not enforce
 // priority. QoS violations appear whenever any single component opts out.
 func (ctx *Context) Fig07() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig7")
+	mscs := sc.MustAxis("options.disable_msc").Strings() // "" = all enforce
+	headers := []string{"app"}
+	for _, name := range mscs {
+		if name == "" {
+			headers = append(headers, "all MSCs")
+		} else {
+			headers = append(headers, "-"+name)
+		}
+	}
 	t := &metrics.Table{
 		Title:   "Figure 7: normalized p95 with one MSC not enforcing priority",
-		Headers: []string{"app", "all MSCs", "-Interconnect", "-Bus", "-BWCtrl", "-MemCtrl"},
+		Headers: headers,
 	}
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
 		cal := rn.calib(app)
-		lcs := []LCSpec{{App: app, LoadPct: motivLoadPct}}
-		bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
+		lcs := []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}
 		cells := []string{app}
-		all := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes})
-		cells = append(cells, fmt.Sprintf("%.2f", float64(all.P95[0])/float64(cal.QoSTarget)))
-		for _, msc := range mem.MSCs {
-			r := rn.run(RunSpec{Method: MethodFullPath(), LCs: lcs, BEs: bes,
-				Opt: machine.Options{DisableMSC: msc}})
+		for _, name := range mscs {
+			r := rn.run(RunSpec{Method: mustMethod(sc.Policy), LCs: lcs, BEs: bes,
+				Opt: optionsFor(scenario.Options{DisableMSC: name})})
 			cells = append(cells, fmt.Sprintf("%.2f", float64(r.P95[0])/float64(cal.QoSTarget)))
 		}
 		t.AddRow(cells...)
@@ -239,8 +271,8 @@ func (ctx *Context) Fig08() (*metrics.Table, error) {
 		Title:   "Figure 8: CDF — top static loads vs share of ROB stall cycles",
 		Headers: []string{"app", "loads", "top 5%", "top 10%", "top 20%", "top 50%"},
 	}
-	for _, app := range []string{workload.Silo, workload.Moses} {
-		prof := machine.RunProfilerOpt(ctx.Cfg, workload.LCApps()[app],
+	for _, app := range scenario.MustBuiltin("fig8").MustAxis("tasks[0].app").Strings() {
+		prof := machine.RunProfilerOpt(ctx.Cfg, ctx.lcParams(app),
 			ctx.Scale.MaxBEThreads, ctx.Scale.Seed, machine.ProfileCycles,
 			ctx.guard(machine.Options{}))
 		loadFrac, stallFrac := prof.CDF()
@@ -265,7 +297,7 @@ func (ctx *Context) Fig12() (*metrics.Table, error) {
 		Title:   "Figure 12: load-latency curves (run alone), knee and max load",
 		Headers: []string{"app", "load", "RPMC", "p95", "mean", "QoS", "maxLoad"},
 	}
-	for _, app := range workload.LCNames() {
+	for _, app := range scenario.MustBuiltin("fig12").MustAxis("tasks[0].app").Strings() {
 		cal, err := ctx.Calib(app)
 		if err != nil {
 			return nil, err

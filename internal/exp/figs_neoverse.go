@@ -5,37 +5,48 @@ import (
 
 	"pivot/internal/machine"
 	"pivot/internal/metrics"
-	"pivot/internal/workload"
+	"pivot/internal/scenario"
 )
 
-// neoverse builds a sibling context over the Table III machine, sharing the
+// sibling builds a context over another machine configuration, sharing the
 // scale, the robustness settings and the run context but recalibrating
 // everything (knees shift with the deeper ROB and faster LLC).
-func (ctx *Context) neoverse() *Context {
-	n := NewContext(machine.NeoverseConfig(ctx.Cfg.Cores), ctx.Scale)
+func (ctx *Context) sibling(cfg machine.Config) *Context {
+	n := NewContext(cfg, ctx.Scale)
 	n.Out = ctx.Out
 	n.Watchdog = ctx.Watchdog
 	n.Audit = ctx.Audit
+	n.Dense = ctx.Dense
 	n.runCtx = ctx.runCtx
 	return n
+}
+
+// neoverse is the Table III sibling machine.
+func (ctx *Context) neoverse() *Context {
+	return ctx.sibling(machine.NeoverseConfig(ctx.Cfg.Cores))
 }
 
 // Fig23 — Figure 13's 1 LC + iBench sweep on the ARM Neoverse-like CPU,
 // PIVOT vs CLITE.
 func (ctx *Context) Fig23() (*metrics.Table, error) {
-	nctx := ctx.neoverse()
+	sc := scenario.MustBuiltin("fig23")
+	nctx := ctx.ForScenario(sc)
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 23 (Neoverse): max iBench throughput (%) vs LC load",
-		Headers: []string{"app", "load", "CLITE", "PIVOT"},
+		Headers: append([]string{"app", "load"}, policies...),
 	}
 	rn := nctx.runner()
-	n := nctx.Scale.MaxBEThreads
-	for _, app := range workload.LCNames() {
-		for _, pct := range loadSweep {
+	beApp := sc.Tasks[1].App
+	n := nctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		for _, pct := range sc.MustAxis("tasks[0].load_pct").Ints() {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
-			t.AddRow(app, fmt.Sprintf("%d%%", pct),
-				fmt.Sprintf("%.0f", rn.maxBE(MethodCLITE(), lcs, workload.IBench, n)*100),
-				fmt.Sprintf("%.0f", rn.maxBE(MethodPIVOT(), lcs, workload.IBench, n)*100))
+			cells := []string{app, fmt.Sprintf("%d%%", pct)}
+			for _, pol := range policies {
+				cells = append(cells, fmt.Sprintf("%.0f", rn.maxBE(mustMethod(pol), lcs, beApp, n)*100))
+			}
+			t.AddRow(cells...)
 		}
 	}
 	return t, rn.err
@@ -43,12 +54,12 @@ func (ctx *Context) Fig23() (*metrics.Table, error) {
 
 // Fig24 — Figure 16's CloudSuite single-BE scenarios on Neoverse.
 func (ctx *Context) Fig24() (*metrics.Table, error) {
-	nctx := ctx.neoverse()
+	sc := scenario.MustBuiltin("fig24")
 	t := &metrics.Table{
 		Title:   "Figure 24 (Neoverse): CloudSuite BE throughput (norm), 2 LC @40%",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	if err := nctx.fig16Body(t, []Method{MethodCLITE(), MethodPIVOT()}); err != nil {
+	if err := ctx.ForScenario(sc).fig16Body(t, sc); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -56,12 +67,12 @@ func (ctx *Context) Fig24() (*metrics.Table, error) {
 
 // Fig25 — Figure 17's 2 LC + 2 BE scenarios on Neoverse.
 func (ctx *Context) Fig25() (*metrics.Table, error) {
-	nctx := ctx.neoverse()
+	sc := scenario.MustBuiltin("fig25")
 	t := &metrics.Table{
 		Title:   "Figure 25 (Neoverse): 2 LC + 2 BE throughput (norm) + bandwidth",
 		Headers: []string{"scenario", "method", "BE tput", "BW util", "QoS"},
 	}
-	if err := nctx.fig17Body(t, []Method{MethodCLITE(), MethodPIVOT()}); err != nil {
+	if err := ctx.ForScenario(sc).fig17Body(t, sc); err != nil {
 		return nil, err
 	}
 	return t, nil

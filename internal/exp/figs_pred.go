@@ -7,31 +7,29 @@ import (
 	"pivot/internal/metrics"
 	"pivot/internal/profile"
 	"pivot/internal/rrbp"
+	"pivot/internal/scenario"
 	"pivot/internal/sim"
-	"pivot/internal/workload"
 )
 
 // Fig20 — load-criticality prediction methods (§VI-B): max BE throughput
 // when the LC task meets QoS, comparing CBP (memory controller only),
 // Binary-CBP + full path, and PIVOT.
 func (ctx *Context) Fig20() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig20")
+	policies := sc.MustAxis("policy").Strings()
 	t := &metrics.Table{
 		Title:   "Figure 20: criticality predictors — max iBench throughput (%)",
-		Headers: []string{"app", "load", "CBP", "CBP+FullPath", "PIVOT"},
+		Headers: append([]string{"app", "load"}, policies...),
 	}
 	rn := ctx.runner()
-	n := ctx.Scale.MaxBEThreads
-	methods := []Method{
-		{Name: "CBP", Policy: machine.PolicyCBP},
-		{Name: "CBP+FullPath", Policy: machine.PolicyCBPFullPath},
-		MethodPIVOT(),
-	}
-	for _, app := range workload.LCNames() {
-		for _, pct := range []int{30, 70} {
+	beApp := sc.Tasks[1].App
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		for _, pct := range sc.MustAxis("tasks[0].load_pct").Ints() {
 			lcs := []LCSpec{{App: app, LoadPct: pct}}
 			cells := []string{app, fmt.Sprintf("%d%%", pct)}
-			for _, mth := range methods {
-				v := rn.maxBE(mth, lcs, workload.IBench, n)
+			for _, pol := range policies {
+				v := rn.maxBE(mustMethod(pol), lcs, beApp, n)
 				cells = append(cells, fmt.Sprintf("%.0f", v*100))
 			}
 			t.AddRow(cells...)
@@ -46,10 +44,11 @@ func (ctx *Context) Fig21() (*metrics.Table, error) {
 		Title:   "Figure 21: run-alone IPC and p95 at 70% max load",
 		Headers: []string{"app", "IPC", "p95 (cycles)", "QoS target"},
 	}
+	sc := scenario.MustBuiltin("fig21")
 	rn := ctx.runner()
-	for _, app := range workload.LCNames() {
-		r := rn.run(RunSpec{Method: MethodDefault(),
-			LCs: []LCSpec{{App: app, LoadPct: 70}}})
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		r := rn.run(RunSpec{Method: mustMethod(sc.Policy),
+			LCs: []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}})
 		t.AddRow(app,
 			fmt.Sprintf("%.3f", r.LCIPC[0]),
 			fmt.Sprint(r.P95[0]),
@@ -62,25 +61,33 @@ func (ctx *Context) Fig21() (*metrics.Table, error) {
 // 32, 64 and 128 entries, normalised to an unlimited (fully associative)
 // table, each LC at 70% load with the 7-thread iBench stressor.
 func (ctx *Context) Fig22() (*metrics.Table, error) {
+	sc := scenario.MustBuiltin("fig22")
+	entries := sc.MustAxis("options.rrbp_entries").Ints() // -1 = unlimited baseline
+	var sized []int
+	headers := []string{"app"}
+	for _, n := range entries {
+		if n > 0 {
+			sized = append(sized, n)
+			headers = append(headers, fmt.Sprint(n))
+		}
+	}
+	headers = append(headers, "QoS all")
 	t := &metrics.Table{
 		Title:   "Figure 22: BE throughput vs unlimited RRBP (1.00 = unlimited)",
-		Headers: []string{"app", "16", "32", "64", "128", "QoS all"},
+		Headers: headers,
 	}
 	rn := ctx.runner()
-	bes := []BESpec{{App: workload.IBench, Threads: ctx.Scale.MaxBEThreads}}
-	for _, app := range workload.LCNames() {
-		lcs := []LCSpec{{App: app, LoadPct: 70}}
+	bes := []BESpec{{App: sc.Tasks[1].App, Threads: ctx.beThreads(sc.Tasks[1].ThreadCount())}}
+	for _, app := range sc.MustAxis("tasks[0].app").Strings() {
+		lcs := []LCSpec{{App: app, LoadPct: sc.Tasks[0].LoadPct}}
 		runWith := func(entries int) RunResult {
-			cfg := rrbp.DefaultConfig()
-			cfg.Entries = entries
-			cfg.RefreshCycles = machine.ScaledRRBPRefresh
-			return rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs, BEs: bes,
-				Opt: machine.Options{RRBP: cfg}})
+			return rn.run(RunSpec{Method: mustMethod(sc.Policy), LCs: lcs, BEs: bes,
+				Opt: machine.Options{RRBP: rrbpSized(entries)}})
 		}
-		unl := runWith(0)
+		unl := runWith(-1)
 		cells := []string{app}
 		allQoS := unl.AllQoS
-		for _, n := range []int{16, 32, 64, 128} {
+		for _, n := range sized {
 			r := runWith(n)
 			ratio := 0.0
 			if unl.BEIPC > 0 {
@@ -145,28 +152,36 @@ func (ctx *Context) Sensitivity() ([]*metrics.Table, error) {
 	return out, nil
 }
 
-// avgEMUWithOpt runs the 5 training scenarios under PIVOT with the given
-// options and averages their EMU.
+// avgEMUWithOpt runs the training scenarios (the sens builtin) under the
+// scenario's policy with the given options and averages their EMU.
 func (ctx *Context) avgEMUWithOpt(opt machine.Options) (float64, error) {
+	sc := scenario.MustBuiltin("sens")
+	apps := sc.MustAxis("tasks[0].app").Strings()
+	load := sc.Tasks[0].LoadPct
+	beApp := sc.Tasks[1].App
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
 	rn := ctx.runner()
 	var sum float64
-	n := ctx.Scale.MaxBEThreads
-	for _, app := range workload.LCNames() {
-		lcs := []LCSpec{{App: app, LoadPct: 70}}
-		r := rn.run(RunSpec{Method: MethodPIVOT(), LCs: lcs,
-			BEs: []BESpec{{App: workload.IBench, Threads: n}}, Opt: opt})
-		sum += rn.emu(lcs, workload.IBench, n, n, r)
+	for _, app := range apps {
+		lcs := []LCSpec{{App: app, LoadPct: load}}
+		r := rn.run(RunSpec{Method: mustMethod(sc.Policy), LCs: lcs,
+			BEs: []BESpec{{App: beApp, Threads: n}}, Opt: opt})
+		sum += rn.emu(lcs, beApp, n, n, r)
 	}
-	return sum / float64(len(workload.LCNames())), rn.err
+	return sum / float64(len(apps)), rn.err
 }
 
 // avgEMUWithParams re-profiles every app with custom offline selection
 // parameters and averages EMU over the training scenarios.
 func (ctx *Context) avgEMUWithParams(params profile.Params) (float64, error) {
+	sc := scenario.MustBuiltin("sens")
+	apps := sc.MustAxis("tasks[0].app").Strings()
+	load := sc.Tasks[0].LoadPct
+	beApp := sc.Tasks[1].App
 	var sum float64
-	n := ctx.Scale.MaxBEThreads
-	for _, app := range workload.LCNames() {
-		pot := machine.ProfileLCWith(ctx.Cfg, workload.LCApps()[app], n,
+	n := ctx.beThreads(sc.Tasks[1].ThreadCount())
+	for _, app := range apps {
+		pot := machine.ProfileLCWith(ctx.Cfg, ctx.lcParams(app), n,
 			ctx.Scale.Seed, params, machine.ProfileCycles)
 		cal, err := ctx.Calib(app)
 		if err != nil {
@@ -174,12 +189,12 @@ func (ctx *Context) avgEMUWithParams(params profile.Params) (float64, error) {
 		}
 		tasks := []machine.TaskSpec{{
 			Kind: machine.TaskLC, LC: cal.App,
-			MeanInterarrival: cal.MeanIAAt(70),
+			MeanInterarrival: cal.MeanIAAt(load),
 			Potential:        pot,
-			ExpectedBW:       0.9 * cal.AloneBWAt(70),
+			ExpectedBW:       0.9 * cal.AloneBWAt(load),
 			Seed:             ctx.Scale.Seed,
 		}}
-		be := workload.BEApps()[workload.IBench]
+		be := ctx.beParams(beApp)
 		for i := 0; i < n && len(tasks) < ctx.Cfg.Cores; i++ {
 			tasks = append(tasks, machine.TaskSpec{Kind: machine.TaskBE, BE: be,
 				Seed: ctx.Scale.Seed + uint64(10+i)})
@@ -193,11 +208,11 @@ func (ctx *Context) avgEMUWithParams(params profile.Params) (float64, error) {
 		}
 		r := RunResult{AllQoS: m.LCp95(0) != 0 && m.LCp95(0) <= cal.QoSTarget}
 		r.BEIPC = float64(m.BECommitted()) / float64(m.MeasuredCycles())
-		emu, err := ctx.EMU([]LCSpec{{App: app, LoadPct: 70}}, workload.IBench, n, n, r)
+		emu, err := ctx.EMU([]LCSpec{{App: app, LoadPct: load}}, beApp, n, n, r)
 		if err != nil {
 			return 0, err
 		}
 		sum += emu
 	}
-	return sum / float64(len(workload.LCNames())), nil
+	return sum / float64(len(apps)), nil
 }

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pivot/internal/machine"
+)
+
+// TestFigureTablesGoldenQuick proves the scenario-driven figure harnesses
+// render byte-identical tables to the pre-refactor goldens (captured with
+// `go run ./cmd/pivot-exp -quick -quiet figN` before the scenario layer
+// existed). The three figures cover the three harness shapes: a policy-axis
+// sweep with the best-MBA search (fig1), a fixed-mix split study (fig5) and
+// an offline-profiling figure (fig8).
+func TestFigureTablesGoldenQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale figure runs take tens of seconds")
+	}
+	ctx := NewContext(machine.KunpengConfig(8), Quick())
+	for _, id := range []string{"fig1", "fig5", "fig8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_quick_"+id+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := Registry()[id].Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got string
+			for _, tb := range tables {
+				got += tb.String() + "\n"
+			}
+			if got != string(want) {
+				t.Errorf("%s table drifted from the pre-refactor golden:\ngot:\n%swant:\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

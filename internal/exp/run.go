@@ -13,13 +13,22 @@ import (
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
 	"pivot/internal/sim"
-	"pivot/internal/workload"
 )
 
 // LCSpec places one LC app at a percentage of its calibrated max load.
 type LCSpec struct {
 	App     string
 	LoadPct int
+
+	// Interarrival pins the mean request inter-arrival (cycles) directly,
+	// skipping calibration — no QoS target applies, so the task counts as
+	// meeting QoS unless its queue saturates. 0 derives the arrival rate from
+	// LoadPct and the app's calibrated max load.
+	Interarrival float64
+
+	// ExpectedBW overrides the task's expected bandwidth fraction; 0 derives
+	// it from calibration (0.9x the run-alone bandwidth at LoadPct).
+	ExpectedBW float64
 }
 
 // BESpec places n threads of one BE app.
@@ -54,11 +63,6 @@ func MethodCLITE() Method {
 	return Method{Name: "CLITE", Policy: machine.PolicyManaged, Manager: "CLITE"}
 }
 
-// fig13Methods are the co-location comparison methods of §VI-A.
-func fig13Methods() []Method {
-	return []Method{MethodDefault(), MethodPARTIES(), MethodCLITE(), MethodPIVOT()}
-}
-
 // RunSpec is one co-location simulation.
 type RunSpec struct {
 	Method Method
@@ -67,6 +71,13 @@ type RunSpec struct {
 
 	// Extra policy options (leave-one-out MSC, RRBP overrides, ...).
 	Opt machine.Options
+
+	// Seed overrides Scale.Seed, and Warmup/Measure override the scale's run
+	// windows; zero keeps the scale's value. The execution form of an
+	// expanded scenario run unit carries these (scenario.Scenario.Seed and
+	// the warmup/measure window overrides).
+	Seed            uint64
+	Warmup, Measure sim.Cycle
 
 	// Faults, when non-nil, attaches seed-derived fault injectors to the four
 	// MSC stations before the run (see internal/faultinject). Used by
@@ -115,29 +126,43 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 		opt.SampleRequests = 128
 	}
 
+	seed, warmup, measure := ctx.runWindows(spec)
+
 	var tasks []machine.TaskSpec
 	var targets []uint32
 	for _, lc := range spec.LCs {
-		cal, cerr := ctx.Calib(lc.App)
-		if cerr != nil {
-			return RunResult{}, cerr
+		ts := machine.TaskSpec{
+			Kind:      machine.TaskLC,
+			Potential: ctx.potentialFor(spec.Method, lc.App),
+			Seed:      seed,
 		}
-		tasks = append(tasks, machine.TaskSpec{
-			Kind:             machine.TaskLC,
-			LC:               cal.App,
-			MeanInterarrival: cal.MeanIAAt(lc.LoadPct),
-			Potential:        ctx.potentialFor(spec.Method, lc.App),
-			ExpectedBW:       0.9 * cal.AloneBWAt(lc.LoadPct),
-			Seed:             ctx.Scale.Seed,
-		})
-		targets = append(targets, cal.QoSTarget)
+		if lc.Interarrival > 0 {
+			// Explicit arrival rate: no calibration, no knee-derived target.
+			ts.LC = ctx.lcParams(lc.App)
+			ts.MeanInterarrival = lc.Interarrival
+			ts.ExpectedBW = lc.ExpectedBW
+			targets = append(targets, 0)
+		} else {
+			cal, cerr := ctx.Calib(lc.App)
+			if cerr != nil {
+				return RunResult{}, cerr
+			}
+			ts.LC = cal.App
+			ts.MeanInterarrival = cal.MeanIAAt(lc.LoadPct)
+			ts.ExpectedBW = 0.9 * cal.AloneBWAt(lc.LoadPct)
+			if lc.ExpectedBW > 0 {
+				ts.ExpectedBW = lc.ExpectedBW
+			}
+			targets = append(targets, cal.QoSTarget)
+		}
+		tasks = append(tasks, ts)
 	}
 	for _, be := range spec.BEs {
-		app := workload.BEApps()[be.App]
+		app := ctx.beParams(be.App)
 		for i := 0; i < be.Threads && len(tasks) < ctx.Cfg.Cores; i++ {
 			tasks = append(tasks, machine.TaskSpec{
 				Kind: machine.TaskBE, BE: app,
-				Seed: ctx.Scale.Seed + uint64(10+len(tasks)),
+				Seed: seed + uint64(10+len(tasks)),
 			})
 		}
 	}
@@ -163,13 +188,13 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	rc := ctx.runContext()
 	switch spec.Method.Manager {
 	case "PARTIES":
-		err = manager.RunChecked(rc, manager.NewPARTIES(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+		err = manager.RunChecked(rc, manager.NewPARTIES(targets), m, warmup, measure, ctx.Scale.Epoch)
 	case "CLITE":
-		err = manager.RunChecked(rc, manager.NewCLITE(targets), m, ctx.Scale.Warmup, ctx.Scale.Measure, ctx.Scale.Epoch)
+		err = manager.RunChecked(rc, manager.NewCLITE(targets), m, warmup, measure, ctx.Scale.Epoch)
 	default:
-		if dir := ctx.checkpointDir(m, spec); dir != "" {
+		if dir := ctx.checkpointDir(m, spec, warmup, measure); dir != "" {
 			var resumed sim.Cycle
-			resumed, err = m.RunCheckpointed(rc, ctx.Scale.Warmup, ctx.Scale.Measure,
+			resumed, err = m.RunCheckpointed(rc, warmup, measure,
 				machine.CheckpointConfig{Dir: dir, Interval: ctx.CheckpointInterval})
 			if resumed > 0 {
 				ctx.logf("  %s: resumed from checkpoint at cycle %d", spec.Method.Name, resumed)
@@ -180,7 +205,7 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 				_ = checkpoint.Remove(dir)
 			}
 		} else {
-			err = m.RunChecked(rc, ctx.Scale.Warmup, ctx.Scale.Measure)
+			err = m.RunChecked(rc, warmup, measure)
 		}
 	}
 	if err != nil {
@@ -188,16 +213,17 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	}
 
 	res = RunResult{AllQoS: true}
-	for i, lc := range spec.LCs {
+	for i := range spec.LCs {
 		src := m.LCTasks()[i].Source
 		lat := src.Latencies()
 		qs := metrics.Quantiles(lat, 50, 95, 99) // one sort for all three
 		p95 := qs[1]
-		cal, _ := ctx.Calib(lc.App) // cached above; cannot fail here
+		target := targets[i]
 		// An open-loop source whose backlog keeps growing has saturated even
-		// if too few requests completed to show it in p95 yet.
+		// if too few requests completed to show it in p95 yet. A zero target
+		// (explicit-interarrival task) has no latency bound to violate.
 		saturated := src.QueueDepth() > 32
-		met := p95 != 0 && p95 <= cal.QoSTarget && !saturated
+		met := !saturated && (target == 0 || (p95 != 0 && p95 <= target))
 		res.P50 = append(res.P50, qs[0])
 		res.P95 = append(res.P95, p95)
 		res.P99 = append(res.P99, qs[2])
@@ -213,6 +239,22 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	res.Split, res.SplitN = m.SplitAverages()
 	ctx.captureStats(m, spec)
 	return res, nil
+}
+
+// runWindows resolves a spec's effective seed and run windows: the spec's
+// overrides when set, the scale's values otherwise.
+func (ctx *Context) runWindows(spec RunSpec) (seed uint64, warmup, measure sim.Cycle) {
+	seed, warmup, measure = ctx.Scale.Seed, ctx.Scale.Warmup, ctx.Scale.Measure
+	if spec.Seed != 0 {
+		seed = spec.Seed
+	}
+	if spec.Warmup > 0 {
+		warmup = spec.Warmup
+	}
+	if spec.Measure > 0 {
+		measure = spec.Measure
+	}
+	return seed, warmup, measure
 }
 
 // captureStats records the stats dump and timeline of the just-finished run
@@ -242,7 +284,7 @@ func (ctx *Context) captureStats(m *machine.Machine, spec RunSpec) {
 // knobs (method name, static MBA level) and the run lengths, so an identical
 // re-invocation resumes its own checkpoints and different specs never
 // collide — even when several harness workers checkpoint concurrently.
-func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec) string {
+func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec, warmup, measure sim.Cycle) string {
 	if ctx.CheckpointDir == "" || spec.Method.Manager != "" || spec.Faults != nil {
 		return ""
 	}
@@ -251,7 +293,7 @@ func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec) string {
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%016x|%s|%d|%d|%d", m.Fingerprint(), spec.Method.Name,
-		spec.Method.MBALevel, ctx.Scale.Warmup, ctx.Scale.Measure)
+		spec.Method.MBALevel, warmup, measure)
 	return filepath.Join(ctx.CheckpointDir, fmt.Sprintf("run-%016x", h.Sum64()))
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"pivot/internal/exp"
 	"pivot/internal/metrics"
+	"pivot/internal/scenario"
 )
 
 // SpecLabel renders a stable, human-readable identity for a RunSpec, used as
@@ -38,6 +39,37 @@ func SpecJobs(ctx *exp.Context, specs []exp.RunSpec) []Job {
 		}
 	}
 	return jobs
+}
+
+// ScenarioJobs expands a validated scenario into one job per run unit,
+// against the context the scenario's machine stanza selects. The returned
+// labels parallel the jobs (labels[i] names jobs[i]'s unit) and feed
+// exp.ScenarioTable once the harness delivers the results.
+func ScenarioJobs(ctx *exp.Context, sc *scenario.Scenario) ([]Job, []string, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rctx := ctx.ForScenario(sc)
+	units, err := sc.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	jobs := make([]Job, len(units))
+	labels := make([]string, len(units))
+	for i, u := range units {
+		spec, err := rctx.SpecForUnit(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		labels[i] = exp.UnitLabel(sc, u)
+		jobs[i] = Job{
+			ID: fmt.Sprintf("%03d:%s", i, labels[i]),
+			Run: func(rc context.Context) (any, error) {
+				return rctx.WithRunContext(rc).Run(spec)
+			},
+		}
+	}
+	return jobs, labels, nil
 }
 
 // ExperimentJobs builds one job per registered experiment ID. Each job's

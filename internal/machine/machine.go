@@ -214,30 +214,20 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 	if len(tasks) > cfg.Cores {
 		return nil, fmt.Errorf("machine: %d tasks exceed %d cores", len(tasks), cfg.Cores)
 	}
-	if opt.ExpectedLCBW <= 0 {
-		opt.ExpectedLCBW = 0.05
-	}
-	if opt.RRBP == (rrbp.Config{}) {
-		opt.RRBP = rrbp.DefaultConfig()
-		// The paper refreshes every 1M cycles across 20-billion-cycle runs;
-		// our measured regions are ~10³× shorter, so the default refresh is
-		// scaled to keep the same windows-per-run ratio (EXPERIMENTS.md).
-		opt.RRBP.RefreshCycles = ScaledRRBPRefresh
-	}
-	if opt.CBP == (cbp.Config{}) {
-		opt.CBP = cbp.DefaultConfig()
-	}
+	opt, cons := opt.normalize(cfg)
 	m := &Machine{Cfg: cfg, Opt: opt, Engine: sim.NewEngine(), tasks: tasks,
 		bes: make([]*workload.BEStream, len(tasks))}
 
-	// Memory side, downstream to upstream. Cache geometries were validated
-	// above, so the Must constructors cannot fire.
+	// Memory side, downstream to upstream, built from the normalized
+	// construction config (m.Cfg keeps the caller's config — the checkpoint
+	// fingerprint must not depend on option-derived tweaks). Cache geometries
+	// were validated above, so the Must constructors cannot fire.
 	m.llc = cache.MustNew(cfg.LLC)
-	m.mc = dram.New(applyGuard(cfg.DRAM, opt), cfg.L1.LineBytes)
+	m.mc = dram.New(cons.DRAM, cfg.L1.LineBytes)
 	m.mc.Respond = m.onResp
-	m.bw = bwctrl.New(guardBW(cfg.BW, opt), m.mc)
-	m.bus = interconnect.New(guardIC(cfg.Bus, opt), m.bw)
-	m.ic = interconnect.New(guardIC(cfg.IC, opt), interconnect.AcceptorFunc(m.llcAccept))
+	m.bw = bwctrl.New(cons.BW, m.mc)
+	m.bus = interconnect.New(cons.Bus, m.bw)
+	m.ic = interconnect.New(cons.IC, interconnect.AcceptorFunc(m.llcAccept))
 	m.thr = mba.New(m.ic, cfg.DRAM.TBurst)
 
 	m.applyPolicy()
@@ -316,25 +306,34 @@ func MustNew(cfg Config, opt Options, tasks []TaskSpec) *Machine {
 	return m
 }
 
-func applyGuard(d dram.Config, opt Options) dram.Config {
-	if opt.NoStarvationGuard {
-		d.MaxWait = 0
+// normalize resolves every option default in one pass and derives the
+// construction config the MSC constructors consume: ExpectedLCBW falls back
+// to 0.05, a zero RRBP config becomes the default geometry at the scaled
+// refresh, a zero CBP config becomes its default, and NoStarvationGuard
+// zeroes the MSCs' MaxWait promotion thresholds. Only the returned config
+// carries those tweaks — callers keep their own (it is the checkpoint
+// fingerprint).
+func (o Options) normalize(cfg Config) (Options, Config) {
+	if o.ExpectedLCBW <= 0 {
+		o.ExpectedLCBW = 0.05
 	}
-	return d
-}
-
-func guardIC(c interconnect.Config, opt Options) interconnect.Config {
-	if opt.NoStarvationGuard {
-		c.MaxWait = 0
+	if o.RRBP == (rrbp.Config{}) {
+		o.RRBP = rrbp.DefaultConfig()
+		// The paper refreshes every 1M cycles across 20-billion-cycle runs;
+		// our measured regions are ~10³× shorter, so the default refresh is
+		// scaled to keep the same windows-per-run ratio (EXPERIMENTS.md).
+		o.RRBP.RefreshCycles = ScaledRRBPRefresh
 	}
-	return c
-}
-
-func guardBW(c bwctrl.Config, opt Options) bwctrl.Config {
-	if opt.NoStarvationGuard {
-		c.Station.MaxWait = 0
+	if o.CBP == (cbp.Config{}) {
+		o.CBP = cbp.DefaultConfig()
 	}
-	return c
+	if o.NoStarvationGuard {
+		cfg.DRAM.MaxWait = 0
+		cfg.IC.MaxWait = 0
+		cfg.Bus.MaxWait = 0
+		cfg.BW.Station.MaxWait = 0
+	}
+	return o, cfg
 }
 
 // applyPolicy configures priority queues, MPAM and LLC partitioning.

@@ -1,0 +1,344 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"pivot/internal/workload"
+)
+
+// Builtins returns the named scenario behind every paper figure and
+// extension, keyed by experiment id. These are the data the figure harnesses
+// in internal/exp consume: the task mixes, operating points and method sets
+// live here; the bespoke metrics and search loops (best-MBA ladders, max-BE
+// sweeps, frontiers) stay in the harness. A fresh map (with fresh scenarios)
+// is returned on every call.
+func Builtins() map[string]*Scenario {
+	lcNames := workload.LCNames()
+	all4 := []string{"Default", "PARTIES", "CLITE", "PIVOT"}
+	neo2 := []string{"CLITE", "PIVOT"}
+
+	list := []*Scenario{
+		{
+			Version: Version, Name: "fig1",
+			Brief:  "motivation mix: each LC at 70% vs the 7-thread iBench stressor, per method",
+			Policy: "Default",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				strAxis("policy", "Default", "MBA", "MPAM", "PIVOT"),
+			},
+		},
+		{
+			Version: Version, Name: "fig2",
+			Brief:  "bandwidth utilisation of the motivation mix per method",
+			Policy: "MBA",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				strAxis("policy", "MBA", "MPAM", "FullPath", "PIVOT"),
+			},
+		},
+		{
+			Version: Version, Name: "fig3",
+			Brief:  "max iBench throughput under QoS for the motivation mix",
+			Policy: "MBA",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				strAxis("policy", "MBA", "MPAM", "FullPath", "PIVOT"),
+			},
+		},
+		{
+			Version: Version, Name: "fig5",
+			Brief:  "cycle split of Masstree's critical loads (alone / co-located / full path)",
+			Policy: "Default",
+			Tasks:  []Task{lcTask(workload.Masstree, 70), beTask(workload.IBench, 7)},
+		},
+		{
+			Version: Version, Name: "fig6",
+			Brief:  "normalized p95 under FullPath vs iBench thread count",
+			Policy: "FullPath",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				intAxis("tasks[1].threads", 1, 3, 5, 7),
+			},
+		},
+		{
+			Version: Version, Name: "fig7",
+			Brief:  "leave-one-out: one MSC not enforcing priority",
+			Policy: "FullPath",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				strAxis("options.disable_msc", append([]string{""}, MSCNames()...)...),
+			},
+		},
+		{
+			Version: Version, Name: "fig8",
+			Brief:  "offline profiling CDF: top static loads vs ROB stall share",
+			Policy: "Default",
+			Tasks:  []Task{closedLoopLC(workload.Silo)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", workload.Silo, workload.Moses),
+			},
+		},
+		{
+			Version: Version, Name: "fig12",
+			Brief:  "run-alone load-latency calibration curves",
+			Policy: "Default",
+			Tasks:  []Task{closedLoopLC(workload.ImgDNN)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+			},
+		},
+		fig13Shape("fig13", "1 LC + iBench: max BE throughput per method and load", all4),
+		fig13Shape("fig13emu", "EMU summary of the fig13 sweep", all4),
+		fig13Shape("fig14", "normalized p95 behind fig13", all4),
+		{
+			Version: Version, Name: "fig15",
+			Brief:  "2 LC + iBench heatmaps: max BE throughput per load pair",
+			Policy: "Default",
+			Tasks:  []Task{lcTask(workload.Xapian, 30), lcTask(workload.ImgDNN, 30), beTask(workload.IBench, 6)},
+			Sweep: []Axis{
+				tupleAxis([]string{"tasks[0].app", "tasks[1].app"},
+					[]string{workload.Xapian, workload.ImgDNN},
+					[]string{workload.Moses, workload.ImgDNN}),
+				strAxis("policy", all4...),
+			},
+		},
+		fig16Shape("fig16", "2 LC @40% + one CloudSuite BE task", all4[1:]),
+		fig17Shape("fig17", "2 LC @40% + two CloudSuite BE tasks", all4[1:]),
+		{
+			Version: Version, Name: "fig18",
+			Brief:  "2-LC co-location frontiers over five representative pairs",
+			Policy: "Default",
+			Tasks:  []Task{lcTask(workload.Xapian, 30), lcTask(workload.ImgDNN, 70)},
+			Sweep: []Axis{
+				tupleAxis([]string{"tasks[0].app", "tasks[1].app"},
+					[]string{workload.Xapian, workload.ImgDNN},
+					[]string{workload.Moses, workload.ImgDNN},
+					[]string{workload.Silo, workload.Masstree},
+					[]string{workload.Moses, workload.Silo},
+					[]string{workload.ImgDNN, workload.Moses}),
+				strAxis("policy", all4...),
+			},
+		},
+		{
+			Version: Version, Name: "fig19",
+			Brief:  "3-LC frontier: (Xapian, Masstree) with Img-DNN at low/high load",
+			Policy: "Default",
+			Tasks: []Task{lcTask(workload.Xapian, 30), lcTask(workload.Masstree, 70),
+				lcTask(workload.ImgDNN, 10)},
+			Sweep: []Axis{
+				intAxis("tasks[2].load_pct", 10, 70),
+				strAxis("policy", all4...),
+			},
+		},
+		{
+			Version: Version, Name: "fig20",
+			Brief:  "criticality predictors: CBP variants vs PIVOT",
+			Policy: "CBP",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 30), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				intAxis("tasks[0].load_pct", 30, 70),
+				strAxis("policy", "CBP", "CBP+FullPath", "PIVOT"),
+			},
+		},
+		{
+			Version: Version, Name: "fig21",
+			Brief:  "run-alone IPC and p95 at 70% max load",
+			Policy: "Default",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+			},
+		},
+		{
+			Version: Version, Name: "fig22",
+			Brief:  "RRBP table-size sensitivity under PIVOT",
+			Policy: "PIVOT",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+				intAxis("options.rrbp_entries", -1, 16, 32, 64, 128),
+			},
+		},
+		{
+			Version: Version, Name: "sens",
+			Brief:  "the five 1-LC@70% + iBench training scenarios of §VI-C",
+			Policy: "PIVOT",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", lcNames...),
+			},
+		},
+		neoverse(fig13Shape("fig23", "fig13's sweep on the Neoverse machine", neo2)),
+		neoverse(fig16Shape("fig24", "fig16's scenarios on the Neoverse machine", neo2)),
+		neoverse(fig17Shape("fig25", "fig17's scenarios on the Neoverse machine", neo2)),
+		{
+			Version: Version, Name: "hybrid",
+			Brief:  "§VII extension: hybrid strong isolation mixes",
+			Policy: "PIVOT",
+			Tasks:  []Task{lcTask(workload.Masstree, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", workload.Masstree, workload.Moses),
+			},
+		},
+		{
+			Version: Version, Name: "noprofile",
+			Brief:  "§VII extension: PIVOT without offline profiling",
+			Policy: "PIVOT",
+			Tasks:  []Task{lcTask(workload.Microservice, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", workload.Microservice, workload.Moses),
+			},
+		},
+		{
+			Version: Version, Name: "prefetch",
+			Brief:  "ablation: explicit stride prefetcher on streaming-payload LC tasks",
+			Policy: "PIVOT",
+			Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+			Sweep: []Axis{
+				strAxis("tasks[0].app", workload.ImgDNN, workload.Masstree),
+				boolAxis("options.prefetch", false, true),
+			},
+		},
+	}
+
+	out := make(map[string]*Scenario, len(list))
+	for _, s := range list {
+		if _, dup := out[s.Name]; dup {
+			panic("scenario: duplicate builtin " + s.Name)
+		}
+		out[s.Name] = s
+	}
+	return out
+}
+
+// fig13Shape is the 1 LC + 7-thread iBench load sweep shared by fig13/14/23.
+func fig13Shape(name, brief string, policies []string) *Scenario {
+	return &Scenario{
+		Version: Version, Name: name, Brief: brief,
+		Policy: policies[0],
+		Tasks:  []Task{lcTask(workload.ImgDNN, 70), beTask(workload.IBench, 7)},
+		Sweep: []Axis{
+			strAxis("tasks[0].app", workload.LCNames()...),
+			intAxis("tasks[0].load_pct", 10, 30, 50, 70, 90),
+			strAxis("policy", policies...),
+		},
+	}
+}
+
+// fig16Shape is the 2 LC @40% + one CloudSuite BE mix shared by fig16/24.
+func fig16Shape(name, brief string, policies []string) *Scenario {
+	return &Scenario{
+		Version: Version, Name: name, Brief: brief,
+		Policy: policies[0],
+		Tasks: []Task{lcTask(workload.Xapian, 40), lcTask(workload.ImgDNN, 40),
+			beTask(workload.DataAn, 6)},
+		Sweep: []Axis{
+			tupleAxis([]string{"tasks[0].app", "tasks[1].app", "tasks[2].app"},
+				[]string{workload.Xapian, workload.ImgDNN, workload.DataAn},
+				[]string{workload.Moses, workload.Silo, workload.GraphAn},
+				[]string{workload.Masstree, workload.Xapian, workload.InMemAn}),
+			strAxis("policy", policies...),
+		},
+	}
+}
+
+// fig17Shape is the 2 LC @40% + two CloudSuite BE mix shared by fig17/25.
+func fig17Shape(name, brief string, policies []string) *Scenario {
+	return &Scenario{
+		Version: Version, Name: name, Brief: brief,
+		Policy: policies[0],
+		Tasks: []Task{lcTask(workload.Xapian, 40), lcTask(workload.ImgDNN, 40),
+			beTask(workload.DataAn, 3), beTask(workload.GraphAn, 3)},
+		Sweep: []Axis{
+			tupleAxis([]string{"tasks[0].app", "tasks[1].app", "tasks[2].app", "tasks[3].app"},
+				[]string{workload.Xapian, workload.ImgDNN, workload.DataAn, workload.GraphAn},
+				[]string{workload.Moses, workload.Silo, workload.GraphAn, workload.InMemAn},
+				[]string{workload.Masstree, workload.Xapian, workload.DataAn, workload.InMemAn}),
+			strAxis("policy", policies...),
+		},
+	}
+}
+
+// neoverse puts a scenario on the Table III machine preset.
+func neoverse(s *Scenario) *Scenario {
+	s.Machine.Preset = PresetNeoverse
+	return s
+}
+
+// Builtin returns one builtin scenario by experiment id.
+func Builtin(id string) (*Scenario, bool) {
+	s, ok := Builtins()[id]
+	return s, ok
+}
+
+// MustBuiltin is Builtin panicking on an unknown id; the registry's shape is
+// pinned by this package's tests, so figure harnesses use it unconditionally.
+func MustBuiltin(id string) *Scenario {
+	s, ok := Builtin(id)
+	if !ok {
+		panic("scenario: unknown builtin " + id)
+	}
+	return s
+}
+
+// BuiltinIDs lists the builtin scenario ids, sorted.
+func BuiltinIDs() []string {
+	reg := Builtins()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lcTask places a catalogue LC app at a percentage of its max load.
+func lcTask(app string, loadPct int) Task {
+	return Task{Kind: KindLC, App: app, LoadPct: loadPct}
+}
+
+// closedLoopLC places a catalogue LC app issuing back-to-back requests.
+func closedLoopLC(app string) Task {
+	return Task{Kind: KindLC, App: app}
+}
+
+// beTask places n threads of a catalogue BE app.
+func beTask(app string, threads int) Task {
+	return Task{Kind: KindBE, App: app, Threads: threads}
+}
+
+func strAxis(param string, vals ...string) Axis {
+	return Axis{Param: param, Values: rawAll(vals)}
+}
+
+func intAxis(param string, vals ...int) Axis {
+	return Axis{Param: param, Values: rawAll(vals)}
+}
+
+func boolAxis(param string, vals ...bool) Axis {
+	return Axis{Param: param, Values: rawAll(vals)}
+}
+
+func tupleAxis(params []string, tuples ...[]string) Axis {
+	return Axis{Params: params, Values: rawAll(tuples)}
+}
+
+func rawAll[T any](vals []T) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: marshal axis value: %v", err))
+		}
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import "pivot/internal/workload"
+
+// ToWorkload converts the scenario-schema LC parameters to the simulator's
+// form, field by field so the schema keeps a stable JSON surface independent
+// of the simulator struct.
+func (p *LCParams) ToWorkload() workload.LCParams {
+	return workload.LCParams{
+		Name:         p.Name,
+		ChaseDepth:   p.ChaseDepth,
+		ChaseLines:   p.ChaseLines,
+		ChasePCs:     p.ChasePCs,
+		PayloadLoads: p.PayloadLoads,
+		PayloadLines: p.PayloadLines,
+		PayloadSeq:   p.PayloadSeq,
+		PayloadPCs:   p.PayloadPCs,
+		ALUPerStep:   p.ALUPerStep,
+		ALULat:       p.ALULat,
+		StoresPerReq: p.StoresPerReq,
+	}
+}
+
+// ToWorkload converts the scenario-schema BE parameters to the simulator's
+// form.
+func (p *BEParams) ToWorkload() workload.BEParams {
+	return workload.BEParams{
+		Name:        p.Name,
+		StreamFrac:  p.StreamFrac,
+		StreamLines: p.StreamLines,
+		RandLines:   p.RandLines,
+		StoreFrac:   p.StoreFrac,
+		ALUPerMem:   p.ALUPerMem,
+		MLP:         p.MLP,
+		PCs:         p.PCs,
+	}
+}
+
+// LCWorkload resolves the task's LC parameters: catalogue app or inline
+// custom params. Call only on validated KindLC tasks.
+func (t *Task) LCWorkload() workload.LCParams {
+	if t.LCParams != nil {
+		return t.LCParams.ToWorkload()
+	}
+	return workload.LCApps()[t.App]
+}
+
+// BEWorkload resolves the task's BE parameters: catalogue app or inline
+// custom params. Call only on validated KindBE tasks.
+func (t *Task) BEWorkload() workload.BEParams {
+	if t.BEParams != nil {
+		return t.BEParams.ToWorkload()
+	}
+	return workload.BEApps()[t.App]
+}
+
+// AppName is the task's application name: App, or the inline params' Name.
+func (t *Task) AppName() string {
+	if n := t.customName(); n != "" {
+		return n
+	}
+	return t.App
+}
