@@ -1,0 +1,123 @@
+// Command flightcheck validates a flight-recorder report produced with
+// -flight-out. CI runs it after the scenario smoke step so a recorder that
+// silently records nothing — or violates its own accounting invariants —
+// fails the build instead of shipping an empty observability artifact.
+//
+// Usage:
+//
+//	flightcheck report.json
+//
+// Exit status 0 means every invariant held; any violation prints a line per
+// failure and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pivot/internal/flight"
+	"pivot/internal/mem"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: flightcheck <report.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flightcheck:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	var rep flight.Report
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "flightcheck: decode:", err)
+		os.Exit(2)
+	}
+
+	var fails []string
+	bad := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+
+	if rep.Source == "" {
+		bad("source header is empty (the CLI must stamp its build fingerprint)")
+	}
+	if rep.Demand == 0 {
+		bad("recorded zero demand requests")
+	}
+	if rep.SampleN == 0 || uint64(rep.SampleN) > rep.Demand {
+		bad("sampled %d lifecycles of %d demand requests", rep.SampleN, rep.Demand)
+	}
+	o := rep.Overall
+	if o.Count != rep.Demand {
+		bad("overall count %d != demand %d", o.Count, rep.Demand)
+	}
+	if o.Mean <= 0 || o.Mean > float64(o.Max) {
+		bad("mean latency %.2f outside (0, max=%d]", o.Mean, o.Max)
+	}
+	if !(o.P50 <= o.P95 && o.P95 <= o.P99 && o.P99 <= o.Max) {
+		bad("percentiles not monotone: p50=%d p95=%d p99=%d max=%d", o.P50, o.P95, o.P99, o.Max)
+	}
+
+	if got, want := len(rep.Components), int(mem.NumComponents); got != want {
+		bad("%d component rows, want %d", got, want)
+	}
+	for _, c := range rep.Components {
+		if c.MeanWait > c.MeanCycles || c.TailWait > c.TailCycles {
+			bad("component %s: wait exceeds residency (%.2f/%.2f, tail %.2f/%.2f)",
+				c.Comp, c.MeanWait, c.MeanCycles, c.TailWait, c.TailCycles)
+		}
+		if c.TailWaitFrac < 0 || c.TailWaitFrac > 1 {
+			bad("component %s: tail wait fraction %.3f outside [0,1]", c.Comp, c.TailWaitFrac)
+		}
+	}
+
+	if len(rep.PCs) == 0 {
+		bad("no per-PC rows")
+	}
+	var share float64
+	for _, p := range rep.PCs {
+		if p.Count == 0 {
+			bad("pc %#x has zero completions", p.PC)
+		}
+		share += p.TailShare
+	}
+	if share > 1.0001 {
+		bad("per-PC tail shares sum to %.4f > 1", share)
+	}
+
+	if len(rep.Slowest) == 0 {
+		bad("slowest-request table is empty")
+	} else if rep.Slowest[0].Latency != o.Max {
+		bad("slowest[0] latency %d != overall max %d", rep.Slowest[0].Latency, o.Max)
+	}
+	for i, s := range rep.Slowest {
+		if i > 0 && s.Latency > rep.Slowest[i-1].Latency {
+			bad("slowest table not sorted at rank %d (%d after %d)", i, s.Latency, rep.Slowest[i-1].Latency)
+		}
+		if len(s.Spans) == 0 {
+			bad("slowest[%d] (seq %d) has no span chain", i, s.Seq)
+		}
+		var chain uint64
+		for _, sp := range s.Spans {
+			chain += sp.Wait + sp.Service
+		}
+		if chain > s.Latency {
+			bad("slowest[%d] (seq %d): span cycles %d exceed latency %d", i, s.Seq, chain, s.Latency)
+		}
+	}
+
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "flightcheck:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("flightcheck: ok (%d demand, %d sampled, %d slow chains, p99=%d)\n",
+		rep.Demand, rep.SampleN, len(rep.Slowest), o.P99)
+}

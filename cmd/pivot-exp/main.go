@@ -29,8 +29,14 @@
 // with the gem5-style stats registry (sampled every -stats-epoch cycles)
 // and export the most recent run's flat dump and Perfetto-loadable
 // timeline, so a slow or QoS-violating figure can be diagnosed from its
-// artifacts alone. -debug-addr serves net/http/pprof and runtime metrics
-// for profiling the simulator itself.
+// artifacts alone. -flight-out arms the per-request flight recorder on
+// every run and exports the last run's tail-attribution report (per-PC and
+// per-component latency breakdown plus the -flight-top slowest requests'
+// span chains; .json/.csv/text by suffix). -debug-addr serves
+// net/http/pprof, runtime metrics, and /progress — live cycles/sec, ETA
+// and per-unit sweep progress. Diagnostics go through log/slog;
+// -log-format=json emits machine-readable lines, and -version prints the
+// build fingerprint stamped into reports and journal entries.
 //
 // Crash safety: -checkpoint-dir makes each co-location run periodically
 // write its full machine state (every -checkpoint-interval cycles) so a
@@ -51,6 +57,7 @@ import (
 	"strings"
 	"syscall"
 
+	"pivot/internal/cliutil"
 	"pivot/internal/exp"
 	"pivot/internal/harness"
 	"pivot/internal/machine"
@@ -79,7 +86,22 @@ func main() {
 	ckptInterval := flag.Uint64("checkpoint-interval", uint64(machine.DefaultCheckpointInterval), "cycles between checkpoints")
 	dense := flag.Bool("dense", false, "force the naive per-cycle tick loop instead of quiescence-aware skip-ahead (bit-identical results, slower)")
 	scenarioPath := flag.String("scenario", "", "run a user scenario file (JSON) through the harness instead of experiment ids")
+	flightOut := flag.String("flight-out", "", "record per-request span chains on every run and write the last run's tail-attribution report here (.json/.csv/text by suffix)")
+	flightTop := flag.Int("flight-top", 32, "with -flight-out: keep full span chains for the N slowest requests")
+	flightSample := flag.Int("flight-sample", 0, "with -flight-out: lifecycle reservoir size (0 = default)")
+	logFormat := flag.String("log-format", "text", "sweep diagnostics format on stderr: text|json")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(cliutil.Version("pivot-exp"))
+		return
+	}
+	logger, err := cliutil.Logger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+		os.Exit(2)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 && *scenarioPath == "" {
@@ -87,13 +109,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Live sweep telemetry: /progress on the debug server reports cycles/sec,
+	// ETA and per-unit sweep progress while experiments run.
+	var liveProgress *stats.Progress
 	if *debugAddr != "" {
-		addr, err := stats.ServeDebug(*debugAddr)
+		liveProgress = stats.NewProgress()
+		addr, err := stats.ServeDebugWith(*debugAddr, liveProgress)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pivot-exp: debug server: %v\n", err)
+			logger.Error("debug server failed", "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "pivot-exp: debug server on http://%s/debug/pprof/\n", addr)
+		logger.Info("debug server up", "pprof", "http://"+addr+"/debug/pprof/", "progress", "http://"+addr+"/progress")
 	}
 
 	scale := exp.Full()
@@ -112,6 +138,11 @@ func main() {
 	ctx.Dense = *dense
 	ctx.CheckpointDir = *ckptDir
 	ctx.CheckpointInterval = sim.Cycle(*ckptInterval)
+	ctx.Progress = liveProgress
+	if *flightOut != "" {
+		ctx.FlightTop = *flightTop
+		ctx.FlightSample = *flightSample
+	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep — every
 	// in-flight simulation aborts at its next check, flushing a final
@@ -144,13 +175,17 @@ func main() {
 		return
 	}
 
-	runner, err := harness.New(harness.Config{
+	hcfg := harness.Config{
 		Parallel:    *parallel,
 		Timeout:     *timeout,
 		JournalPath: *journalPath,
 		Resume:      *resume,
-		Out:         progressWriter(*quiet),
-	})
+		Progress:    liveProgress,
+	}
+	if !*quiet {
+		hcfg.Logger = logger
+	}
+	runner, err := harness.New(hcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
 		os.Exit(1)
@@ -233,6 +268,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *flightOut != "" {
+		if err := cliutil.WriteFlight(ctx.LastFlight(), *flightOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if runCtx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "\npivot-exp: interrupted; %d of %d experiment(s) incomplete", len(failed), len(results))
@@ -255,14 +296,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-}
-
-// progressWriter silences harness progress notes under -quiet.
-func progressWriter(quiet bool) *os.File {
-	if quiet {
-		return nil
-	}
-	return os.Stderr
 }
 
 func indent(s, prefix string) string {
@@ -308,6 +341,8 @@ func usage() {
                  [-journal f [-resume]] [-audit] [-watchdog n]
                  [-checkpoint-dir d] [-checkpoint-interval n]
                  [-stats-out f] [-timeline-out f]
+                 [-flight-out f [-flight-top n] [-flight-sample n]]
+                 [-debug-addr a] [-log-format text|json] [-version]
                  <list | scenarios | all | experiment-id...> | -scenario file.json
 
 Regenerates the paper's figures/tables as text tables. Experiment ids:

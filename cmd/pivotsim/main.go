@@ -18,6 +18,15 @@
 // good checkpoint with bit-identical final results. The first SIGINT or
 // SIGTERM stops the run gracefully (flushing a final checkpoint, exit 130);
 // a second signal force-quits.
+//
+// Observability: -flight-out arms the per-request flight recorder — every
+// memory-path transition becomes a queue-wait/service span — and writes the
+// tail-attribution report (per-PC and per-component breakdown plus the
+// -flight-top slowest requests' span chains) in JSON, CSV or text by file
+// suffix. Recording never changes simulated results. -debug-addr serves
+// pprof, runtime metrics and /progress (live cycle, cycles/sec, ETA);
+// -log-format=json switches stderr diagnostics to structured JSON, and
+// -version prints the build fingerprint stamped into exported reports.
 package main
 
 import (
@@ -32,7 +41,9 @@ import (
 
 	"pivot"
 	"pivot/internal/checkpoint"
+	"pivot/internal/cliutil"
 	"pivot/internal/exp"
+	"pivot/internal/flight"
 	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
@@ -74,7 +85,35 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario file (JSON) instead of the flag-built co-location")
 	quick := flag.Bool("quick", false, "with -scenario: use the fast (coarser) calibration scale")
 	quiet := flag.Bool("quiet", false, "with -scenario: suppress calibration progress notes")
+	flightOut := flag.String("flight-out", "", "record per-request span chains and write the tail-attribution report here (.json/.csv/text by suffix)")
+	flightTop := flag.Int("flight-top", 32, "with -flight-out: keep full span chains for the N slowest requests")
+	flightSample := flag.Int("flight-sample", 0, "with -flight-out: lifecycle reservoir size (0 = default)")
+	logFormat := flag.String("log-format", "text", "diagnostics format on stderr: text|json")
+	version := flag.Bool("version", false, "print the build fingerprint and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(cliutil.Version("pivotsim"))
+		return
+	}
+	logger, err := cliutil.Logger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Live run telemetry: /progress on the debug server reports the current
+	// cycle, cycles/sec and ETA while the simulation runs.
+	var liveProgress *stats.Progress
+	if *debugAddr != "" {
+		liveProgress = stats.NewProgress()
+		addr, err := stats.ServeDebugWith(*debugAddr, liveProgress)
+		if err != nil {
+			logger.Error("debug server failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("debug server up", "pprof", "http://"+addr+"/debug/pprof/", "progress", "http://"+addr+"/progress")
+	}
 
 	if *scenarioPath != "" {
 		scale := exp.Full()
@@ -85,7 +124,12 @@ func main() {
 		if *quiet {
 			progress = nil
 		}
-		if err := runScenario(os.Stdout, progress, *scenarioPath, *cores, scale); err != nil {
+		opts := scenarioOpts{
+			cores: *cores, scale: scale,
+			flightOut: *flightOut, flightTop: *flightTop, flightSample: *flightSample,
+			progress: liveProgress,
+		}
+		if err := runScenario(os.Stdout, progress, *scenarioPath, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -115,9 +159,9 @@ func main() {
 
 	var potential pivot.CriticalSet
 	if pol == pivot.PolicyPIVOT {
-		fmt.Fprintf(os.Stderr, "running offline profiling for %s ...\n", *lcName)
+		logger.Info("running offline profiling", "lc", *lcName)
 		potential = pivot.ProfileLC(cfg, lcApp, *threads, *seed)
-		fmt.Fprintf(os.Stderr, "potential-critical set: %d static loads\n", len(potential))
+		logger.Info("offline profiling done", "potentialCriticalLoads", len(potential))
 	}
 
 	tasks := []pivot.TaskSpec{{
@@ -129,15 +173,6 @@ func main() {
 			Seed: *seed + uint64(10+i)})
 	}
 
-	if *debugAddr != "" {
-		addr, err := stats.ServeDebug(*debugAddr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pivotsim: debug server: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "pivotsim: debug server on http://%s/debug/pprof/\n", addr)
-	}
-
 	wantStats := *statsOut != "" || *timelineOut != "" || *statsTable || *statsEpoch > 0
 	if *timelineOut != "" && *sample == 0 {
 		*sample = 64 // lifecycle events come from the request sampler
@@ -146,6 +181,14 @@ func main() {
 	m := pivot.MustNewMachine(cfg, pivot.Options{Policy: pol, SampleRequests: *sample, Dense: *dense}, tasks)
 	if wantStats {
 		m.EnableStats(pivot.Cycle(*statsEpoch), 0)
+	}
+	if *flightOut != "" {
+		m.EnableFlight(flight.Config{TopK: *flightTop, SampleCap: *flightSample})
+	}
+	if liveProgress != nil {
+		liveProgress.SetLabel(fmt.Sprintf("%s %s + %s x%d", pol, *lcName, *beName, *threads))
+		liveProgress.SetGoal(*warmup + *measure)
+		m.SetProgress(liveProgress)
 	}
 
 	// Graceful shutdown: first signal cancels the run (flushing a final
@@ -166,18 +209,18 @@ func main() {
 	interrupted := runCtx.Err() != nil
 	cancelRun()
 	if resumed > 0 {
-		fmt.Fprintf(os.Stderr, "pivotsim: resumed from checkpoint at cycle %d\n", resumed)
+		logger.Info("resumed from checkpoint", "cycle", uint64(resumed))
 	}
 	if err != nil {
 		if interrupted {
 			if *ckptDir != "" {
-				fmt.Fprintf(os.Stderr, "pivotsim: interrupted; state saved — rerun the same command to resume\n")
+				logger.Info("interrupted; state saved — rerun the same command to resume")
 			} else {
-				fmt.Fprintf(os.Stderr, "pivotsim: interrupted\n")
+				logger.Info("interrupted")
 			}
 			os.Exit(130)
 		}
-		fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 	if *ckptDir != "" {
@@ -186,7 +229,13 @@ func main() {
 
 	if wantStats {
 		if err := exportStats(m, *statsOut, *timelineOut, *statsTable, *policyName); err != nil {
-			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)
+			logger.Error("stats export failed", "err", err)
+			os.Exit(1)
+		}
+	}
+	if *flightOut != "" {
+		if err := cliutil.WriteFlight(flightReport(m, *policyName, *lcName), *flightOut); err != nil {
+			logger.Error("flight export failed", "err", err)
 			os.Exit(1)
 		}
 	}
@@ -250,7 +299,13 @@ func exportStats(m *pivot.Machine, statsOut, timelineOut string, table bool, pol
 			return err
 		}
 		defer f.Close()
-		if err := m.BuildTimeline(1, "pivotsim "+policy).WriteJSON(f); err != nil {
+		tl := m.BuildTimeline(1, "pivotsim "+policy)
+		// With a flight recorder attached, the slowest requests' span chains
+		// land in the same trace as the epoch counters, under their own pid.
+		if rec := m.FlightRecorder(); rec != nil {
+			rec.AppendTimeline(tl, 2)
+		}
+		if err := tl.WriteJSON(f); err != nil {
 			return err
 		}
 	}
@@ -258,6 +313,16 @@ func exportStats(m *pivot.Machine, statsOut, timelineOut string, table bool, pol
 		fmt.Println(d.Table("stats registry (measured region)").String())
 	}
 	return nil
+}
+
+// flightReport builds the flag-built run's tail-attribution report with a
+// human-readable source label.
+func flightReport(m *pivot.Machine, policy, lc string) *flight.Report {
+	rep := m.FlightReport()
+	if rep != nil {
+		rep.Source = fmt.Sprintf("pivotsim %s %s", policy, lc)
+	}
+	return rep
 }
 
 func keys() []string {

@@ -7,26 +7,51 @@ import (
 	"fmt"
 	"io"
 
+	"pivot/internal/cliutil"
 	"pivot/internal/exp"
 	"pivot/internal/machine"
 	"pivot/internal/scenario"
+	"pivot/internal/stats"
 )
 
-// runScenario loads, validates and executes one scenario file. cores picks
-// the machine when the scenario's machine stanza leaves cores unset; the
-// scale sets the run windows and calibration grid any unswept knobs default
-// to. Calibration progress notes go to progress (nil silences them).
-func runScenario(out, progress io.Writer, path string, cores int, scale exp.Scale) error {
+// scenarioOpts carries the flag-derived knobs into scenario mode.
+type scenarioOpts struct {
+	cores int
+	scale exp.Scale
+	// flightOut enables the per-request flight recorder on every run unit and
+	// exports the last unit's tail-attribution report there.
+	flightOut    string
+	flightTop    int
+	flightSample int
+	// progress, when non-nil, feeds the /progress live-telemetry endpoint.
+	progress *stats.Progress
+}
+
+// runScenario loads, validates and executes one scenario file. opts.cores
+// picks the machine when the scenario's machine stanza leaves cores unset;
+// opts.scale sets the run windows and calibration grid any unswept knobs
+// default to. Calibration progress notes go to progress (nil silences them).
+func runScenario(out, progress io.Writer, path string, opts scenarioOpts) error {
 	sc, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
-	ctx := exp.NewContext(machine.KunpengConfig(cores), scale)
+	ctx := exp.NewContext(machine.KunpengConfig(opts.cores), opts.scale)
 	ctx.Out = progress
+	ctx.Progress = opts.progress
+	if opts.flightOut != "" {
+		ctx.FlightTop = opts.flightTop
+		ctx.FlightSample = opts.flightSample
+	}
 	t, err := ctx.RunScenario(sc)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, t.String())
+	if opts.flightOut != "" {
+		if err := cliutil.WriteFlight(ctx.LastFlight(), opts.flightOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -16,7 +16,7 @@ import (
 func TestRunScenarioEndToEnd(t *testing.T) {
 	var out strings.Builder
 	err := runScenario(&out, nil, filepath.Join("..", "..", "examples", "scenarios", "smoke.json"),
-		4, exp.Quick())
+		scenarioOpts{cores: 4, scale: exp.Quick()})
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -58,7 +58,7 @@ func TestRunScenarioMalformed(t *testing.T) {
 				t.Fatal(err)
 			}
 			var out strings.Builder
-			err := runScenario(&out, nil, path, 4, exp.Quick())
+			err := runScenario(&out, nil, path, scenarioOpts{cores: 4, scale: exp.Quick()})
 			if err == nil {
 				t.Fatal("malformed scenario accepted")
 			}

@@ -1,0 +1,59 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// fake swaps the package's build-info source for one test.
+func fake(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	prev := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = prev })
+}
+
+func TestFingerprintFromVCSStamp(t *testing.T) {
+	fake(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Path: "pivot", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.time", Value: "2026-08-05T06:02:40Z"},
+			{Key: "vcs.modified", Value: "false"},
+		},
+	}, true)
+	got := Fingerprint()
+	want := "pivot (devel) 0123456789ab (go1.24.0)"
+	if got != want {
+		t.Errorf("Fingerprint() = %q, want %q", got, want)
+	}
+}
+
+func TestFingerprintMarksDirtyTrees(t *testing.T) {
+	fake(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Path: "pivot", Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "deadbeef"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	// A short revision passes through untruncated; local edits get +dirty.
+	if got, want := Fingerprint(), "pivot (devel) deadbeef+dirty (go1.24.0)"; got != want {
+		t.Errorf("Fingerprint() = %q, want %q", got, want)
+	}
+	info := Get()
+	if !info.Modified || info.Revision != "deadbeef" {
+		t.Errorf("Get() = %+v, want modified deadbeef", info)
+	}
+}
+
+func TestFingerprintWithoutBuildInfo(t *testing.T) {
+	fake(t, nil, false)
+	// Binaries built without module info (some test harnesses) must still
+	// produce a stable, non-empty stamp rather than crash or emit "".
+	if got, want := Fingerprint(), "pivot unknown unknown"; got != want {
+		t.Errorf("Fingerprint() = %q, want %q", got, want)
+	}
+}

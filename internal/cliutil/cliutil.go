@@ -1,0 +1,63 @@
+// Package cliutil holds the small pieces both CLIs (pivotsim, pivot-exp)
+// share: the -log-format structured logger, the -version line, and the
+// suffix-dispatched flight-report exporter.
+package cliutil
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+
+	"pivot/internal/buildinfo"
+	"pivot/internal/flight"
+	"pivot/internal/harness"
+)
+
+// Logger builds the diagnostics logger selected by -log-format: "text"
+// (human-readable key=value lines) or "json" (one JSON object per line, for
+// log collectors). Output goes to stderr, keeping stdout for results.
+func Logger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// Version renders the -version line for a CLI.
+func Version(cmd string) string {
+	return cmd + " " + buildinfo.Fingerprint()
+}
+
+// WriteFlight exports a tail-attribution report to path, dispatching on the
+// suffix: .json gets the full machine-readable report, .csv the table blocks
+// as CSV, anything else the aligned text tables. The build fingerprint is
+// stamped into the report source at export time (not at capture time, so
+// in-memory reports stay comparable across runs of the same binary). The
+// write is atomic: readers never observe a torn report.
+func WriteFlight(rep *flight.Report, path string) error {
+	if rep == nil {
+		return fmt.Errorf("no flight-recorded run produced a report")
+	}
+	stamped := *rep
+	stamped.Source = stamped.Source + " | " + buildinfo.Fingerprint()
+	var buf bytes.Buffer
+	var err error
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = stamped.WriteJSON(&buf)
+	case strings.HasSuffix(path, ".csv"):
+		err = stamped.WriteCSV(&buf)
+	default:
+		err = stamped.WriteText(&buf)
+	}
+	if err != nil {
+		return err
+	}
+	return harness.WriteFileAtomic(path, buf.Bytes(), 0o644)
+}

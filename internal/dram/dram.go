@@ -260,6 +260,7 @@ func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
 	}
 	bank, row := c.decode(r.Addr)
 	e := entry{req: r, enq: now, bank: bank, row: row, ready: ready}
+	r.Enter(mem.CompMemCtrl, now)
 	c.actSettled = 0 // a new entry may claim a previously idle bank
 	if usePrio {
 		c.prio = append(c.prio, e)
@@ -518,9 +519,11 @@ func (c *Controller) Tick(now sim.Cycle) {
 		c.busFreeAt[ch] = now + c.cfg.TBurst
 		c.Stats.BusyCycles++
 		done := now + c.cfg.TCAS + c.cfg.TBurst
-		e.req.AddSplit(mem.CompMemCtrl, now-e.enq)
-		e.req.AddSplit(mem.CompDRAM, done-now)
-		e.req.AddSplit(mem.CompResp, c.cfg.RespLatency)
+		// The queue residency is pure wait; CAS+burst and the response hop
+		// are pure service.
+		e.req.Depart(mem.CompMemCtrl, e.enq, now, 0)
+		e.req.Hop(mem.CompDRAM, now, done-now)
+		e.req.Hop(mem.CompResp, done, c.cfg.RespLatency)
 		c.pendingResp = append(c.pendingResp, respEntry{req: e.req, due: done + c.cfg.RespLatency})
 	}
 }
@@ -593,6 +596,22 @@ func (c *Controller) RegisterStats(reg *stats.Registry, prefix string) {
 		}
 		return float64(open) / float64(len(c.banks))
 	})
+}
+
+// EachReq visits every request the controller holds in deterministic order
+// (priority queue, normal queue, then the response pipe, each FCFS), for
+// checkpoint layers that must enumerate in-flight requests identically before
+// a snapshot and after its restore.
+func (c *Controller) EachReq(f func(*mem.Req)) {
+	for i := range c.prio {
+		f(c.prio[i].req)
+	}
+	for i := range c.normal {
+		f(c.normal[i].req)
+	}
+	for i := range c.pendingResp {
+		f(c.pendingResp[i].req)
+	}
 }
 
 // Drained reports whether all queues and in-flight responses are empty.

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"pivot/internal/flight"
 	"pivot/internal/machine"
 	"pivot/internal/metrics"
 	"pivot/internal/profile"
@@ -145,9 +146,19 @@ type shared struct {
 
 	logMu sync.Mutex
 
-	statsMu   sync.Mutex
+	// cap is shared with sibling contexts (other machine configs derived via
+	// ForScenario): the caches above are per-config, but the most recent
+	// instrumented run's artifacts must stay visible from the context the CLI
+	// holds, whichever config actually executed.
+	cap *capture
+}
+
+// capture holds the most recent instrumented run's artifacts.
+type capture struct {
+	mu        sync.Mutex
 	stats     *stats.Dump
 	timeline  *stats.Timeline
+	flight    *flight.Report
 	statsRuns int
 }
 
@@ -178,6 +189,21 @@ type Context struct {
 	// every StatsEpoch cycles. LastStats and LastTimeline then return the
 	// most recent instrumented run's dump and Perfetto timeline.
 	StatsEpoch sim.Cycle
+
+	// FlightTop, when > 0, attaches a per-request flight recorder to every
+	// co-location run the harness executes, keeping full span chains for this
+	// many slowest requests. LastFlight then returns the most recent run's
+	// tail-attribution report. Recording is purely observational: simulated
+	// results are bit-identical with it on or off.
+	FlightTop int
+
+	// FlightSample is the flight recorder's lifecycle reservoir size
+	// (0 = the flight package default).
+	FlightSample int
+
+	// Progress, when set, receives live telemetry from every run this
+	// Context executes (current cycle, goal) for the /progress endpoint.
+	Progress *stats.Progress
 
 	// Watchdog aborts any run in which no core commits an instruction for
 	// this many cycles (machine.Options.WatchdogWindow); 0 disables it.
@@ -213,16 +239,18 @@ type Context struct {
 
 // NewContext builds a harness context over cfg at the given scale.
 func NewContext(cfg machine.Config, scale Scale) *Context {
-	return &Context{
-		Cfg:   cfg,
-		Scale: scale,
-		sh: &shared{
-			calib:    make(map[string]*cell[*AppCalib]),
-			pots:     make(map[string]*cell[profile.CriticalSet]),
-			beAlone:  make(map[string]*cell[float64]),
-			customLC: make(map[string]workload.LCParams),
-			customBE: make(map[string]workload.BEParams),
-		},
+	return &Context{Cfg: cfg, Scale: scale, sh: newShared(&capture{})}
+}
+
+// newShared builds the per-config cache state around an existing capture.
+func newShared(cap *capture) *shared {
+	return &shared{
+		calib:    make(map[string]*cell[*AppCalib]),
+		pots:     make(map[string]*cell[profile.CriticalSet]),
+		beAlone:  make(map[string]*cell[float64]),
+		customLC: make(map[string]workload.LCParams),
+		customBE: make(map[string]workload.BEParams),
+		cap:      cap,
 	}
 }
 
@@ -374,15 +402,24 @@ func (ctx *Context) BEAloneIPC(app string, threads int) (float64, error) {
 // LastStats returns the stats dump of the most recent instrumented run (nil
 // when StatsEpoch was never set or no co-location run executed).
 func (ctx *Context) LastStats() *stats.Dump {
-	ctx.sh.statsMu.Lock()
-	defer ctx.sh.statsMu.Unlock()
-	return ctx.sh.stats
+	ctx.sh.cap.mu.Lock()
+	defer ctx.sh.cap.mu.Unlock()
+	return ctx.sh.cap.stats
 }
 
 // LastTimeline returns the Perfetto timeline of the most recent
 // instrumented run (nil when none exists).
 func (ctx *Context) LastTimeline() *stats.Timeline {
-	ctx.sh.statsMu.Lock()
-	defer ctx.sh.statsMu.Unlock()
-	return ctx.sh.timeline
+	ctx.sh.cap.mu.Lock()
+	defer ctx.sh.cap.mu.Unlock()
+	return ctx.sh.cap.timeline
+}
+
+// LastFlight returns the tail-attribution report of the most recent
+// flight-recorded run (nil when FlightTop was never set or no co-location
+// run executed).
+func (ctx *Context) LastFlight() *flight.Report {
+	ctx.sh.cap.mu.Lock()
+	defer ctx.sh.cap.mu.Unlock()
+	return ctx.sh.cap.flight
 }

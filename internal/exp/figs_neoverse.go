@@ -8,17 +8,17 @@ import (
 	"pivot/internal/scenario"
 )
 
-// sibling builds a context over another machine configuration, sharing the
-// scale, the robustness settings and the run context but recalibrating
-// everything (knees shift with the deeper ROB and faster LLC).
+// sibling builds a context over another machine configuration: every knob
+// (scale, robustness, observability, checkpointing, run context) carries
+// over, but the calibration caches start empty — knees shift with the deeper
+// ROB and faster LLC. The capture of the most recent instrumented run is
+// shared, so LastStats/LastTimeline/LastFlight on the original context see
+// runs executed on the sibling.
 func (ctx *Context) sibling(cfg machine.Config) *Context {
-	n := NewContext(cfg, ctx.Scale)
-	n.Out = ctx.Out
-	n.Watchdog = ctx.Watchdog
-	n.Audit = ctx.Audit
-	n.Dense = ctx.Dense
-	n.runCtx = ctx.runCtx
-	return n
+	out := *ctx
+	out.Cfg = cfg
+	out.sh = newShared(ctx.sh.cap)
+	return &out
 }
 
 // neoverse is the Table III sibling machine.

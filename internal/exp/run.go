@@ -8,6 +8,7 @@ import (
 
 	"pivot/internal/checkpoint"
 	"pivot/internal/faultinject"
+	"pivot/internal/flight"
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/mem"
@@ -174,6 +175,13 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	if ctx.StatsEpoch > 0 {
 		m.EnableStats(ctx.StatsEpoch, 0)
 	}
+	if ctx.FlightTop > 0 {
+		m.EnableFlight(flight.Config{TopK: ctx.FlightTop, SampleCap: ctx.FlightSample})
+	}
+	if ctx.Progress != nil {
+		m.SetProgress(ctx.Progress)
+		ctx.Progress.SetGoal(uint64(warmup + measure))
+	}
 	if spec.Method.Policy == machine.PolicyMBA && spec.Method.MBALevel > 0 {
 		for i, t := range tasks {
 			if t.Kind == machine.TaskBE {
@@ -238,6 +246,7 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	res.BWUtil = m.BWUtil()
 	res.Split, res.SplitN = m.SplitAverages()
 	ctx.captureStats(m, spec)
+	ctx.captureFlight(m, spec)
 	return res, nil
 }
 
@@ -265,15 +274,44 @@ func (ctx *Context) captureStats(m *machine.Machine, spec RunSpec) {
 		return
 	}
 	d := m.StatsDump()
-	ctx.sh.statsMu.Lock()
-	defer ctx.sh.statsMu.Unlock()
-	ctx.sh.stats = &d
-	ctx.sh.statsRuns++
-	label := fmt.Sprintf("run %d: %s", ctx.sh.statsRuns, spec.Method.Name)
+	cap := ctx.sh.cap
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	cap.stats = &d
+	cap.statsRuns++
+	cap.timeline = m.BuildTimeline(cap.statsRuns,
+		fmt.Sprintf("run %d: %s", cap.statsRuns, specLabel(spec)))
+}
+
+// specLabel names a run for report headers and timeline process names.
+func specLabel(spec RunSpec) string {
+	label := spec.Method.Name
 	for _, lc := range spec.LCs {
 		label += fmt.Sprintf(" %s@%d%%", lc.App, lc.LoadPct)
 	}
-	ctx.sh.timeline = m.BuildTimeline(ctx.sh.statsRuns, label)
+	return label
+}
+
+// captureFlight records the tail-attribution report of the just-finished
+// flight-recorded run. Source deliberately excludes the build fingerprint and
+// run counters — the report must be byte-identical across dense, skip-ahead
+// and kill-and-resume invocations of the same spec (callers add provenance
+// when exporting).
+func (ctx *Context) captureFlight(m *machine.Machine, spec RunSpec) {
+	if !m.FlightEnabled() {
+		return
+	}
+	rep := m.FlightReport()
+	rep.Source = specLabel(spec)
+	cap := ctx.sh.cap
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	cap.flight = rep
+	// When the same run was also stats-instrumented, its slowest requests'
+	// span chains join the run's Perfetto timeline under their own pid.
+	if m.StatsEnabled() && cap.timeline != nil {
+		rep.AppendTimeline(cap.timeline, 1000+cap.statsRuns)
+	}
 }
 
 // checkpointDir derives the per-run checkpoint subdirectory for a spec, or
@@ -292,8 +330,11 @@ func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec, warmup, meas
 		return ""
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%016x|%s|%d|%d|%d", m.Fingerprint(), spec.Method.Name,
-		spec.Method.MBALevel, warmup, measure)
+	// Flight config is part of the key: a recorder snapshot only restores into
+	// a recorder with the same TopK/SampleCap, so runs with different flight
+	// settings must not share checkpoints.
+	fmt.Fprintf(h, "%016x|%s|%d|%d|%d|%d|%d", m.Fingerprint(), spec.Method.Name,
+		spec.Method.MBALevel, warmup, measure, ctx.FlightTop, ctx.FlightSample)
 	return filepath.Join(ctx.CheckpointDir, fmt.Sprintf("run-%016x", h.Sum64()))
 }
 

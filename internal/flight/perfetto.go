@@ -1,0 +1,53 @@
+package flight
+
+import (
+	"fmt"
+
+	"pivot/internal/stats"
+)
+
+// AppendTimeline exports the slowest requests' span chains as Chrome
+// trace-event tracks on tl under pid, one track per request ranked worst
+// first, following internal/stats/timeline.go's conventions so request spans
+// and epoch counter series land in one Perfetto trace. Queue wait and
+// service render as separate back-to-back slices ("wait" / "service"
+// categories), so a glance shows where a slow request queued.
+func (rec *Recorder) AppendTimeline(tl *stats.Timeline, pid int) {
+	rep := rec.Report()
+	rep.AppendTimeline(tl, pid)
+}
+
+// AppendTimeline is the report-side exporter backing Recorder.AppendTimeline.
+func (r *Report) AppendTimeline(tl *stats.Timeline, pid int) {
+	tl.ProcessName(pid, "flight recorder: slowest requests")
+	for i, s := range r.Slowest {
+		tid := i + 1
+		crit := ""
+		if s.Critical {
+			crit = " critical"
+		}
+		tl.ThreadName(pid, tid, fmt.Sprintf("slow #%d pc %#x core %d%s", tid, s.PC, s.CoreID, crit))
+		args := map[string]any{
+			"pc":       fmt.Sprintf("%#x", s.PC),
+			"addr":     fmt.Sprintf("%#x", s.Addr),
+			"core":     s.CoreID,
+			"partid":   int(s.Part),
+			"critical": s.Critical,
+			"lc":       s.LCTask,
+			"write":    s.IsWrite,
+			"latency":  s.Latency,
+		}
+		tl.Complete(pid, tid, fmt.Sprintf("req pc %#x", s.PC), "flight-request",
+			s.Issued, s.Latency, args)
+		for _, sp := range s.Spans {
+			if sp.Wait > 0 {
+				tl.Complete(pid, tid, sp.Comp+" wait", "flight-wait",
+					sp.Start, sp.Wait, map[string]any{"component": sp.Comp})
+			}
+			if sp.Service > 0 {
+				tl.Complete(pid, tid, sp.Comp, "flight-service",
+					sp.Start+sp.Wait, sp.Service, map[string]any{"component": sp.Comp})
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pivot/internal/mem"
+	"pivot/internal/metrics"
+)
+
+// DistStat summarises the demand-latency distribution: count/mean/max are
+// exact over every completion, the percentiles are nearest-rank estimates
+// from the reservoir sample.
+type DistStat struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+}
+
+// CompRow is one component's share of where cycles go: exact means over all
+// demand requests, and means over the sampled tail (latency >= overall P95).
+type CompRow struct {
+	Comp         string  `json:"component"`
+	MeanCycles   float64 `json:"meanCycles"`
+	MeanWait     float64 `json:"meanWaitCycles"`
+	TailCycles   float64 `json:"tailMeanCycles"`
+	TailWait     float64 `json:"tailMeanWaitCycles"`
+	TailWaitFrac float64 `json:"tailWaitFrac"` // wait / residency in the tail
+}
+
+// PCRow is one static PC's tail contribution.
+type PCRow struct {
+	PC        uint64  `json:"pc"`
+	Count     uint64  `json:"count"`
+	CritFrac  float64 `json:"criticalFrac"`
+	Mean      float64 `json:"meanLatency"`
+	Max       uint64  `json:"maxLatency"`
+	TailCount int     `json:"tailSamples"`
+	TailShare float64 `json:"tailShare"` // fraction of sampled tail lifecycles
+	// TopComp is where this PC's requests spend most of their cycles, and
+	// TopWait where they queue the longest (exact, over all completions).
+	TopComp string `json:"topComponent"`
+	TopWait string `json:"topWaitComponent"`
+}
+
+// SlowRow is one of the K slowest requests with its span chain.
+type SlowRow struct {
+	Seq      uint64     `json:"seq"`
+	PC       uint64     `json:"pc"`
+	Addr     uint64     `json:"addr"`
+	CoreID   int        `json:"core"`
+	Part     mem.PartID `json:"partid"`
+	Critical bool       `json:"critical"`
+	LCTask   bool       `json:"lc"`
+	IsWrite  bool       `json:"write"`
+	Issued   uint64     `json:"issued"`
+	Latency  uint64     `json:"latency"`
+	Spans    []SpanRow  `json:"spans"`
+}
+
+// SpanRow is a span's export form.
+type SpanRow struct {
+	Comp    string `json:"component"`
+	Start   uint64 `json:"start"`
+	Wait    uint64 `json:"wait"`
+	Service uint64 `json:"service"`
+}
+
+// Report is the tail-attribution report: the Fig 5 question ("where does a
+// critical load spend its cycles?") answered per static PC and per component,
+// with the slowest span chains attached. It is deterministic: identical
+// recordings render byte-identical reports.
+type Report struct {
+	// Source identifies the producing build/run (set by the caller, e.g. the
+	// CLI's build fingerprint plus scenario name); it is a header only and
+	// takes no part in any computed field.
+	Source     string    `json:"source,omitempty"`
+	Demand     uint64    `json:"demandRequests"`
+	Writes     uint64    `json:"writes"`
+	Prefetches uint64    `json:"prefetches"`
+	SampleN    int       `json:"sampledLifecycles"`
+	Overall    DistStat  `json:"overall"`
+	Components []CompRow `json:"components"`
+	PCs        []PCRow   `json:"pcs"`
+	Slowest    []SlowRow `json:"slowest"`
+}
+
+// Report builds the tail-attribution report from everything recorded so far.
+func (rec *Recorder) Report() *Report {
+	rep := &Report{
+		Demand:     rec.seq,
+		Writes:     rec.writes,
+		Prefetches: rec.prefetches,
+		SampleN:    len(rec.res),
+	}
+
+	// Overall distribution: exact count/mean/max, sampled percentiles.
+	rep.Overall = DistStat{Count: rec.seq, Max: rec.maxLat}
+	if rec.seq > 0 {
+		rep.Overall.Mean = float64(rec.sumLat) / float64(rec.seq)
+	}
+	lats := make([]uint64, len(rec.res))
+	for i, l := range rec.res {
+		lats[i] = uint64(l.Latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(p float64) uint64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		rank := int(p/100*float64(len(lats))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(lats) {
+			rank = len(lats) - 1
+		}
+		return lats[rank]
+	}
+	rep.Overall.P50, rep.Overall.P95, rep.Overall.P99 = at(50), at(95), at(99)
+
+	// Tail = sampled lifecycles at or above the P95 estimate.
+	tailThresh := rep.Overall.P95
+	var tail []Life
+	if len(rec.res) > 0 {
+		for _, l := range rec.res {
+			if uint64(l.Latency) >= tailThresh {
+				tail = append(tail, l)
+			}
+		}
+	}
+
+	// Per-component rows.
+	var tailSplit, tailWait [mem.NumComponents]uint64
+	for _, l := range tail {
+		for c := 0; c < int(mem.NumComponents); c++ {
+			tailSplit[c] += uint64(l.Split[c])
+			tailWait[c] += uint64(l.Wait[c])
+		}
+	}
+	for c := 0; c < int(mem.NumComponents); c++ {
+		row := CompRow{Comp: mem.Component(c).String()}
+		if rec.seq > 0 {
+			row.MeanCycles = float64(rec.split[c]) / float64(rec.seq)
+			row.MeanWait = float64(rec.wait[c]) / float64(rec.seq)
+		}
+		if n := len(tail); n > 0 {
+			row.TailCycles = float64(tailSplit[c]) / float64(n)
+			row.TailWait = float64(tailWait[c]) / float64(n)
+			if tailSplit[c] > 0 {
+				row.TailWaitFrac = float64(tailWait[c]) / float64(tailSplit[c])
+			}
+		}
+		rep.Components = append(rep.Components, row)
+	}
+
+	// Per-PC rows: tail share from the sample, the rest exact.
+	tailByPC := make(map[uint64]int)
+	for _, l := range tail {
+		tailByPC[l.PC]++
+	}
+	pcs := make([]*PCAgg, 0, len(rec.perPC))
+	for _, agg := range rec.perPC {
+		pcs = append(pcs, agg)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i].PC < pcs[j].PC })
+	for _, agg := range pcs {
+		row := PCRow{
+			PC: agg.PC, Count: agg.Count, Max: agg.Max,
+			CritFrac:  float64(agg.Critical) / float64(agg.Count),
+			Mean:      float64(agg.Sum) / float64(agg.Count),
+			TailCount: tailByPC[agg.PC],
+		}
+		if len(tail) > 0 {
+			row.TailShare = float64(row.TailCount) / float64(len(tail))
+		}
+		topComp, topWait := 0, 0
+		for c := 1; c < int(mem.NumComponents); c++ {
+			if agg.Split[c] > agg.Split[topComp] {
+				topComp = c
+			}
+			if agg.Wait[c] > agg.Wait[topWait] {
+				topWait = c
+			}
+		}
+		row.TopComp = mem.Component(topComp).String()
+		if agg.Wait[topWait] == 0 {
+			row.TopWait = "-"
+		} else {
+			row.TopWait = mem.Component(topWait).String()
+		}
+		rep.PCs = append(rep.PCs, row)
+	}
+	sort.SliceStable(rep.PCs, func(i, j int) bool {
+		a, b := rep.PCs[i], rep.PCs[j]
+		if a.TailShare != b.TailShare {
+			return a.TailShare > b.TailShare
+		}
+		if a.Mean != b.Mean {
+			return a.Mean > b.Mean
+		}
+		return a.PC < b.PC
+	})
+
+	// Slowest requests, worst first (ties broken by completion order).
+	slow := make([]SlowReq, len(rec.top))
+	copy(slow, rec.top)
+	sort.Slice(slow, func(i, j int) bool { return weaker(&slow[j], &slow[i]) })
+	for _, s := range slow {
+		row := SlowRow{
+			Seq: s.Seq, PC: s.PC, Addr: s.Addr, CoreID: s.CoreID, Part: s.Part,
+			Critical: s.Critical, LCTask: s.LCTask, IsWrite: s.IsWrite,
+			Issued: uint64(s.Issued), Latency: uint64(s.Latency),
+		}
+		for _, sp := range s.Spans {
+			row.Spans = append(row.Spans, SpanRow{
+				Comp: sp.Comp.String(), Start: uint64(sp.Start),
+				Wait: uint64(sp.Wait), Service: uint64(sp.Service),
+			})
+		}
+		rep.Slowest = append(rep.Slowest, row)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Tables renders the report as aligned experiment tables (overall, per
+// component, per PC, slowest chains).
+func (r *Report) Tables() []*metrics.Table {
+	title := "flight: tail attribution"
+	if r.Source != "" {
+		title += " (" + r.Source + ")"
+	}
+	overall := &metrics.Table{Title: title,
+		Headers: []string{"metric", "value"}}
+	overall.AddRowf("demand requests", r.Demand)
+	overall.AddRowf("writes", r.Writes)
+	overall.AddRowf("prefetches", r.Prefetches)
+	overall.AddRowf("sampled lifecycles", r.SampleN)
+	overall.AddRowf("mean latency", r.Overall.Mean)
+	overall.AddRowf("p50 / p95 / p99", fmt.Sprintf("%d / %d / %d",
+		r.Overall.P50, r.Overall.P95, r.Overall.P99))
+	overall.AddRowf("max latency", r.Overall.Max)
+
+	comp := &metrics.Table{Title: "flight: per-component cycles (tail = sampled >= p95)",
+		Headers: []string{"component", "mean", "mean wait", "tail mean", "tail wait", "tail wait frac"}}
+	for _, c := range r.Components {
+		comp.AddRowf(c.Comp, c.MeanCycles, c.MeanWait, c.TailCycles, c.TailWait, c.TailWaitFrac)
+	}
+
+	pcs := &metrics.Table{Title: "flight: per-PC tail attribution",
+		Headers: []string{"pc", "count", "crit", "mean", "max", "tail share", "top comp", "top wait"}}
+	for _, p := range r.PCs {
+		pcs.AddRowf(fmt.Sprintf("%#x", p.PC), p.Count, p.CritFrac, p.Mean, p.Max,
+			p.TailShare, p.TopComp, p.TopWait)
+	}
+
+	slow := &metrics.Table{Title: "flight: slowest requests",
+		Headers: []string{"#", "pc", "core", "crit", "latency", "span chain"}}
+	for i, s := range r.Slowest {
+		var b strings.Builder
+		for j, sp := range s.Spans {
+			if j > 0 {
+				b.WriteString(" > ")
+			}
+			if sp.Wait > 0 {
+				fmt.Fprintf(&b, "%s %d+%d", sp.Comp, sp.Wait, sp.Service)
+			} else {
+				fmt.Fprintf(&b, "%s %d", sp.Comp, sp.Service)
+			}
+		}
+		slow.AddRowf(i+1, fmt.Sprintf("%#x", s.PC), s.CoreID, s.Critical, s.Latency, b.String())
+	}
+	return []*metrics.Table{overall, comp, pcs, slow}
+}
+
+// WriteText renders the aligned tables to w.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, t := range r.Tables() {
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the report as CSV blocks separated by blank lines, in the
+// same order as Tables.
+func (r *Report) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	for i, t := range r.Tables() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(t.CSV())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,107 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"pivot/internal/mem"
+)
+
+// TraceState is the serialised span chain of one still-in-flight request.
+type TraceState struct {
+	Spans []mem.Span
+}
+
+// RecorderState is the recorder's fully exported serialisable form. It holds
+// no maps (per-PC aggregates are sorted by PC) so its gob encoding is
+// deterministic, matching the machine checkpoint layer's byte-compare
+// discipline. Live carries the span chains of requests that were in flight
+// at snapshot time, in the machine's deterministic walk order, so a resumed
+// run finishes recording them exactly as an uninterrupted one would.
+type RecorderState struct {
+	Cfg        Config
+	Seq        uint64
+	Prefetches uint64
+	Writes     uint64
+	SumLat     uint64
+	MaxLat     uint64
+	Split      [mem.NumComponents]uint64
+	Wait       [mem.NumComponents]uint64
+	Top        []SlowReq // heap order
+	Res        []Life
+	Rng        uint64
+	PCs        []PCAgg
+	Live       []TraceState
+}
+
+// State captures the recorder, including the given in-flight span chains.
+func (rec *Recorder) State(live []*mem.Trace) *RecorderState {
+	s := &RecorderState{
+		Cfg: rec.cfg, Seq: rec.seq, Prefetches: rec.prefetches,
+		Writes: rec.writes, SumLat: rec.sumLat, MaxLat: rec.maxLat,
+		Split: rec.split, Wait: rec.wait, Rng: rec.rng,
+	}
+	s.Top = make([]SlowReq, len(rec.top))
+	for i, t := range rec.top {
+		s.Top[i] = t
+		s.Top[i].Spans = append([]mem.Span(nil), t.Spans...)
+	}
+	s.Res = append([]Life(nil), rec.res...)
+	s.PCs = make([]PCAgg, 0, len(rec.perPC))
+	for _, agg := range rec.perPC {
+		s.PCs = append(s.PCs, *agg)
+	}
+	sort.Slice(s.PCs, func(i, j int) bool { return s.PCs[i].PC < s.PCs[j].PC })
+	s.Live = make([]TraceState, len(live))
+	for i, t := range live {
+		if t != nil {
+			s.Live[i].Spans = append([]mem.Span(nil), t.Spans...)
+		}
+	}
+	return s
+}
+
+// Validate sanity-checks the state against a recorder configuration.
+func (s *RecorderState) Validate(cfg Config) error {
+	cfg = cfg.withDefaults()
+	if s.Cfg.withDefaults() != cfg {
+		return fmt.Errorf("flight: snapshot config %+v does not match recorder config %+v", s.Cfg, cfg)
+	}
+	if len(s.Top) > cfg.TopK {
+		return fmt.Errorf("flight: snapshot holds %d top-K entries, cap is %d", len(s.Top), cfg.TopK)
+	}
+	if len(s.Res) > cfg.SampleCap {
+		return fmt.Errorf("flight: snapshot holds %d reservoir entries, cap is %d", len(s.Res), cfg.SampleCap)
+	}
+	return nil
+}
+
+// Restore replaces the recorder's contents with the snapshot and returns the
+// in-flight span chains to reattach, in the same walk order State saw them.
+func (rec *Recorder) Restore(s *RecorderState) []*mem.Trace {
+	rec.cfg = s.Cfg.withDefaults()
+	rec.seq = s.Seq
+	rec.prefetches = s.Prefetches
+	rec.writes = s.Writes
+	rec.sumLat = s.SumLat
+	rec.maxLat = s.MaxLat
+	rec.split = s.Split
+	rec.wait = s.Wait
+	rec.rng = s.Rng
+	rec.top = make([]SlowReq, len(s.Top))
+	for i, t := range s.Top {
+		rec.top[i] = t
+		rec.top[i].Spans = append([]mem.Span(nil), t.Spans...)
+	}
+	rec.res = append(rec.res[:0], s.Res...)
+	rec.perPC = make(map[uint64]*PCAgg, len(s.PCs))
+	for i := range s.PCs {
+		agg := s.PCs[i]
+		rec.perPC[agg.PC] = &agg
+	}
+	live := make([]*mem.Trace, len(s.Live))
+	for i, ts := range s.Live {
+		live[i] = &mem.Trace{Spans: append([]mem.Span(nil), ts.Spans...)}
+	}
+	return live
+}

@@ -14,11 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"pivot/internal/machine"
+	"pivot/internal/stats"
 )
 
 // Config parameterises one sweep.
@@ -38,8 +40,16 @@ type Config struct {
 	// Resume skips jobs whose IDs already have journal entries, returning
 	// the journaled value instead of recomputing.
 	Resume bool
-	// Out receives progress notes; nil silences them.
+	// Out receives progress notes; nil silences them. Ignored when Logger is
+	// set.
 	Out io.Writer
+	// Logger, when set, receives structured progress notes instead of the
+	// plain-text lines written to Out. Use stats-free handlers only: the
+	// harness logs from worker goroutines.
+	Logger *slog.Logger
+	// Progress, when set, is fed live sweep telemetry (units done/failed and
+	// the current job label) for the /progress debug endpoint.
+	Progress *stats.Progress
 }
 
 // Job is one unit of work. Run receives a context carrying the per-run
@@ -102,12 +112,13 @@ func transient(err error) bool {
 // Runner executes sweeps. Zero value is unusable; build with New.
 type Runner struct {
 	cfg     Config
+	log     *slog.Logger
 	journal *journal // nil when journaling is off
 }
 
 // New builds a runner, loading the journal when resuming.
 func New(cfg Config) (*Runner, error) {
-	r := &Runner{cfg: cfg}
+	r := &Runner{cfg: cfg, log: resolveLogger(cfg)}
 	if cfg.JournalPath != "" {
 		j, err := openJournal(cfg.JournalPath, cfg.Resume)
 		if err != nil {
@@ -118,10 +129,27 @@ func New(cfg Config) (*Runner, error) {
 	return r, nil
 }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.cfg.Out != nil {
-		fmt.Fprintf(r.cfg.Out, format+"\n", args...)
+// resolveLogger picks the diagnostic sink: an explicit structured logger wins;
+// otherwise Out gets human-readable text lines; otherwise silence.
+func resolveLogger(cfg Config) *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
 	}
+	out := cfg.Out
+	if out == nil {
+		out = io.Discard
+	}
+	return slog.New(slog.NewTextHandler(out, &slog.HandlerOptions{
+		// Drop the timestamp: sweep logs are compared across runs in tests
+		// and by humans diffing reruns, and wall-clock stamps are pure noise
+		// there (Elapsed is reported explicitly where it matters).
+		ReplaceAttr: func(_ []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
 }
 
 // Run executes all jobs and returns one Result per job, in job order. It
@@ -140,6 +168,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	r.cfg.Progress.SetUnits(uint64(len(jobs)))
 	results := make([]Result, len(jobs))
 	workers := r.cfg.Parallel
 	if workers < 1 {
@@ -181,32 +210,36 @@ func Failed(results []Result) int {
 func (r *Runner) runOne(ctx context.Context, job Job) Result {
 	if r.journal != nil && r.cfg.Resume {
 		if raw, ok := r.journal.lookup(job.ID); ok {
-			r.logf("%-40s resumed from journal", job.ID)
+			r.log.Info("resumed from journal", "job", job.ID)
+			r.cfg.Progress.UnitDone(false)
 			return Result{ID: job.ID, Value: raw, Resumed: true}
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		// Sweep cancelled before this job started: fail fast instead of
 		// burning a full simulation that would abort at its first check.
+		r.cfg.Progress.UnitDone(true)
 		return Result{ID: job.ID, Err: &RunError{JobID: job.ID, Err: err}}
 	}
+	r.cfg.Progress.SetLabel(job.ID)
 	start := time.Now()
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(r.cfg.Backoff << (attempt - 1))
-			r.logf("%-40s retry %d/%d", job.ID, attempt, r.cfg.Retries)
+			r.log.Warn("retrying", "job", job.ID, "attempt", attempt, "retries", r.cfg.Retries)
 		}
 		attempts++
 		v, err := r.attempt(ctx, job)
 		if err == nil {
 			if r.journal != nil {
 				if jerr := r.journal.append(job.ID, v); jerr != nil {
-					r.logf("%-40s journal write failed: %v", job.ID, jerr)
+					r.log.Error("journal write failed", "job", job.ID, "err", jerr)
 				}
 			}
-			r.logf("%-40s ok (%.1fs)", job.ID, time.Since(start).Seconds())
+			r.log.Info("job ok", "job", job.ID, "elapsedSec", round1(time.Since(start).Seconds()))
+			r.cfg.Progress.UnitDone(false)
 			return Result{ID: job.ID, Value: v, Attempts: attempts, Elapsed: time.Since(start)}
 		}
 		lastErr = err
@@ -214,7 +247,8 @@ func (r *Runner) runOne(ctx context.Context, job Job) Result {
 			break
 		}
 	}
-	r.logf("%-40s FAILED: %v", job.ID, lastErr)
+	r.log.Error("job failed", "job", job.ID, "attempts", attempts, "err", lastErr)
+	r.cfg.Progress.UnitDone(true)
 	return Result{
 		ID:       job.ID,
 		Err:      &RunError{JobID: job.ID, Attempts: attempts, Err: lastErr},
@@ -222,6 +256,9 @@ func (r *Runner) runOne(ctx context.Context, job Job) Result {
 		Elapsed:  time.Since(start),
 	}
 }
+
+// round1 keeps elapsed-seconds log attrs readable (one decimal).
+func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
 
 // attempt runs the job once under its deadline, converting an escaped panic
 // into a *machine.PanicError so one poisoned run cannot kill the sweep. The

@@ -7,28 +7,34 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"pivot/internal/buildinfo"
 )
 
 // Entry is one journal line: a completed job and its JSON-encoded value.
 // The journal records only successes — failed jobs re-run on resume.
+// Version is the build fingerprint of the binary that produced the value,
+// so a resumed sweep can be audited for entries computed by older code.
 type Entry struct {
-	ID    string          `json:"id"`
-	Value json.RawMessage `json:"value"`
+	ID      string          `json:"id"`
+	Version string          `json:"version,omitempty"`
+	Value   json.RawMessage `json:"value"`
 }
 
 // journal is an append-only JSONL file of completed jobs, safe for
 // concurrent appends from worker goroutines.
 type journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	seen map[string]json.RawMessage
+	mu      sync.Mutex
+	f       *os.File
+	version string // build fingerprint stamped into each entry
+	seen    map[string]json.RawMessage
 }
 
 // openJournal opens (creating if needed) the journal for appending. When
 // resume is set, existing entries are loaded first; a trailing partial line
 // (the process died mid-write) is ignored.
 func openJournal(path string, resume bool) (*journal, error) {
-	j := &journal{seen: make(map[string]json.RawMessage)}
+	j := &journal{seen: make(map[string]json.RawMessage), version: buildinfo.Fingerprint()}
 	if resume {
 		loaded, err := LoadJournal(path)
 		if err != nil && !os.IsNotExist(err) {
@@ -79,7 +85,7 @@ func (j *journal) append(id string, value any) error {
 	if err != nil {
 		return fmt.Errorf("harness: journal value for %s: %w", id, err)
 	}
-	line, err := json.Marshal(Entry{ID: id, Value: raw})
+	line, err := json.Marshal(Entry{ID: id, Version: j.version, Value: raw})
 	if err != nil {
 		return err
 	}

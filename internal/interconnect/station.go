@@ -144,6 +144,7 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 			return false
 		}
 		s.prio = append(s.prio, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
+		r.Enter(s.cfg.Component, now)
 		s.Stats.Accepted++
 		return true
 	}
@@ -152,6 +153,7 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 		return false
 	}
 	s.normal = append(s.normal, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
+	r.Enter(s.cfg.Component, now)
 	s.Stats.Accepted++
 	return true
 }
@@ -252,8 +254,9 @@ func (s *Station) Tick(now sim.Cycle) {
 			return // head-of-line blocking: downstream full
 		}
 		// Charge the residency only on successful hand-off: the downstream
-		// Accept may already have stamped the request into its own stage.
-		r.AddSplit(s.cfg.Component, now-enq)
+		// Accept may already have stamped the request into its own stage,
+		// which is why Depart takes the enqueue cycle explicitly.
+		r.Depart(s.cfg.Component, enq, now, s.cfg.Latency)
 		if fromPrio {
 			s.removePrio(now)
 		} else {
@@ -312,6 +315,18 @@ func (s *Station) RegisterStats(reg *stats.Registry, prefix string) {
 	reg.Rate(prefix+".refused_epoch", func() uint64 { return st.Refused })
 	reg.Gauge(prefix+".qdepth_normal", func() float64 { return float64(len(s.normal)) })
 	reg.Gauge(prefix+".qdepth_prio", func() float64 { return float64(len(s.prio)) })
+}
+
+// EachReq visits every queued request in deterministic order (priority queue
+// first, then normal, both FCFS), for checkpoint layers that must enumerate
+// in-flight requests identically before a snapshot and after its restore.
+func (s *Station) EachReq(f func(*mem.Req)) {
+	for i := range s.prio {
+		f(s.prio[i].req)
+	}
+	for i := range s.normal {
+		f(s.normal[i].req)
+	}
 }
 
 // Drain reports whether both queues are empty.

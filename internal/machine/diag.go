@@ -289,6 +289,9 @@ func (m *Machine) StepChecked(ctx context.Context, n sim.Cycle) error {
 		m.Engine.Step(step)
 		n -= step
 		now := m.Engine.Now()
+		if m.progress != nil {
+			m.progress.SetCycle(uint64(now))
+		}
 
 		if w := m.Opt.WatchdogWindow; w > 0 {
 			if cur := m.committedTotal(); cur != lastCommits {

@@ -9,6 +9,7 @@ import (
 	"pivot/internal/cbp"
 	"pivot/internal/cpu"
 	"pivot/internal/dram"
+	"pivot/internal/flight"
 	"pivot/internal/interconnect"
 	"pivot/internal/loadgen"
 	"pivot/internal/mba"
@@ -184,6 +185,16 @@ type Machine struct {
 	sampler  *stats.Sampler
 	latDist  *stats.Distribution
 	statsOn  bool
+
+	// Flight recorder (nil until EnableFlight); flightOn caches the check so
+	// the request hot paths pay a single flag test when recording is off.
+	flightRec *flight.Recorder
+	flightOn  bool
+
+	// progress, when set, is bumped by StepChecked after every granule so a
+	// live telemetry endpoint can report the current cycle without touching
+	// simulated state (the counter is atomic; see stats.Progress).
+	progress *stats.Progress
 
 	// predTick notes that at least one LC task carries an online predictor
 	// (RRBP or CBP), so auxTick has observable work at every 1024-cycle
@@ -540,9 +551,9 @@ func (m *Machine) llcAccept(r *mem.Req, now sim.Cycle) bool {
 	if !r.LLCChecked {
 		r.LLCChecked = true
 		if m.llc.Lookup(r.Addr, r.Part) {
-			r.AddSplit(mem.CompLLC, sim.Cycle(m.Cfg.LLC.HitCycles))
+			r.Hop(mem.CompLLC, now, sim.Cycle(m.Cfg.LLC.HitCycles))
 			if r.IsWrite {
-				m.recycle(r)
+				m.recycle(r, now)
 				return true
 			}
 			due := now + sim.Cycle(m.Cfg.LLC.HitCycles) + m.Cfg.LLCRespLatency
@@ -558,7 +569,7 @@ func (m *Machine) llcAccept(r *mem.Req, now sim.Cycle) bool {
 // onResp handles a DRAM response: fill the caches and wake the core.
 func (m *Machine) onResp(r *mem.Req, now sim.Cycle) {
 	if r.IsWrite {
-		m.recycle(r)
+		m.recycle(r, now)
 		return
 	}
 	m.llc.Insert(r.Addr, r.Part, false)
@@ -595,21 +606,34 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 			})
 		}
 	}
-	m.recycle(r)
+	m.recycle(r, now)
 }
 
 func (m *Machine) newReq() *mem.Req {
 	m.reqsIssued++
+	var r *mem.Req
 	if n := len(m.reqPool); n > 0 {
-		r := m.reqPool[n-1]
+		r = m.reqPool[n-1]
 		m.reqPool = m.reqPool[:n-1]
 		r.Reset()
-		return r
+	} else {
+		r = &mem.Req{}
 	}
-	return &mem.Req{}
+	if m.flightOn {
+		r.Trace = m.flightRec.StartTrace()
+	}
+	return r
 }
 
-func (m *Machine) recycle(r *mem.Req) {
+// recycle returns a request to the pool, first handing its completed
+// lifecycle to the flight recorder when one is attached. Every recycle site
+// is a real end-of-life (a delivered load, an absorbed write), so completion
+// and recycling are the same event.
+func (m *Machine) recycle(r *mem.Req, now sim.Cycle) {
+	if m.flightOn {
+		m.flightRec.Complete(r, now)
+		r.Trace = nil
+	}
 	m.reqsRecycled++
 	m.reqPool = append(m.reqPool, r)
 }
@@ -703,6 +727,9 @@ func (m *Machine) ResetStats() {
 	m.sampled = m.sampled[:0]
 	if m.latDist != nil {
 		m.latDist.Reset()
+	}
+	if m.flightRec != nil {
+		m.flightRec.Reset()
 	}
 }
 

@@ -201,8 +201,8 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	r.Critical = lr.Critical
 	r.LCTask = p.isLC
 	r.Issued = now
-	r.AddSplit(mem.CompL1, l1Hit)
-	r.AddSplit(mem.CompL2, l2Hit)
+	r.Hop(mem.CompL1, now, l1Hit)
+	r.Hop(mem.CompL2, now+l1Hit, l2Hit)
 	p.m.delayReq(now+l1Hit+l2Hit, delayEgress, r)
 	p.maybePrefetch(line, now)
 	return true

@@ -9,6 +9,7 @@ import (
 	"pivot/internal/cbp"
 	"pivot/internal/cpu"
 	"pivot/internal/dram"
+	"pivot/internal/flight"
 	"pivot/internal/interconnect"
 	"pivot/internal/loadgen"
 	"pivot/internal/mba"
@@ -89,6 +90,7 @@ type MachineState struct {
 
 	Sampler *stats.SamplerState      // nil unless stats enabled at snapshot
 	LatDist *stats.DistributionState // nil unless stats enabled at snapshot
+	Flight  *flight.RecorderState    // nil unless a flight recorder attached
 
 	MeasureStart sim.Cycle
 	Measured     sim.Cycle
@@ -224,6 +226,7 @@ func (m *Machine) SnapshotState() (*MachineState, error) {
 		st := m.latDist.SnapshotState()
 		s.LatDist = &st
 	}
+	s.Flight = m.flightSnapshot()
 	return s, nil
 }
 
@@ -273,6 +276,19 @@ func (m *Machine) validateState(s *MachineState) error {
 	for i := range s.BEs {
 		if s.BEs[i].Present != (m.bes[i] != nil) {
 			return fmt.Errorf("machine: core %d BE stream presence differs from snapshot", i)
+		}
+	}
+	// A flight-recording machine must not resume from a snapshot that lacks
+	// the recorder's state: the resumed run would silently under-report
+	// everything completed before the snapshot. (The reverse — a snapshot
+	// carrying flight state restored into a recorder-less machine — is fine:
+	// the recorder is purely observational, so its state is simply dropped.)
+	if m.flightRec != nil {
+		if s.Flight == nil {
+			return fmt.Errorf("machine: flight recorder attached but snapshot has no flight state")
+		}
+		if err := s.Flight.Validate(m.flightRec.Cfg()); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -373,5 +389,8 @@ func (m *Machine) RestoreState(s *MachineState) error {
 	if m.latDist != nil && s.LatDist != nil {
 		m.latDist.RestoreState(*s.LatDist)
 	}
+	// Reattach the flight recorder last: the in-flight walk reads the
+	// component queues restored above.
+	m.flightRestore(s.Flight)
 	return nil
 }

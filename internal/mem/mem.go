@@ -104,10 +104,17 @@ type Req struct {
 
 	Issued sim.Cycle // cycle the request left the L1/MSHR
 
-	// enteredAt tracks when the request entered its current component, and
-	// Split accumulates cycles spent per component for Fig 5.
+	// enteredAt tracks when the request entered its current component, Cur
+	// names that component, and Split accumulates cycles spent per component
+	// for Fig 5.
 	enteredAt sim.Cycle
+	Cur       Component
 	Split     [NumComponents]uint32
+
+	// Trace, when non-nil, accumulates one cycle-stamped span per component
+	// transition for the flight recorder. It stays nil unless flight
+	// recording is enabled, so the disabled path never touches it.
+	Trace *Trace
 
 	// LLCMiss records whether the request missed in the LLC, needed by the
 	// offline profiler (per-PC LLC miss rate) and the online statistics.
@@ -122,11 +129,12 @@ type Req struct {
 	Prefetch bool
 }
 
-// Enter stamps the request as having entered component c at cycle now,
-// closing out the time spent in the previous component.
+// Enter stamps the request as having entered component c at cycle now. The
+// component is recorded in Cur so a later Leave/Depart can tell queue wait
+// from service time instead of discarding the stage it was measured in.
 func (r *Req) Enter(c Component, now sim.Cycle) {
 	r.enteredAt = now
-	_ = c
+	r.Cur = c
 }
 
 // Leave accumulates the cycles spent in component c since the matching Enter.
@@ -136,11 +144,62 @@ func (r *Req) Leave(c Component, now sim.Cycle) {
 	}
 }
 
+// Depart closes out the request's residency in component c, which it entered
+// at cycle enq: the whole residency is charged to the Fig 5 split, and when
+// the request is traced it is recorded as a span whose service portion is the
+// component's base traversal latency and whose remainder is queue wait. The
+// enqueue cycle is passed explicitly rather than read from the Enter stamp
+// because the downstream Accept runs before the hand-off is charged and may
+// already have re-stamped the request into its own stage.
+func (r *Req) Depart(c Component, enq, now, service sim.Cycle) {
+	var total sim.Cycle
+	if now > enq {
+		total = now - enq
+	}
+	r.Split[c] += uint32(total)
+	if r.Trace != nil {
+		if service > total {
+			service = total
+		}
+		r.Trace.Spans = append(r.Trace.Spans,
+			Span{Comp: c, Start: enq, Wait: total - service, Service: service})
+	}
+}
+
+// Hop charges a fixed-latency traversal of component c beginning at cycle
+// from, recording a pure-service span when the request is traced. It replaces
+// AddSplit at call sites where the hop has no queueing.
+func (r *Req) Hop(c Component, from, n sim.Cycle) {
+	r.Split[c] += uint32(n)
+	if r.Trace != nil {
+		r.Trace.Spans = append(r.Trace.Spans, Span{Comp: c, Start: from, Service: n})
+	}
+}
+
 // AddSplit directly charges n cycles to component c, for fixed-latency hops
 // that are not modelled with Enter/Leave pairs.
 func (r *Req) AddSplit(c Component, n sim.Cycle) {
 	r.Split[c] += uint32(n)
 }
+
+// Span is one recorded stage of a traced request's lifetime: the cycle it
+// entered component Comp, how long it waited for service there, and how long
+// the service itself took.
+type Span struct {
+	Comp    Component
+	Start   sim.Cycle
+	Wait    sim.Cycle
+	Service sim.Cycle
+}
+
+// Trace is the span chain the flight recorder attaches to a request. Buffers
+// are pooled by the recorder, so Reset keeps the backing array.
+type Trace struct {
+	Spans []Span
+}
+
+// Reset empties the trace for reuse, keeping capacity.
+func (t *Trace) Reset() { t.Spans = t.Spans[:0] }
 
 // TotalCycles sums the recorded per-component cycles.
 func (r *Req) TotalCycles() uint64 {
@@ -158,7 +217,10 @@ func (r *Req) Reset() {
 
 // ReqState is the fully exported serialisable form of a Req, used by the
 // machine checkpoint layer. Every field of Req (including the private
-// enteredAt stamp) round-trips through it.
+// enteredAt stamp) round-trips through it, except the Trace pointer: traces
+// belong to the flight recorder, which checkpoints in-flight span chains
+// itself so that a machine state is byte-identical with and without the
+// recorder attached.
 type ReqState struct {
 	Addr       uint64
 	PC         uint64
@@ -169,6 +231,7 @@ type ReqState struct {
 	LCTask     bool
 	Issued     sim.Cycle
 	EnteredAt  sim.Cycle
+	Cur        Component
 	Split      [NumComponents]uint32
 	LLCMiss    bool
 	LLCChecked bool
@@ -180,7 +243,7 @@ func (r *Req) State() ReqState {
 	return ReqState{
 		Addr: r.Addr, PC: r.PC, CoreID: r.CoreID, Part: r.Part,
 		IsWrite: r.IsWrite, Critical: r.Critical, LCTask: r.LCTask,
-		Issued: r.Issued, EnteredAt: r.enteredAt, Split: r.Split,
+		Issued: r.Issued, EnteredAt: r.enteredAt, Cur: r.Cur, Split: r.Split,
 		LLCMiss: r.LLCMiss, LLCChecked: r.LLCChecked, Prefetch: r.Prefetch,
 	}
 }
@@ -190,7 +253,7 @@ func (s ReqState) Materialize() *Req {
 	return &Req{
 		Addr: s.Addr, PC: s.PC, CoreID: s.CoreID, Part: s.Part,
 		IsWrite: s.IsWrite, Critical: s.Critical, LCTask: s.LCTask,
-		Issued: s.Issued, enteredAt: s.EnteredAt, Split: s.Split,
+		Issued: s.Issued, enteredAt: s.EnteredAt, Cur: s.Cur, Split: s.Split,
 		LLCMiss: s.LLCMiss, LLCChecked: s.LLCChecked, Prefetch: s.Prefetch,
 	}
 }

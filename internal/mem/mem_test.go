@@ -22,6 +22,67 @@ func TestSplitAccounting(t *testing.T) {
 	}
 }
 
+func TestEnterRecordsComponent(t *testing.T) {
+	r := &Req{}
+	r.Enter(CompBWCtrl, 42)
+	if r.Cur != CompBWCtrl {
+		t.Fatalf("Cur = %v after Enter, want BWCtrl", r.Cur)
+	}
+	st := r.State()
+	if st.Cur != CompBWCtrl || st.EnteredAt != 42 {
+		t.Fatalf("State() lost Enter stamp: %+v", st)
+	}
+	if got := st.Materialize(); got.Cur != CompBWCtrl || got.enteredAt != 42 {
+		t.Fatal("Materialize lost Enter stamp")
+	}
+}
+
+func TestDepartSplitsWaitFromService(t *testing.T) {
+	r := &Req{Trace: &Trace{}}
+	r.Enter(CompBus, 100)
+	r.Depart(CompBus, 100, 130, 12)
+	if r.Split[CompBus] != 30 {
+		t.Fatalf("bus split = %d, want 30", r.Split[CompBus])
+	}
+	if len(r.Trace.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(r.Trace.Spans))
+	}
+	sp := r.Trace.Spans[0]
+	if sp.Comp != CompBus || sp.Start != 100 || sp.Wait != 18 || sp.Service != 12 {
+		t.Fatalf("span = %+v, want bus@100 wait=18 service=12", sp)
+	}
+	// Service longer than the residency clamps to pure service.
+	r.Depart(CompBus, 200, 205, 10)
+	if sp := r.Trace.Spans[1]; sp.Wait != 0 || sp.Service != 5 {
+		t.Fatalf("clamped span = %+v, want wait=0 service=5", sp)
+	}
+	// now <= enq charges nothing and records an empty span.
+	r.Depart(CompBus, 300, 300, 4)
+	if sp := r.Trace.Spans[2]; sp.Wait != 0 || sp.Service != 0 {
+		t.Fatalf("zero-residency span = %+v", sp)
+	}
+	if r.Split[CompBus] != 35 {
+		t.Fatalf("bus split = %d, want 35", r.Split[CompBus])
+	}
+}
+
+func TestHopRecordsPureService(t *testing.T) {
+	r := &Req{}
+	r.Hop(CompL1, 10, 3) // untraced: split only, no allocation via Trace
+	if r.Split[CompL1] != 3 || r.Trace != nil {
+		t.Fatal("untraced Hop misbehaved")
+	}
+	r.Trace = &Trace{}
+	r.Hop(CompL2, 13, 9)
+	if sp := r.Trace.Spans[0]; sp.Comp != CompL2 || sp.Start != 13 || sp.Wait != 0 || sp.Service != 9 {
+		t.Fatalf("hop span = %+v", sp)
+	}
+	r.Trace.Reset()
+	if len(r.Trace.Spans) != 0 || cap(r.Trace.Spans) == 0 {
+		t.Fatal("Trace.Reset should empty but keep capacity")
+	}
+}
+
 func TestReset(t *testing.T) {
 	r := &Req{Addr: 1, Critical: true, LCTask: true}
 	r.AddSplit(CompDRAM, 9)

@@ -20,7 +20,19 @@ import (
 // The simulator itself is unaffected — this observes the Go runtime, not
 // simulated state.
 func ServeDebug(addr string) (string, error) {
+	return ServeDebugWith(addr, nil)
+}
+
+// ServeDebugWith is ServeDebug plus live run telemetry: when progress is
+// non-nil, a /progress endpoint serves its JSON snapshot (current simulated
+// cycle, wall-clock cycles/sec, ETA, per-unit sweep progress). The feed is
+// written with atomic counters from the run goroutine and read here from the
+// HTTP goroutine, so polling it never perturbs (or waits on) the simulation.
+func ServeDebugWith(addr string, progress *Progress) (string, error) {
 	mux := http.NewServeMux()
+	if progress != nil {
+		mux.HandleFunc("/progress", progress.handler)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

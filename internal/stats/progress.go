@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live telemetry feed for long runs: the simulation (or the
+// sweep harness) bumps atomic counters from its own goroutine, and the
+// -debug-addr HTTP server reads a consistent-enough snapshot from another.
+// It observes the run, never the simulated state, so feeding it cannot
+// change a result.
+type Progress struct {
+	start time.Time
+
+	cycle       atomic.Uint64 // current simulated cycle of the active run
+	goalCycles  atomic.Uint64 // target cycles of the active run (0 = unknown)
+	baseCycles  atomic.Uint64 // simulated cycles completed by finished units
+	unitsDone   atomic.Uint64
+	unitsTotal  atomic.Uint64
+	unitsFailed atomic.Uint64
+
+	mu    sync.Mutex
+	label string
+}
+
+// NewProgress starts a feed; the wall clock for cycles/sec starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// SetCycle publishes the active run's current simulated cycle.
+func (p *Progress) SetCycle(c uint64) {
+	if p == nil {
+		return
+	}
+	p.cycle.Store(c)
+}
+
+// SetGoal publishes the active run's target cycle count (0 = unknown).
+func (p *Progress) SetGoal(c uint64) {
+	if p == nil {
+		return
+	}
+	p.goalCycles.Store(c)
+}
+
+// SetUnits declares the sweep size (how many jobs the harness will run).
+func (p *Progress) SetUnits(total uint64) {
+	if p == nil {
+		return
+	}
+	p.unitsTotal.Store(total)
+}
+
+// UnitDone marks one sweep unit finished, folding the active run's cycles
+// into the completed base so cycles/sec stays monotonic across units.
+func (p *Progress) UnitDone(failed bool) {
+	if p == nil {
+		return
+	}
+	p.baseCycles.Add(p.cycle.Swap(0))
+	p.unitsDone.Add(1)
+	if failed {
+		p.unitsFailed.Add(1)
+	}
+}
+
+// SetLabel names what is currently running (a scenario, a sweep point).
+func (p *Progress) SetLabel(s string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.label = s
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is the /progress JSON document.
+type ProgressSnapshot struct {
+	Label        string  `json:"label,omitempty"`
+	Cycle        uint64  `json:"cycle"`
+	GoalCycles   uint64  `json:"goalCycles,omitempty"`
+	TotalCycles  uint64  `json:"totalCycles"` // completed units + active run
+	ElapsedSec   float64 `json:"elapsedSec"`
+	CyclesPerSec float64 `json:"cyclesPerSec"` // wall-clock rate since start
+	ETASec       float64 `json:"etaSec,omitempty"`
+	UnitsDone    uint64  `json:"unitsDone"`
+	UnitsTotal   uint64  `json:"unitsTotal,omitempty"`
+	UnitsFailed  uint64  `json:"unitsFailed,omitempty"`
+}
+
+// Snapshot reads the feed. Counters are read individually (each atomically),
+// which is exact enough for telemetry.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	label := p.label
+	p.mu.Unlock()
+	s := ProgressSnapshot{
+		Label:       label,
+		Cycle:       p.cycle.Load(),
+		GoalCycles:  p.goalCycles.Load(),
+		UnitsDone:   p.unitsDone.Load(),
+		UnitsTotal:  p.unitsTotal.Load(),
+		UnitsFailed: p.unitsFailed.Load(),
+	}
+	s.TotalCycles = p.baseCycles.Load() + s.Cycle
+	s.ElapsedSec = time.Since(p.start).Seconds()
+	if s.ElapsedSec > 0 {
+		s.CyclesPerSec = float64(s.TotalCycles) / s.ElapsedSec
+	}
+	// ETA for the active run from its goal; for a sweep, scale by units left.
+	if s.CyclesPerSec > 0 {
+		if s.GoalCycles > s.Cycle {
+			s.ETASec = float64(s.GoalCycles-s.Cycle) / s.CyclesPerSec
+		}
+		if s.UnitsTotal > s.UnitsDone && s.UnitsDone > 0 {
+			perUnit := s.ElapsedSec / float64(s.UnitsDone)
+			s.ETASec += perUnit * float64(s.UnitsTotal-s.UnitsDone-1)
+		}
+	}
+	return s
+}
+
+// handler serves the feed as JSON.
+func (p *Progress) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # bench.sh — record (or gate on) the simulator's headline perf number.
 #
-# Default mode runs BenchmarkSimulatorCyclesPerSecond and writes the result
-# to BENCH_cycles_per_sec.json in the repo root, machine-readable:
+# Default mode runs BenchmarkSimulatorCyclesPerSecond and appends the result
+# to the history array in BENCH_cycles_per_sec.json in the repo root:
 #
-#   {"commit": ..., "date": ..., "benchmark": ..., "ns_per_cycle": ...,
-#    "cycles_per_sec": ...}
+#   [
+#     {"commit": ..., "date": ..., "benchmark": ..., "ns_per_cycle": ...,
+#      "cycles_per_sec": ...},
+#     ...
+#   ]
 #
-# so the perf trajectory is one JSON file per commit in git history.
+# One record per commit (re-measuring the same commit replaces its record),
+# so the perf trajectory is readable from the working tree alone — no
+# spelunking through git history for earlier numbers.
 #
-#   scripts/bench.sh              # measure and (re)write the JSON
+#   scripts/bench.sh              # measure and append to the history
 #   scripts/bench.sh -check       # measure and FAIL if cycles/sec regressed
-#                                 # >20% vs the committed JSON baseline
+#                                 # >20% vs the latest committed record
+#
+# A pre-history file holding a single bare JSON object is migrated to the
+# array form on the next write.
 #
 # The benchmark steps the Fig-1 default mix (1 LC Silo + 3 BE iBench) in
 # 10,000-cycle granules, so ns_per_cycle = ns/op / 10000.
@@ -39,9 +47,11 @@ if [ "$mode" = "-check" ]; then
         echo "bench.sh: no committed $out baseline to check against" >&2
         exit 1
     fi
-    base=$(grep -o '"cycles_per_sec"[^,}]*' "$out" | grep -o '[0-9.]*$')
+    # Latest record = last cycles_per_sec in the file (records are appended
+    # in measurement order; also works on the pre-history single object).
+    base=$(grep -o '"cycles_per_sec"[^,}]*' "$out" | tail -n 1 | grep -o '[0-9.]*$')
     floor=$(awk -v b="$base" 'BEGIN{printf "%.0f", b*0.8}')
-    echo "bench.sh: current ${cycles_per_sec} cycles/s, baseline ${base}, floor ${floor}"
+    echo "bench.sh: current ${cycles_per_sec} cycles/s, latest baseline ${base}, floor ${floor}"
     if awk -v c="$cycles_per_sec" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
         echo "bench.sh: FAIL — cycles/sec regressed >20% vs committed baseline" >&2
         exit 1
@@ -52,7 +62,21 @@ fi
 
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-cat >"$out" <<EOF
-{"commit": "${commit}", "date": "${date}", "benchmark": "${bench}", "ns_per_cycle": ${ns_per_cycle}, "cycles_per_sec": ${cycles_per_sec}}
-EOF
-echo "bench.sh: wrote $out (${cycles_per_sec} sim-cycles/s)"
+record="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${bench}\", \"ns_per_cycle\": ${ns_per_cycle}, \"cycles_per_sec\": ${cycles_per_sec}}"
+
+# Existing records, one per line (records are flat objects, so this parses
+# both the array form and the pre-history single object), minus any previous
+# measurement of this same commit.
+records=""
+if [ -f "$out" ]; then
+    records=$(grep -o '{[^}]*}' "$out" | grep -v "\"commit\": \"${commit}\"" || true)
+fi
+records=$(printf '%s\n%s\n' "$records" "$record" | sed '/^[[:space:]]*$/d')
+
+{
+    echo '['
+    printf '%s\n' "$records" | sed '$!s/$/,/' | sed 's/^/  /'
+    echo ']'
+} >"$out"
+n=$(printf '%s\n' "$records" | wc -l | tr -d ' ')
+echo "bench.sh: appended to $out (${cycles_per_sec} sim-cycles/s, ${n} record(s))"
