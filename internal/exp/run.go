@@ -84,6 +84,11 @@ type RunSpec struct {
 	// MSC stations before the run (see internal/faultinject). Used by
 	// resilience tests; production sweeps leave it nil.
 	Faults *faultinject.Config
+
+	// FaultPlan, when non-nil, attaches a per-station fault campaign instead
+	// (the execution form of a scenario's `faults` stanza; see FaultPlanFor).
+	// Like Faults, it excludes the run from checkpointing.
+	FaultPlan *faultinject.Plan
 }
 
 // RunResult summarises one simulation.
@@ -191,6 +196,9 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 	}
 	if spec.Faults != nil {
 		faultinject.Attach(m, *spec.Faults)
+	}
+	if spec.FaultPlan != nil {
+		faultinject.AttachPlan(m, *spec.FaultPlan)
 	}
 
 	rc := ctx.runContext()
@@ -323,7 +331,7 @@ func (ctx *Context) captureFlight(m *machine.Machine, spec RunSpec) {
 // re-invocation resumes its own checkpoints and different specs never
 // collide — even when several harness workers checkpoint concurrently.
 func (ctx *Context) checkpointDir(m *machine.Machine, spec RunSpec, warmup, measure sim.Cycle) string {
-	if ctx.CheckpointDir == "" || spec.Method.Manager != "" || spec.Faults != nil {
+	if ctx.CheckpointDir == "" || spec.Method.Manager != "" || spec.Faults != nil || spec.FaultPlan != nil {
 		return ""
 	}
 	if m.Checkpointable() != nil {

@@ -3,8 +3,11 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"pivot/internal/faultinject"
 	"pivot/internal/machine"
+	"pivot/internal/mem"
 	"pivot/internal/metrics"
 	"pivot/internal/rrbp"
 	"pivot/internal/scenario"
@@ -151,6 +154,12 @@ func (ctx *Context) beParams(app string) workload.BEParams {
 	return workload.BEApps()[app]
 }
 
+// OptionsFor translates scenario options into machine options. Zero scenario
+// values stay zero here; machine.Options.normalize applies the defaults.
+// Exported for executors that build machines from scenarios without the
+// harness (the scenario fuzzer).
+func OptionsFor(o scenario.Options) machine.Options { return optionsFor(o) }
+
 // optionsFor translates scenario options into machine options. Zero scenario
 // values stay zero here; machine.Options.normalize applies the defaults.
 func optionsFor(o scenario.Options) machine.Options {
@@ -166,6 +175,32 @@ func optionsFor(o scenario.Options) machine.Options {
 		opt.RRBP = rrbpSized(o.RRBPEntries)
 	}
 	return opt
+}
+
+// FaultPlanFor compiles a scenario's `faults` stanza into the injector plan
+// faultinject.AttachPlan consumes. The scenario must have passed Validate
+// (unknown station names panic here). Nil in, nil out.
+func FaultPlanFor(f *scenario.Faults) *faultinject.Plan {
+	if f == nil {
+		return nil
+	}
+	plan := &faultinject.Plan{
+		Seed:     f.Seed,
+		Stations: make(map[mem.Component]faultinject.Config, len(f.Stations)),
+	}
+	for name, r := range f.Stations {
+		comp, ok := scenario.MSC(name)
+		if !ok {
+			panic("exp: fault plan names unknown MSC " + name)
+		}
+		plan.Stations[comp] = faultinject.Config{
+			DropProb:    r.Drop,
+			SpikeProb:   r.Spike,
+			SpikeCycles: sim.Cycle(r.SpikeCycles),
+			HoldProb:    r.Hold,
+		}
+	}
+	return plan
 }
 
 // rrbpSized builds the RRBP geometry for a scenario's rrbp_entries knob:
@@ -194,11 +229,12 @@ func (ctx *Context) SpecForUnit(u scenario.RunUnit) (RunSpec, error) {
 		mth.MBALevel = sc.Options.MBALevel
 	}
 	spec := RunSpec{
-		Method:  mth,
-		Opt:     optionsFor(sc.Options),
-		Seed:    sc.Seed,
-		Warmup:  sim.Cycle(sc.Warmup),
-		Measure: sim.Cycle(sc.Measure),
+		Method:    mth,
+		Opt:       optionsFor(sc.Options),
+		Seed:      sc.Seed,
+		Warmup:    sim.Cycle(sc.Warmup),
+		Measure:   sim.Cycle(sc.Measure),
+		FaultPlan: FaultPlanFor(sc.Faults),
 	}
 	for i := range sc.Tasks {
 		t := &sc.Tasks[i]
@@ -216,6 +252,31 @@ func (ctx *Context) SpecForUnit(u scenario.RunUnit) (RunSpec, error) {
 	return spec, nil
 }
 
+// UnitResolver returns a function resolving the context each run unit of a
+// scenario executes on. Most units keep the scenario's machine and share one
+// context, but a machine-parameter sweep axis (machine.cores, machine.be_ways)
+// gives different units different configurations — those get sibling
+// contexts, memoised per configuration so units with the same machine share
+// calibration caches. The resolver is safe for concurrent harness workers;
+// each resolved context has the unit's inline custom apps registered.
+func (ctx *Context) UnitResolver() func(scenario.RunUnit) *Context {
+	memo := map[machine.Config]*Context{ctx.Cfg: ctx}
+	var mu sync.Mutex
+	return func(u scenario.RunUnit) *Context {
+		sc := u.Scenario
+		cfg := ConfigFor(sc.Machine, ctx.Cfg.Cores)
+		mu.Lock()
+		out, ok := memo[cfg]
+		if !ok {
+			out = ctx.sibling(cfg)
+			memo[cfg] = out
+		}
+		mu.Unlock()
+		out.RegisterScenarioApps(sc)
+		return out
+	}
+}
+
 // RunScenario validates, expands and executes a user-authored scenario
 // serially, one row per run unit. cmd/pivot-exp runs the same units through
 // the parallel harness instead (harness.ScenarioJobs) and renders the rows
@@ -224,14 +285,15 @@ func (ctx *Context) RunScenario(sc *scenario.Scenario) (*metrics.Table, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	rctx := ctx.ForScenario(sc)
 	units, err := sc.Expand()
 	if err != nil {
 		return nil, err
 	}
+	resolve := ctx.UnitResolver()
 	labels := make([]string, len(units))
 	results := make([]RunResult, len(units))
 	for i, u := range units {
+		rctx := resolve(u)
 		spec, err := rctx.SpecForUnit(u)
 		if err != nil {
 			return nil, err

@@ -105,15 +105,50 @@ func (in *Injector) HoldGrant(now sim.Cycle) bool {
 // derived from cfg.Seed and the station's component id so streams stay
 // independent. It returns the injectors keyed by component for inspection.
 func Attach(m *machine.Machine, cfg Config) map[mem.Component]*Injector {
-	out := make(map[mem.Component]*Injector, len(mem.MSCs))
+	plan := Plan{Seed: cfg.Seed, Stations: make(map[mem.Component]Config, len(mem.MSCs))}
 	for _, comp := range mem.MSCs {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(comp)*0x9E3779B97F4A7C15
-		in := New(c)
+		plan.Stations[comp] = cfg
+	}
+	return AttachPlan(m, plan)
+}
+
+// Plan is a per-station fault campaign: only the named stations get
+// injectors, each with its own rates. The scenario layer's `faults` stanza
+// compiles to a Plan (exp.FaultPlanFor).
+type Plan struct {
+	// Seed derives every station's private RNG stream (per-station Config
+	// seeds are ignored; the station's component id separates the streams).
+	Seed     uint64
+	Stations map[mem.Component]Config
+}
+
+// AttachPlan installs the plan's injectors on m and returns them keyed by
+// component for inspection. Stations absent from the plan keep whatever
+// fault model they had (normally none).
+func AttachPlan(m *machine.Machine, plan Plan) map[mem.Component]*Injector {
+	out := make(map[mem.Component]*Injector, len(plan.Stations))
+	for _, comp := range mem.MSCs {
+		cfg, ok := plan.Stations[comp]
+		if !ok {
+			continue
+		}
+		cfg.Seed = plan.Seed + uint64(comp)*0x9E3779B97F4A7C15
+		in := New(cfg)
 		if err := m.SetFault(comp, in); err != nil {
 			panic(err) // unreachable: mem.MSCs are exactly the injectable set
 		}
 		out[comp] = in
 	}
 	return out
+}
+
+// Detach removes every MSC fault injector from m — after a fault-injected
+// run completes, detaching restores the machine's snapshotability so
+// differential oracles can compare its serialised state.
+func Detach(m *machine.Machine) {
+	for _, comp := range mem.MSCs {
+		if err := m.SetFault(comp, nil); err != nil {
+			panic(err) // unreachable: mem.MSCs are exactly the injectable set
+		}
+	}
 }

@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"testing"
+
+	"pivot/internal/machine"
+	"pivot/internal/mem"
+)
+
+// TestAttachPlanTargetsOnlyNamedStations: a plan installs injectors on
+// exactly its stations, each drawing from its own per-station stream.
+func TestAttachPlanTargetsOnlyNamedStations(t *testing.T) {
+	m := testMachine(t, machine.Options{Policy: machine.PolicyDefault})
+	plan := Plan{Seed: 9, Stations: map[mem.Component]Config{
+		mem.CompBus:     {DropProb: 0.05},
+		mem.CompMemCtrl: {SpikeProb: 0.05, SpikeCycles: 50},
+	}}
+	inj := AttachPlan(m, plan)
+	if len(inj) != 2 {
+		t.Fatalf("AttachPlan installed %d injectors, want 2", len(inj))
+	}
+	m.Run(20_000, 60_000)
+	if c := inj[mem.CompBus].Counts; c.Drops == 0 || c.Spikes != 0 {
+		t.Errorf("Bus counts %+v, want drops only", c)
+	}
+	if c := inj[mem.CompMemCtrl].Counts; c.Spikes == 0 || c.Drops != 0 {
+		t.Errorf("MemCtrl counts %+v, want spikes only", c)
+	}
+}
+
+// TestAttachPlanDeterministic: the same plan on the same machine replays to
+// identical per-station counts and simulated results.
+func TestAttachPlanDeterministic(t *testing.T) {
+	plan := Plan{Seed: 21, Stations: map[mem.Component]Config{
+		mem.CompInterconnect: {DropProb: 0.02, HoldProb: 0.01},
+		mem.CompBWCtrl:       {SpikeProb: 0.03, SpikeCycles: 80},
+	}}
+	run := func() (map[mem.Component]*Injector, uint64) {
+		m := testMachine(t, machine.Options{Policy: machine.PolicyDefault})
+		inj := AttachPlan(m, plan)
+		m.Run(20_000, 60_000)
+		return inj, m.BECommitted()
+	}
+	inj1, be1 := run()
+	inj2, be2 := run()
+	if be1 != be2 {
+		t.Fatalf("BE committed diverged: %d vs %d", be1, be2)
+	}
+	for comp, a := range inj1 {
+		if b := inj2[comp].Counts; a.Counts != b {
+			t.Fatalf("station %v counts diverged: %+v vs %+v", comp, a.Counts, b)
+		}
+	}
+}
+
+// TestDetachRestoresSnapshotability: a fault-attached machine refuses to
+// snapshot; Detach makes the same machine serialisable again.
+func TestDetachRestoresSnapshotability(t *testing.T) {
+	m := testMachine(t, machine.Options{Policy: machine.PolicyDefault})
+	AttachPlan(m, Plan{Seed: 3, Stations: map[mem.Component]Config{
+		mem.CompBus: {DropProb: 0.01},
+	}})
+	m.Run(10_000, 20_000)
+	if _, err := m.SnapshotState(); err == nil {
+		t.Fatalf("fault-attached machine snapshotted; injector state would be silently lost")
+	}
+	Detach(m)
+	if _, err := m.SnapshotState(); err != nil {
+		t.Fatalf("SnapshotState after Detach: %v", err)
+	}
+}

@@ -49,14 +49,17 @@ func ScenarioJobs(ctx *exp.Context, sc *scenario.Scenario) ([]Job, []string, err
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
-	rctx := ctx.ForScenario(sc)
 	units, err := sc.Expand()
 	if err != nil {
 		return nil, nil, err
 	}
+	resolve := ctx.UnitResolver()
 	jobs := make([]Job, len(units))
 	labels := make([]string, len(units))
 	for i, u := range units {
+		// Machine-parameter axes give units different configurations; the
+		// resolver hands each unit the memoised context for its machine.
+		rctx := resolve(u)
 		spec, err := rctx.SpecForUnit(u)
 		if err != nil {
 			return nil, nil, err

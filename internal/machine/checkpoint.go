@@ -63,6 +63,19 @@ func decodeState(payload []byte) (*MachineState, error) {
 	return s, nil
 }
 
+// StateBytes serialises the machine's complete mutable state (the checkpoint
+// payload encoding, without the frame). Two machines that simulated the same
+// workload to the same cycle — dense vs skip-ahead, resumed vs uninterrupted
+// — must produce byte-identical StateBytes; the differential oracles compare
+// exactly that.
+func (m *Machine) StateBytes() ([]byte, error) {
+	s, err := m.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return encodeState(s)
+}
+
 // WriteCheckpoint snapshots the machine and writes it durably to dir,
 // pruning old files down to keep. It only reads machine state, so emitting
 // checkpoints cannot perturb simulated results.

@@ -41,11 +41,20 @@ func (t *Table) SnapshotState() TableState {
 		Refreshes:   t.Refreshes,
 	}
 	if t.unlimited != nil {
+		// A zero counter is behaviourally identical to an absent entry —
+		// reads see the map's zero value either way and decay only touches
+		// positive counters — so the canonical encoding omits it. Without
+		// this, a PC whose counter decayed to exactly zero survives as a map
+		// key in the live table but not in a restored one, and a resumed
+		// run's snapshot diverges byte-wise from an uninterrupted run's
+		// (found by the scenfuzz checkpoint oracle).
 		for pc, c := range t.unlimited {
-			s.Unlimited = append(s.Unlimited, UnlimitedEntryState{PC: pc, Counter: c, Flag: t.unlFlags[pc]})
+			if c > 0 {
+				s.Unlimited = append(s.Unlimited, UnlimitedEntryState{PC: pc, Counter: c, Flag: t.unlFlags[pc]})
+			}
 		}
 		for pc, f := range t.unlFlags {
-			if _, seen := t.unlimited[pc]; !seen && f {
+			if f && t.unlimited[pc] == 0 {
 				s.Unlimited = append(s.Unlimited, UnlimitedEntryState{PC: pc, Flag: true})
 			}
 		}

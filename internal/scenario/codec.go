@@ -54,6 +54,31 @@ func Load(path string) (*Scenario, error) {
 	return s, nil
 }
 
+// Encode renders the scenario as canonical JSON: compact, struct-field
+// order, sorted map keys, trailing newline. Encoding is a fixed point —
+// Encode(Parse(Encode(s))) is byte-identical to Encode(s) — which is what
+// lets the fuzzer's codec oracle demand byte equality and the corpus store
+// reproducible specs. (Axis values are raw JSON and are compacted by the
+// encoder, so a freshly parsed file's first encoding may differ from the
+// file; every encoding after that is stable.)
+func (s *Scenario) Encode() ([]byte, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// MustEncode is Encode panicking on error (marshaling a validated scenario
+// cannot fail).
+func (s *Scenario) MustEncode() []byte {
+	data, err := s.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
 // decode fills s from data, walking the document manually so that element
 // indices ("tasks[2]") end up in error paths — a plain DisallowUnknownFields
 // decode cannot report them.
@@ -85,6 +110,9 @@ func (s *Scenario) decode(data []byte) error {
 			err = unmarshalField(raw, &s.Measure, key)
 		case "seed":
 			err = unmarshalField(raw, &s.Seed, key)
+		case "faults":
+			s.Faults = new(Faults)
+			err = strictUnmarshal(raw, s.Faults, key)
 		case "sweep":
 			err = s.decodeSweep(raw)
 		default:

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleScenarios strict-decodes, validates and expands every spec
+// checked in under examples/scenarios/ — the documented entry points must
+// never rot.
+func TestExampleScenarios(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatalf("no example scenarios under %s", dir)
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			doc, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Parse(doc)
+			if err != nil {
+				t.Fatalf("strict decode: %v", err)
+			}
+			units, err := s.Expand()
+			if err != nil {
+				t.Fatalf("Expand: %v", err)
+			}
+			if len(units) == 0 {
+				t.Fatalf("expanded to no units")
+			}
+		})
+	}
+}

@@ -140,6 +140,8 @@ const (
 	paramOptMBALevel
 	paramOptDisableMSC
 	paramOptPrefetch
+	paramMachineCores
+	paramMachineBEWays
 )
 
 // paramRef is a parsed axis parameter: which field, and of which task.
@@ -170,6 +172,14 @@ func (s *Scenario) paramRef(name, path string) (paramRef, error) {
 		return paramRef{kind: paramOptDisableMSC}, nil
 	case "options.prefetch":
 		return paramRef{kind: paramOptPrefetch}, nil
+	case "machine.cores":
+		return paramRef{kind: paramMachineCores}, nil
+	case "machine.be_ways":
+		return paramRef{kind: paramMachineBEWays}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "machine."); ok {
+		return paramRef{}, errf(path,
+			"unknown machine sweep parameter %q (machine.cores or machine.be_ways)", rest)
 	}
 	rest, ok := strings.CutPrefix(name, "tasks[")
 	if !ok {
@@ -308,12 +318,37 @@ func (s *Scenario) setParam(ref paramRef, raw json.RawMessage, path string) erro
 		return checkDisableMSC(v, path)
 	case paramOptPrefetch:
 		return unmarshalField(raw, &s.Options.Prefetch, path)
+	case paramMachineCores:
+		v, err := asInt()
+		if err != nil {
+			return err
+		}
+		if v < 1 {
+			return errf(path, "machine.cores %d must be positive", v)
+		}
+		s.Machine.Cores = v
+		return nil
+	case paramMachineBEWays:
+		v, err := asInt()
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return errf(path, "machine.be_ways %d must not be negative", v)
+		}
+		s.Machine.BEWays = v
+		return nil
 	}
 	return errf(path, "unhandled sweep parameter kind %d", ref.kind)
 }
 
+// Clone deep-copies the scenario's mutable parts — what a caller mutating
+// tasks, options or the fault plan (the fuzzer's shrinker, axis probing)
+// needs. Axes share the original's immutable raw values.
+func (s *Scenario) Clone() *Scenario { return s.clone() }
+
 // clone deep-copies the scenario's mutable parts (tasks and their custom
-// params); axes share the original's immutable raw values.
+// params, the fault plan); axes share the original's immutable raw values.
 func (s *Scenario) clone() *Scenario {
 	out := *s
 	out.Tasks = make([]Task, len(s.Tasks))
@@ -327,6 +362,14 @@ func (s *Scenario) clone() *Scenario {
 			cp := *p
 			out.Tasks[i].BEParams = &cp
 		}
+	}
+	if s.Faults != nil {
+		cp := *s.Faults
+		cp.Stations = make(map[string]FaultRates, len(s.Faults.Stations))
+		for k, v := range s.Faults.Stations {
+			cp.Stations[k] = v
+		}
+		out.Faults = &cp
 	}
 	return &out
 }

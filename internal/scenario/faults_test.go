@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// faultsDoc wraps a faults stanza in an otherwise-valid scenario document.
+func faultsDoc(stanza string) string {
+	return `{"version":1,"name":"t","policy":"Default",
+	         "tasks":[{"kind":"lc","app":"silo","load_pct":70}],
+	         "faults":` + stanza + `}`
+}
+
+// TestFaultsParse round-trips a full fault stanza and checks the decoded
+// rates and the strict-codec fixed point.
+func TestFaultsParse(t *testing.T) {
+	doc := faultsDoc(`{"seed":9,"stations":{
+	  "Bus":{"drop":0.01,"spike":0.05,"spike_cycles":200},
+	  "MemCtrl":{"hold":0.02}}}`)
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Faults == nil || s.Faults.Seed != 9 || len(s.Faults.Stations) != 2 {
+		t.Fatalf("faults stanza decoded wrong: %+v", s.Faults)
+	}
+	bus := s.Faults.Stations["Bus"]
+	if bus.Drop != 0.01 || bus.Spike != 0.05 || bus.SpikeCycles != 200 {
+		t.Errorf("Bus rates wrong: %+v", bus)
+	}
+	if mc := s.Faults.Stations["MemCtrl"]; mc.Hold != 0.02 {
+		t.Errorf("MemCtrl rates wrong: %+v", mc)
+	}
+	if names := s.Faults.StationNames(); len(names) != 2 || names[0] != "Bus" || names[1] != "MemCtrl" {
+		t.Fatalf("StationNames = %v, want MSC order [Bus MemCtrl]", names)
+	}
+	enc := s.MustEncode()
+	re, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("re-Parse of own encoding: %v", err)
+	}
+	if !bytes.Equal(enc, re.MustEncode()) {
+		t.Errorf("encode not a fixed point:\n%s\n%s", enc, re.MustEncode())
+	}
+	c := s.Clone()
+	c.Faults.Stations["Bus"] = FaultRates{Drop: 0.9}
+	if s.Faults.Stations["Bus"].Drop != 0.01 {
+		t.Errorf("Clone aliases the stations map")
+	}
+}
+
+// TestFaultsErrors drives every rejection class of the faults stanza through
+// the codec and validator, checking field paths and message substance.
+func TestFaultsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		path string
+		msg  string
+	}{
+		{
+			name: "no stations",
+			doc:  faultsDoc(`{"seed":1,"stations":{}}`),
+			path: "faults.stations", msg: "at least one station",
+		},
+		{
+			name: "unknown station",
+			doc:  faultsDoc(`{"stations":{"Busz":{"drop":0.1}}}`),
+			path: "faults.stations.Busz", msg: `unknown MSC "Busz"`,
+		},
+		{
+			name: "rate out of range",
+			doc:  faultsDoc(`{"stations":{"Bus":{"drop":1.5}}}`),
+			path: "faults.stations.Bus.drop", msg: "must be in 0..1",
+		},
+		{
+			name: "negative rate",
+			doc:  faultsDoc(`{"stations":{"Bus":{"hold":-0.1}}}`),
+			path: "faults.stations.Bus.hold", msg: "must be in 0..1",
+		},
+		{
+			name: "spike without duration",
+			doc:  faultsDoc(`{"stations":{"Bus":{"spike":0.1}}}`),
+			path: "faults.stations.Bus.spike_cycles", msg: "must be positive when spike is set",
+		},
+		{
+			name: "duration without spike",
+			doc:  faultsDoc(`{"stations":{"Bus":{"spike_cycles":100}}}`),
+			path: "faults.stations.Bus.spike_cycles", msg: "set without a spike rate",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v (%T) is not a FieldError", err, err)
+			}
+			if fe.Path != tc.path {
+				t.Errorf("path = %q, want %q (msg %q)", fe.Path, tc.path, fe.Msg)
+			}
+			if !strings.Contains(fe.Msg, tc.msg) {
+				t.Errorf("msg = %q, want substring %q", fe.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+// TestMachineSweepAxes expands a two-axis machine-parameter sweep and checks
+// every unit carries the right geometry.
+func TestMachineSweepAxes(t *testing.T) {
+	doc := `{"version":1,"name":"t","policy":"Default",
+	         "machine":{"cores":2},
+	         "tasks":[{"kind":"lc","app":"silo","load_pct":70}],
+	         "sweep":[{"param":"machine.cores","values":[2,4]},
+	                  {"param":"machine.be_ways","values":[1,2]}]}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	units, err := s.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("Expand produced %d units, want 4", len(units))
+	}
+	want := []struct {
+		cores, ways int
+		label       string
+	}{
+		{2, 1, "machine.cores=2 machine.be_ways=1"},
+		{2, 2, "machine.cores=2 machine.be_ways=2"},
+		{4, 1, "machine.cores=4 machine.be_ways=1"},
+		{4, 2, "machine.cores=4 machine.be_ways=2"},
+	}
+	for i, u := range units {
+		m := u.Scenario.Machine
+		if m.Cores != want[i].cores || m.BEWays != want[i].ways {
+			t.Errorf("unit %d: cores=%d be_ways=%d, want %d/%d", i, m.Cores, m.BEWays, want[i].cores, want[i].ways)
+		}
+		if u.Label != want[i].label {
+			t.Errorf("unit %d: label %q, want %q", i, u.Label, want[i].label)
+		}
+	}
+	if s.Machine.Cores != 2 || s.Machine.BEWays != 0 {
+		t.Errorf("Expand mutated the base scenario's machine: %+v", s.Machine)
+	}
+}
+
+// TestMachineSweepAxisErrors: unknown machine paths and out-of-range values
+// are rejected with a field path into the sweep.
+func TestMachineSweepAxisErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		axis string
+		msg  string
+	}{
+		{"unknown machine parameter", `{"param":"machine.sockets","values":[1,2]}`,
+			"unknown machine sweep parameter"},
+		{"cores not positive", `{"param":"machine.cores","values":[0]}`,
+			"must be positive"},
+		{"be_ways negative", `{"param":"machine.be_ways","values":[-1]}`,
+			"must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := `{"version":1,"name":"t","policy":"Default",
+			         "tasks":[{"kind":"lc","app":"silo","load_pct":70}],
+			         "sweep":[` + tc.axis + `]}`
+			s, err := Parse([]byte(doc))
+			if err == nil {
+				_, err = s.Expand()
+			}
+			if err == nil {
+				t.Fatalf("axis %s accepted", tc.axis)
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Errorf("error %q, want substring %q", err, tc.msg)
+			}
+		})
+	}
+}
+
+// TestEncodeFixedPoint: for every builtin, Encode → Parse → Encode is
+// byte-identical — the invariant the fuzzer's codec oracle enforces.
+func TestEncodeFixedPoint(t *testing.T) {
+	for name, s := range Builtins() {
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		re, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("%s: Parse of own encoding: %v", name, err)
+		}
+		if !bytes.Equal(enc, re.MustEncode()) {
+			t.Errorf("%s: encode not a fixed point", name)
+		}
+	}
+}

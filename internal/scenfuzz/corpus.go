@@ -1,0 +1,141 @@
+package scenfuzz
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pivot/internal/harness"
+	"pivot/internal/scenario"
+)
+
+// A corpus directory holds one subdirectory per finding:
+//
+//	<corpus>/<oracle>-<hash>/scenario.json  — the minimized failing scenario
+//	<corpus>/<oracle>-<hash>/original.json  — the scenario as generated
+//	<corpus>/<oracle>-<hash>/finding.json   — oracle, detail, defect, transcript
+//
+// Entries are replayable: Replay re-runs each entry's oracle against its
+// minimized scenario, so a checked-in corpus doubles as a regression suite
+// (entries recorded under a defect hook pass clean and fail only when the
+// same -defect is armed again).
+
+// Meta is the finding metadata persisted next to the minimized scenario.
+type Meta struct {
+	Oracle     string   `json:"oracle"`
+	Detail     string   `json:"detail"`
+	Defect     string   `json:"defect,omitempty"`
+	Seed       uint64   `json:"seed"`
+	Index      int      `json:"index"`
+	Transcript []string `json:"transcript,omitempty"`
+}
+
+// Entry is one loaded corpus entry.
+type Entry struct {
+	Dir      string
+	Scenario *scenario.Scenario
+	Meta     Meta
+}
+
+// WriteEntry persists one finding into the corpus directory and returns the
+// entry path. The directory name hashes the minimized scenario, so the same
+// minimized failure lands in the same entry across campaigns.
+func WriteEntry(corpus string, f *Finding) (string, error) {
+	if f.Scenario == nil {
+		return "", fmt.Errorf("scenfuzz: finding %q has no scenario to record", f.Oracle)
+	}
+	enc := f.Scenario.MustEncode()
+	h := fnv.New64a()
+	h.Write(enc)
+	dir := filepath.Join(corpus, fmt.Sprintf("%s-%08x", f.Oracle, h.Sum64()&0xFFFFFFFF))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := harness.WriteFileAtomic(filepath.Join(dir, "scenario.json"), enc, 0o644); err != nil {
+		return "", err
+	}
+	if f.Original != nil {
+		if err := harness.WriteFileAtomic(filepath.Join(dir, "original.json"), f.Original.MustEncode(), 0o644); err != nil {
+			return "", err
+		}
+	}
+	meta := Meta{
+		Oracle: f.Oracle, Detail: f.Detail, Defect: f.Defect,
+		Seed: f.Seed, Index: f.Index, Transcript: f.Transcript,
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := harness.WriteFileAtomic(filepath.Join(dir, "finding.json"), append(mb, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// LoadCorpus reads every entry of a corpus directory, sorted by entry name.
+func LoadCorpus(corpus string) ([]Entry, error) {
+	dirents, err := os.ReadDir(corpus)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, de := range dirents {
+		if !de.IsDir() {
+			continue
+		}
+		dir := filepath.Join(corpus, de.Name())
+		sc, err := scenario.Load(filepath.Join(dir, "scenario.json"))
+		if err != nil {
+			return nil, fmt.Errorf("corpus entry %s: %w", de.Name(), err)
+		}
+		var meta Meta
+		mb, err := os.ReadFile(filepath.Join(dir, "finding.json"))
+		if err != nil {
+			return nil, fmt.Errorf("corpus entry %s: %w", de.Name(), err)
+		}
+		if err := json.Unmarshal(mb, &meta); err != nil {
+			return nil, fmt.Errorf("corpus entry %s: finding.json: %w", de.Name(), err)
+		}
+		out = append(out, Entry{Dir: dir, Scenario: sc, Meta: meta})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// Replay re-runs each corpus entry's oracle against its minimized scenario
+// under env and reports the entries that fail. Entries whose oracle is not
+// re-runnable ("harness") replay through the whole bank instead.
+func Replay(ctx context.Context, corpus string, env Env, out io.Writer) (failed []*Finding, err error) {
+	entries, err := LoadCorpus(corpus)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	for _, e := range entries {
+		oracles := Oracles()
+		if o, ok := oracleByName(e.Meta.Oracle); ok {
+			oracles = []Oracle{o}
+		}
+		f := CheckAll(ctx, e.Scenario, oracles, env)
+		if ctx != nil && ctx.Err() != nil {
+			return failed, ctx.Err() // interrupted mid-check, not a verdict
+		}
+		if f == nil {
+			fmt.Fprintf(out, "PASS %s\n", filepath.Base(e.Dir))
+			continue
+		}
+		f.Dir = e.Dir
+		f.Seed, f.Index = e.Meta.Seed, e.Meta.Index
+		failed = append(failed, f)
+		fmt.Fprintf(out, "FAIL %s: %s: %s\n", filepath.Base(e.Dir), f.Oracle, f.Detail)
+	}
+	return failed, nil
+}
