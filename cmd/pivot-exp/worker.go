@@ -1,0 +1,65 @@
+// The `pivot-exp worker` subcommand: one sweep-fabric worker process. The
+// coordinator (a pivot-exp run with -workers or -listen) spawns these
+// locally, or an operator starts them by hand — possibly on other machines —
+// pointed at a TCP -connect address. A worker executes leased scenario units,
+// heartbeats its progress, ships checkpoint frames mid-run so a replacement
+// can resume its work, and exits when the coordinator says done.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pivot/internal/buildinfo"
+	"pivot/internal/cliutil"
+	"pivot/internal/fabric"
+)
+
+func workerMain(args []string) int {
+	fs := flag.NewFlagSet("pivot-exp worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "coordinator address (unix socket path or host:port)")
+	workdir := fs.String("workdir", "", "scratch directory for checkpoint state (default: a temp dir, removed on exit)")
+	name := fs.String("name", "", "worker name in coordinator logs (default: worker-<pid>)")
+	logFormat := fs.String("log-format", "text", "diagnostics format on stderr: text|json")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pivot-exp worker -connect addr [-workdir d] [-name s] [-log-format text|json]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args) // ExitOnError
+	if *connect == "" {
+		fs.Usage()
+		return 2
+	}
+	logger, err := cliutil.Logger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivot-exp worker: %v\n", err)
+		return 2
+	}
+
+	// A signal cancels the context; RunWorker closes its connection, the
+	// in-flight unit aborts (flushing a final checkpoint into the workdir,
+	// whose newest frame has already been shipped at the last heartbeat), and
+	// the coordinator re-leases the unit elsewhere.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	err = fabric.RunWorker(ctx, fabric.WorkerConfig{
+		Addr:   *connect,
+		Dir:    *workdir,
+		Name:   *name,
+		Build:  buildinfo.Fingerprint(),
+		Logger: logger,
+	})
+	if ctx.Err() != nil {
+		return 130
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pivot-exp worker: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -4,7 +4,8 @@
 // Campaign mode generates -n random valid scenarios from -seed and checks
 // each against the oracle bank (codec round-trip, skip-ahead vs dense
 // equivalence, checkpoint kill-and-resume, flight-recorder purity, invariant
-// audit). Failures are shrunk to minimal reproductions and recorded under
+// audit, fabric vs in-process sweep equality). Failures are shrunk to
+// minimal reproductions and recorded under
 // -corpus as replayable directories:
 //
 //	pivot-fuzz -seed 1 -n 200 -corpus corpus/

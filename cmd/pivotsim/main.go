@@ -85,6 +85,7 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario file (JSON) instead of the flag-built co-location")
 	quick := flag.Bool("quick", false, "with -scenario: use the fast (coarser) calibration scale")
 	quiet := flag.Bool("quiet", false, "with -scenario: suppress calibration progress notes")
+	csvOut := flag.String("csv-out", "", "with -scenario: also write the per-unit summary table as CSV here")
 	flightOut := flag.String("flight-out", "", "record per-request span chains and write the tail-attribution report here (.json/.csv/text by suffix)")
 	flightTop := flag.Int("flight-top", 32, "with -flight-out: keep full span chains for the N slowest requests")
 	flightSample := flag.Int("flight-sample", 0, "with -flight-out: lifecycle reservoir size (0 = default)")
@@ -115,6 +116,11 @@ func main() {
 		logger.Info("debug server up", "pprof", "http://"+addr+"/debug/pprof/", "progress", "http://"+addr+"/progress")
 	}
 
+	if *csvOut != "" && *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "pivotsim: -csv-out requires -scenario (the flag-built run has no unit table)")
+		os.Exit(2)
+	}
+
 	if *scenarioPath != "" {
 		scale := exp.Full()
 		if *quick {
@@ -128,6 +134,7 @@ func main() {
 			cores: *cores, scale: scale,
 			flightOut: *flightOut, flightTop: *flightTop, flightSample: *flightSample,
 			progress: liveProgress,
+			csvOut:   *csvOut,
 		}
 		if err := runScenario(os.Stdout, progress, *scenarioPath, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "pivotsim: %v\n", err)

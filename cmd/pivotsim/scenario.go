@@ -9,6 +9,7 @@ import (
 
 	"pivot/internal/cliutil"
 	"pivot/internal/exp"
+	"pivot/internal/harness"
 	"pivot/internal/machine"
 	"pivot/internal/scenario"
 	"pivot/internal/stats"
@@ -25,6 +26,8 @@ type scenarioOpts struct {
 	flightSample int
 	// progress, when non-nil, feeds the /progress live-telemetry endpoint.
 	progress *stats.Progress
+	// csvOut, when set, also writes the unit summary table there as CSV.
+	csvOut string
 }
 
 // runScenario loads, validates and executes one scenario file. opts.cores
@@ -48,6 +51,11 @@ func runScenario(out, progress io.Writer, path string, opts scenarioOpts) error 
 		return err
 	}
 	fmt.Fprintln(out, t.String())
+	if opts.csvOut != "" {
+		if err := harness.WriteFileAtomic(opts.csvOut, []byte(t.CSV()), 0o644); err != nil {
+			return fmt.Errorf("writing -csv-out: %w", err)
+		}
+	}
 	if opts.flightOut != "" {
 		if err := cliutil.WriteFlight(ctx.LastFlight(), opts.flightOut); err != nil {
 			return err

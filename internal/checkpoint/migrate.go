@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the migration face of the checkpoint layer: a coordinator that
+// wants to move a half-finished run from a dead worker to a live one exports
+// the newest frame under the dead worker's run directory and imports it under
+// the replacement's, preserving the run-relative path so the machine's normal
+// TryRestore chain finds it without knowing a migration happened. Frames are
+// Decode-verified on both sides, so a torn or tampered frame is refused
+// rather than shipped.
+
+// ExportLatest walks root recursively and returns the newest (highest-cycle)
+// valid checkpoint frame found anywhere under it, together with its path
+// relative to root. Corrupt or unreadable frames are skipped, exactly like
+// LoadLatest; ErrNoCheckpoint means nothing usable exists (including a
+// missing root).
+func ExportLatest(root string) (rel string, data []byte, cycle uint64, err error) {
+	type cand struct {
+		rel   string
+		cycle uint64
+	}
+	var cands []cand
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil // unreadable subtree: skip, don't fail the export
+		}
+		if d.IsDir() {
+			return nil
+		}
+		cyc, ok := cycleOf(d.Name())
+		if !ok {
+			return nil
+		}
+		r, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return nil
+		}
+		cands = append(cands, cand{rel: r, cycle: cyc})
+		return nil
+	})
+	if walkErr != nil {
+		if os.IsNotExist(walkErr) {
+			return "", nil, 0, ErrNoCheckpoint
+		}
+		return "", nil, 0, walkErr
+	}
+	// Highest cycle first; a corrupt newest frame degrades to the next one.
+	for {
+		best := -1
+		for i, c := range cands {
+			if best < 0 || c.cycle > cands[best].cycle {
+				best = i
+			}
+		}
+		if best < 0 {
+			return "", nil, 0, ErrNoCheckpoint
+		}
+		c := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		raw, rerr := os.ReadFile(filepath.Join(root, c.rel))
+		if rerr != nil {
+			continue
+		}
+		if _, derr := Decode(raw); derr != nil {
+			continue
+		}
+		return filepath.ToSlash(c.rel), raw, c.cycle, nil
+	}
+}
+
+// Import verifies a shipped frame and writes it under root at the given
+// run-relative path (as produced by ExportLatest), atomically and durably.
+// The relative path is strictly validated — no absolute paths, no "..",
+// and the file name must be a canonical checkpoint name — so a malicious or
+// confused peer cannot write outside root or plant a foreign file.
+func Import(root, rel string, data []byte) error {
+	if err := checkRel(rel); err != nil {
+		return err
+	}
+	ck, err := Decode(data)
+	if err != nil {
+		return fmt.Errorf("checkpoint: refusing to import: %w", err)
+	}
+	// Re-encode canonically through Write: the imported frame lands with the
+	// same atomic temp+fsync+rename discipline as a locally produced one.
+	dir := filepath.Join(root, filepath.Dir(filepath.FromSlash(rel)))
+	if _, err := Write(dir, ck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkRel validates a run-relative checkpoint path from a peer.
+func checkRel(rel string) error {
+	if rel == "" {
+		return errors.New("checkpoint: empty relative path")
+	}
+	if filepath.IsAbs(rel) || strings.HasPrefix(rel, "/") {
+		return fmt.Errorf("checkpoint: absolute path %q refused", rel)
+	}
+	for _, part := range strings.Split(filepath.ToSlash(rel), "/") {
+		switch part {
+		case "", ".", "..":
+			return fmt.Errorf("checkpoint: unsafe path %q refused", rel)
+		}
+	}
+	if _, ok := cycleOf(filepath.Base(rel)); !ok {
+		return fmt.Errorf("checkpoint: %q is not a canonical checkpoint name", rel)
+	}
+	return nil
+}

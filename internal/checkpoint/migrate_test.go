@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFrame(t *testing.T, dir string, cycle, fp uint64, payload string) {
+	t.Helper()
+	if _, err := Write(dir, Checkpoint{Cycle: cycle, Fingerprint: fp, Payload: []byte(payload)}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func TestExportLatestPicksNewestAcrossSubdirs(t *testing.T) {
+	root := t.TempDir()
+	writeFrame(t, filepath.Join(root, "run-a"), 100, 1, "old")
+	writeFrame(t, filepath.Join(root, "run-a"), 300, 1, "new")
+	writeFrame(t, filepath.Join(root, "run-b"), 200, 2, "mid")
+
+	rel, data, cycle, err := ExportLatest(root)
+	if err != nil {
+		t.Fatalf("ExportLatest: %v", err)
+	}
+	if cycle != 300 {
+		t.Fatalf("cycle = %d, want 300", cycle)
+	}
+	if want := "run-a/" + FileName(300); rel != want {
+		t.Fatalf("rel = %q, want %q", rel, want)
+	}
+	ck, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(ck.Payload) != "new" {
+		t.Fatalf("payload = %q, want %q", ck.Payload, "new")
+	}
+}
+
+func TestExportLatestSkipsCorruptNewest(t *testing.T) {
+	root := t.TempDir()
+	writeFrame(t, root, 100, 1, "good")
+	// A torn newest frame must degrade to the previous good one.
+	bad := filepath.Join(root, FileName(200))
+	if err := os.WriteFile(bad, []byte("PIVOTCKP garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, _, cycle, err := ExportLatest(root)
+	if err != nil {
+		t.Fatalf("ExportLatest: %v", err)
+	}
+	if cycle != 100 || rel != FileName(100) {
+		t.Fatalf("got (%q, %d), want the surviving good frame", rel, cycle)
+	}
+}
+
+func TestExportLatestEmpty(t *testing.T) {
+	if _, _, _, err := ExportLatest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, _, _, err := ExportLatest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestImportRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	writeFrame(t, filepath.Join(src, "run-x"), 4242, 7, "state")
+	rel, data, _, err := ExportLatest(src)
+	if err != nil {
+		t.Fatalf("ExportLatest: %v", err)
+	}
+
+	dst := t.TempDir()
+	if err := Import(dst, rel, data); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	ck, _, err := LoadLatest(filepath.Join(dst, "run-x"), 7)
+	if err != nil {
+		t.Fatalf("LoadLatest after import: %v", err)
+	}
+	if ck.Cycle != 4242 || string(ck.Payload) != "state" {
+		t.Fatalf("restored frame = cycle %d payload %q", ck.Cycle, ck.Payload)
+	}
+}
+
+func TestImportRejectsUnsafePaths(t *testing.T) {
+	dst := t.TempDir()
+	frame := Encode(Checkpoint{Cycle: 1, Fingerprint: 1, Payload: []byte("p")})
+	for _, rel := range []string{
+		"",
+		"/etc/" + FileName(1),
+		"../" + FileName(1),
+		"run/../../" + FileName(1),
+		"run/./" + FileName(1),
+		"run/notacheckpoint.bin",
+	} {
+		if err := Import(dst, rel, frame); err == nil {
+			t.Errorf("Import(%q) accepted an unsafe path", rel)
+		}
+	}
+}
+
+func TestImportRejectsCorruptFrame(t *testing.T) {
+	frame := Encode(Checkpoint{Cycle: 9, Fingerprint: 1, Payload: []byte("p")})
+	frame[len(frame)-1] ^= 0xff
+	if err := Import(t.TempDir(), FileName(9), frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt frame: err = %v, want ErrCorrupt", err)
+	}
+}

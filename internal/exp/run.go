@@ -214,6 +214,9 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 				machine.CheckpointConfig{Dir: dir, Interval: ctx.CheckpointInterval})
 			if resumed > 0 {
 				ctx.logf("  %s: resumed from checkpoint at cycle %d", spec.Method.Name, resumed)
+				if ctx.OnResume != nil {
+					ctx.OnResume(resumed)
+				}
 			}
 			if err == nil {
 				// The run completed; its checkpoints have nothing left to

@@ -1,0 +1,154 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"pivot/internal/exp"
+	"pivot/internal/harness"
+)
+
+func testPayload() *harness.UnitPayload {
+	return &harness.UnitPayload{
+		Index:    0,
+		Label:    "policy=Default",
+		Scenario: json.RawMessage(`{"version":1,"name":"t"}`),
+		Scale:    exp.Quick(),
+		Cores:    4,
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("build-a", testPayload())
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(key, "build-a", "unit", json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := c.Get(key)
+	if !ok || string(raw) != `{"x":1}` {
+		t.Fatalf("Get = (%q, %v), want the stored value", raw, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := CacheKey("build-a", testPayload())
+
+	p := testPayload()
+	p.Index, p.Label = 7, "another-label"
+	if CacheKey("build-a", p) != base {
+		t.Error("Index/Label must not affect the cache key (duplicate units dedupe)")
+	}
+
+	if CacheKey("build-b", testPayload()) == base {
+		t.Error("build fingerprint must affect the cache key")
+	}
+	p = testPayload()
+	p.Scenario = json.RawMessage(`{"version":1,"name":"other"}`)
+	if CacheKey("build-a", p) == base {
+		t.Error("scenario encoding must affect the cache key")
+	}
+	p = testPayload()
+	p.Cores = 8
+	if CacheKey("build-a", p) == base {
+		t.Error("cores must affect the cache key")
+	}
+	p = testPayload()
+	p.Dense = true
+	if CacheKey("build-a", p) == base {
+		t.Error("dense must affect the cache key")
+	}
+	p = testPayload()
+	p.Scale.Seed = 99
+	if CacheKey("build-a", p) == base {
+		t.Error("scale must affect the cache key")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CacheKey("b", testPayload())
+	if err := c.Put(key, "b", "u", json.RawMessage(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the stored file: the entry must become a miss, not an error.
+	if err := os.WriteFile(c.path(key), []byte(`{"key":"tr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt cache file reported a hit")
+	}
+	// A mis-keyed entry (renamed file) must also miss.
+	other := CacheKey("other-build", testPayload())
+	data, _ := json.Marshal(cacheEntry{Key: key, Build: "b", Value: json.RawMessage(`{"x":1}`)})
+	if err := os.MkdirAll(c.path(other)[:len(c.path(other))-len(other+".json")], 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(other), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(other); ok {
+		t.Fatal("mis-keyed cache file reported a hit")
+	}
+}
+
+func TestCachedJobs(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	jobs := []harness.Job{
+		{
+			ID:      "000:u",
+			Run:     func(context.Context) (any, error) { runs++; return map[string]int{"v": 42}, nil },
+			Payload: testPayload(),
+		},
+		{
+			// No payload: must pass through untouched.
+			ID:  "001:plain",
+			Run: func(context.Context) (any, error) { runs++; return "plain", nil },
+		},
+	}
+	wrapped := CachedJobs(c, "build-a", jobs)
+	for _, j := range wrapped {
+		if _, err := j.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("first pass ran %d jobs, want 2", runs)
+	}
+	// Second pass: the payload job must come from the cache.
+	for _, j := range CachedJobs(c, "build-a", jobs) {
+		v, err := j.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.ID == "000:u" {
+			raw, ok := v.(json.RawMessage)
+			if !ok || string(raw) != `{"v":42}` {
+				t.Fatalf("cached value = %v, want raw {\"v\":42}", v)
+			}
+		}
+	}
+	if runs != 3 {
+		t.Fatalf("second pass ran the cached job (total %d runs, want 3)", runs)
+	}
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", c.Hits())
+	}
+}

@@ -1,0 +1,525 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pivot/internal/checkpoint"
+	"pivot/internal/harness"
+)
+
+// Config parameterises a coordinator.
+type Config struct {
+	// Addr is the listening address: a unix socket path (anything containing
+	// a path separator) or a TCP address like "localhost:0".
+	Addr string
+	// LeaseTTL is how long a leased unit survives without a heartbeat
+	// (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Heartbeat is the period workers are told to heartbeat at
+	// (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// StallTTL, when > 0, additionally expires a lease whose heartbeats
+	// arrive but whose simulated cycle has not advanced for this long — a
+	// wedged worker that still answers the phone.
+	StallTTL time.Duration
+	// Retries bounds re-leases per unit after worker loss (0 = DefaultRetries;
+	// negative = no retries).
+	Retries int
+	// Backoff delays a re-lease after worker loss, doubling per attempt
+	// (0 = DefaultBackoff).
+	Backoff time.Duration
+	// Build is the coordinator's build fingerprint; workers with a different
+	// fingerprint are rejected at the handshake (0 results cross builds).
+	Build string
+	// Logger receives structured fabric diagnostics; nil silences them.
+	Logger *slog.Logger
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+}
+
+// Stats is a point-in-time snapshot of coordinator counters.
+type Stats struct {
+	Workers   int    // connected workers
+	Completed uint64 // units finished successfully
+	Failed    uint64 // units that exhausted their retries
+	Requeued  uint64 // re-leases after worker loss
+	Migrated  uint64 // re-leases that shipped a checkpoint frame
+	Resumed   uint64 // results whose run restored from a migrated frame
+	Frames    uint64 // checkpoint frames received and verified
+}
+
+// taskResult is what a task delivers back to its Submit caller.
+type taskResult struct {
+	value   json.RawMessage
+	resumed uint64
+	err     error
+}
+
+// task is one unit in flight through the fabric.
+type task struct {
+	payload  *harness.UnitPayload
+	ch       chan taskResult // buffered 1; single delivery guarded by done
+	attempts int             // leases granted so far
+	eligible time.Time       // backoff gate for re-lease
+	ckpt     *Frame          // newest verified frame from a lost worker
+	done     bool            // result delivered
+	canceled bool            // Submit caller gave up
+}
+
+// peer is one connected worker.
+type peer struct {
+	name         string
+	w            *wire
+	lease        *task // nil when idle
+	idle         bool  // sent ready, waiting for a lease
+	hbDeadline   time.Time
+	lastCycle    uint64
+	lastProgress time.Time // last time lastCycle advanced
+}
+
+// Coordinator owns the lease table: it accepts workers, hands out units,
+// expires dead leases and routes results back to Submit callers.
+type Coordinator struct {
+	cfg Config
+	log *slog.Logger
+	ln  net.Listener
+
+	mu      sync.Mutex
+	pending []*task
+	workers map[*peer]struct{}
+	closed  bool
+
+	completed uint64
+	failed    uint64
+	requeued  uint64
+	migrated  uint64
+	resumed   uint64
+	frames    uint64
+
+	kick chan struct{} // nudges the scheduler (buffered 1)
+	stop chan struct{}
+
+	closeOnce sync.Once
+}
+
+// NewCoordinator opens the listening socket and starts the accept and
+// scheduling loops. Close releases everything.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg.setDefaults()
+	ln, err := Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		ln:      ln,
+		workers: make(map[*peer]struct{}),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	go co.acceptLoop()
+	go co.schedule()
+	return co, nil
+}
+
+// Addr returns the coordinator's bound address (useful with "localhost:0").
+func (co *Coordinator) Addr() string {
+	if isUnix(co.cfg.Addr) {
+		return co.cfg.Addr
+	}
+	return co.ln.Addr().String()
+}
+
+// Close shuts the fabric down: waiting workers are told to disconnect, the
+// listener closes, and the scheduler stops. In-flight Submit calls receive
+// errors as their workers drop.
+func (co *Coordinator) Close() {
+	co.closeOnce.Do(func() {
+		co.mu.Lock()
+		co.closed = true
+		peers := make([]*peer, 0, len(co.workers))
+		for p := range co.workers {
+			peers = append(peers, p)
+		}
+		co.mu.Unlock()
+		for _, p := range peers {
+			_ = p.w.send(message{Type: msgDone})
+			_ = p.w.close()
+		}
+		co.ln.Close()
+		close(co.stop)
+	})
+}
+
+// Stats snapshots the coordinator's counters.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return Stats{
+		Workers:   len(co.workers),
+		Completed: co.completed,
+		Failed:    co.failed,
+		Requeued:  co.requeued,
+		Migrated:  co.migrated,
+		Resumed:   co.resumed,
+		Frames:    co.frames,
+	}
+}
+
+// Submit hands one unit to the fabric and blocks until a worker finishes it,
+// its retries run out, or ctx is cancelled.
+func (co *Coordinator) Submit(ctx context.Context, p *harness.UnitPayload) (json.RawMessage, uint64, error) {
+	t := &task{payload: p, ch: make(chan taskResult, 1)}
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, 0, errors.New("fabric: coordinator closed")
+	}
+	co.pending = append(co.pending, t)
+	co.mu.Unlock()
+	co.nudge()
+	select {
+	case r := <-t.ch:
+		return r.value, r.resumed, r.err
+	case <-ctx.Done():
+		co.mu.Lock()
+		t.canceled = true
+		co.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Executor adapts the coordinator into a harness executor: payload-carrying
+// jobs are dispatched to workers (with a cache lookup around the dispatch
+// when cache is non-nil); jobs without payloads fall back to their own Run.
+func (co *Coordinator) Executor(cache *Cache) harness.Executor {
+	return func(ctx context.Context, job harness.Job) (any, error) {
+		p, ok := job.Payload.(*harness.UnitPayload)
+		if !ok || p == nil {
+			return job.Run(ctx)
+		}
+		var key string
+		if cache != nil {
+			key = CacheKey(co.cfg.Build, p)
+			if raw, hit := cache.Get(key); hit {
+				co.log.Info("cache hit", "unit", p.Label)
+				return raw, nil
+			}
+		}
+		raw, resumed, err := co.Submit(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		if resumed > 0 {
+			co.mu.Lock()
+			co.resumed++
+			co.mu.Unlock()
+		}
+		if cache != nil {
+			if perr := cache.Put(key, co.cfg.Build, p.Label, raw); perr != nil {
+				co.log.Warn("cache write failed", "unit", p.Label, "err", perr)
+			}
+		}
+		return raw, nil
+	}
+}
+
+// nudge wakes the scheduler without blocking.
+func (co *Coordinator) nudge() {
+	select {
+	case co.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (co *Coordinator) acceptLoop() {
+	for {
+		c, err := co.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go co.handlePeer(newWire(c))
+	}
+}
+
+// handlePeer performs the hello handshake, registers the worker and runs its
+// read loop; on any exit the worker is deregistered and its lease requeued.
+func (co *Coordinator) handlePeer(w *wire) {
+	m, err := w.recv()
+	if err != nil || m.Type != msgHello {
+		w.close()
+		return
+	}
+	if m.Build != co.cfg.Build {
+		// Mixed builds would silently produce non-reproducible sweeps; refuse
+		// loudly instead.
+		_ = w.send(message{Type: msgReject, Detail: fmt.Sprintf(
+			"build fingerprint mismatch: coordinator %q, worker %q", co.cfg.Build, m.Build)})
+		w.close()
+		return
+	}
+	p := &peer{name: m.Worker, w: w}
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		_ = w.send(message{Type: msgDone})
+		w.close()
+		return
+	}
+	co.workers[p] = struct{}{}
+	co.mu.Unlock()
+	co.log.Info("worker connected", "worker", p.name)
+	co.nudge()
+	defer co.removePeer(p)
+	for {
+		m, err := w.recv()
+		if err != nil {
+			return // connection lost; removePeer requeues the lease
+		}
+		switch m.Type {
+		case msgReady:
+			co.mu.Lock()
+			p.idle, p.lease = true, nil
+			co.mu.Unlock()
+			co.nudge()
+		case msgHeartbeat:
+			co.heartbeat(p, m.Cycle)
+		case msgCheckpoint:
+			co.acceptFrame(p, m)
+		case msgResult:
+			co.complete(p, m.Value, m.Resumed, nil)
+		case msgError:
+			co.complete(p, nil, 0, errors.New(m.Detail))
+		}
+	}
+}
+
+// removePeer deregisters a worker and requeues its lease.
+func (co *Coordinator) removePeer(p *peer) {
+	co.mu.Lock()
+	delete(co.workers, p)
+	t := p.lease
+	p.lease = nil
+	if t != nil && !t.done && !t.canceled {
+		co.requeueLocked(t, p.name)
+	}
+	co.mu.Unlock()
+	p.w.close()
+	co.log.Info("worker disconnected", "worker", p.name)
+	co.nudge()
+}
+
+// heartbeat refreshes a lease's liveness and progress clocks.
+func (co *Coordinator) heartbeat(p *peer, cycle uint64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if p.lease == nil {
+		return
+	}
+	now := time.Now()
+	p.hbDeadline = now.Add(co.cfg.LeaseTTL)
+	if cycle > p.lastCycle {
+		p.lastCycle = cycle
+		p.lastProgress = now
+	}
+}
+
+// acceptFrame verifies and records a shipped checkpoint frame against the
+// worker's current lease: the replacement worker gets the newest good frame.
+func (co *Coordinator) acceptFrame(p *peer, m message) {
+	if m.Ckpt == nil {
+		return
+	}
+	ck, err := checkpoint.Decode(m.Ckpt.Data)
+	if err != nil {
+		co.log.Warn("discarding corrupt checkpoint frame", "worker", p.name, "err", err)
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	t := p.lease
+	if t == nil {
+		return
+	}
+	if t.ckpt == nil || ck.Cycle > t.ckpt.Cycle {
+		t.ckpt = &Frame{Rel: m.Ckpt.Rel, Cycle: ck.Cycle, Data: m.Ckpt.Data}
+	}
+	co.frames++
+}
+
+// complete routes a finished unit's outcome to its Submit caller.
+func (co *Coordinator) complete(p *peer, value json.RawMessage, resumed uint64, err error) {
+	co.mu.Lock()
+	t := p.lease
+	p.lease = nil
+	p.lastCycle, p.lastProgress = 0, time.Time{}
+	if t == nil || t.done || t.canceled {
+		co.mu.Unlock()
+		return
+	}
+	t.done = true
+	if err == nil {
+		co.completed++
+	} else {
+		co.failed++
+	}
+	co.mu.Unlock()
+	t.ch <- taskResult{value: value, resumed: resumed, err: err}
+}
+
+// requeueLocked puts a lost task back in the queue (or fails it when its
+// retries are exhausted). Caller holds co.mu.
+func (co *Coordinator) requeueLocked(t *task, worker string) {
+	if t.attempts > co.cfg.Retries {
+		t.done = true
+		co.failed++
+		co.log.Error("unit exhausted retries", "unit", t.payload.Label, "attempts", t.attempts)
+		t.ch <- taskResult{err: fmt.Errorf(
+			"fabric: unit %s lost its worker %d time(s); giving up", t.payload.Label, t.attempts)}
+		return
+	}
+	backoff := co.cfg.Backoff << (t.attempts - 1)
+	t.eligible = time.Now().Add(backoff)
+	co.requeued++
+	migrated := ""
+	if t.ckpt != nil {
+		co.migrated++
+		migrated = fmt.Sprintf(" (checkpoint at cycle %d migrates)", t.ckpt.Cycle)
+	}
+	co.log.Warn("lease lost, requeueing"+migrated,
+		"unit", t.payload.Label, "worker", worker, "attempt", t.attempts, "backoff", backoff)
+	co.pending = append(co.pending, t)
+}
+
+// schedule is the coordinator's heart: a ticker (plus nudges) that expires
+// dead leases and assigns pending units to idle workers.
+func (co *Coordinator) schedule() {
+	period := co.cfg.LeaseTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 500*time.Millisecond {
+		period = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-tick.C:
+		case <-co.kick:
+		}
+		co.expire()
+		co.assign()
+	}
+}
+
+// expire closes connections whose leases have outlived their heartbeat TTL
+// or stalled past StallTTL; the peer's read loop then requeues the task.
+func (co *Coordinator) expire() {
+	now := time.Now()
+	var dead []*peer
+	co.mu.Lock()
+	for p := range co.workers {
+		if p.lease == nil {
+			continue
+		}
+		switch {
+		case !p.hbDeadline.IsZero() && now.After(p.hbDeadline):
+			co.log.Warn("lease expired (missed heartbeats)", "worker", p.name, "unit", p.lease.payload.Label)
+			dead = append(dead, p)
+		case co.cfg.StallTTL > 0 && !p.lastProgress.IsZero() && now.Sub(p.lastProgress) > co.cfg.StallTTL:
+			co.log.Warn("lease expired (simulation stalled)", "worker", p.name, "unit", p.lease.payload.Label)
+			dead = append(dead, p)
+		}
+	}
+	co.mu.Unlock()
+	for _, p := range dead {
+		p.w.close() // unblocks the read loop; removePeer does the requeue
+	}
+}
+
+// assign pairs eligible pending tasks with idle workers. Sends happen
+// outside the lock (they can block on a slow socket); a failed send closes
+// the connection and the read-loop teardown requeues the task.
+func (co *Coordinator) assign() {
+	now := time.Now()
+	type grant struct {
+		p *peer
+		t *task
+	}
+	var grants []grant
+	co.mu.Lock()
+	var idle []*peer
+	for p := range co.workers {
+		if p.idle && p.lease == nil {
+			idle = append(idle, p)
+		}
+	}
+	// Deterministic assignment order keeps logs readable; results are
+	// order-independent regardless.
+	sort.Slice(idle, func(i, j int) bool { return idle[i].name < idle[j].name })
+	rest := co.pending[:0]
+	for _, t := range co.pending {
+		if t.canceled || t.done {
+			continue
+		}
+		if len(idle) == 0 || now.Before(t.eligible) {
+			rest = append(rest, t)
+			continue
+		}
+		p := idle[0]
+		idle = idle[1:]
+		p.idle, p.lease = false, t
+		p.hbDeadline = now.Add(co.cfg.LeaseTTL)
+		p.lastCycle, p.lastProgress = 0, now
+		t.attempts++
+		grants = append(grants, grant{p: p, t: t})
+	}
+	co.pending = rest
+	co.mu.Unlock()
+	for _, g := range grants {
+		m := message{
+			Type:        msgLease,
+			Unit:        g.t.payload.Label,
+			Payload:     g.t.payload,
+			HeartbeatMs: co.cfg.Heartbeat.Milliseconds(),
+			Ckpt:        g.t.ckpt,
+		}
+		if err := g.p.w.send(m); err != nil {
+			g.p.w.close() // read loop cleans up and requeues
+			continue
+		}
+		co.log.Info("leased", "unit", g.t.payload.Label, "worker", g.p.name, "attempt", g.t.attempts)
+	}
+}

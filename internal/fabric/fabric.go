@@ -1,0 +1,47 @@
+// Package fabric distributes scenario sweeps across worker processes: a
+// coordinator expands a scenario into run units (via harness.ScenarioJobs'
+// UnitPayloads) and leases them to workers over a local transport (unix
+// socket or localhost TCP, JSON-framed), with crash tolerance built from
+// three mechanisms:
+//
+//   - Time-bounded leases with heartbeats. A worker that dies (connection
+//     drops), wedges (heartbeats stop), or stalls (heartbeats continue but
+//     the simulated cycle never advances past StallTTL) loses its lease; the
+//     unit is requeued with bounded retries and exponential backoff.
+//
+//   - Checkpoint migration. Workers periodically ship their newest PIVOTCKP
+//     frame alongside heartbeats; the coordinator verifies each frame's CRC
+//     and hands the latest one to the replacement worker, which imports it
+//     into its own run directory so the simulator's ordinary restore path
+//     resumes the run mid-simulation instead of restarting.
+//
+//   - A content-addressed result cache keyed on (build fingerprint, unit
+//     scenario encoding, scale, cores, dense). Re-running a sweep after a
+//     code change recomputes only affected units; an unchanged re-run is
+//     pure cache hits.
+//
+// Determinism is the contract: a sweep driven through the fabric renders
+// tables byte-identical to a serial in-process run (simulations are
+// deterministic, RunResult round-trips JSON float-exactly, and the
+// coordinator returns results in job order). With no workers configured the
+// harness's in-process path runs unchanged — the fabric degrades to exactly
+// the code that existed before it.
+package fabric
+
+import "time"
+
+// Defaults for Config; see the fields they mirror.
+const (
+	// DefaultLeaseTTL is how long a leased unit may go without a heartbeat
+	// before the coordinator expires the lease.
+	DefaultLeaseTTL = 5 * time.Second
+	// DefaultHeartbeat is the worker's heartbeat period; the lease TTL
+	// should be a comfortable multiple of it.
+	DefaultHeartbeat = 250 * time.Millisecond
+	// DefaultRetries bounds how many times a unit is re-leased after losing
+	// its worker before the failure is surfaced.
+	DefaultRetries = 3
+	// DefaultBackoff is the wait before the first re-lease; it doubles per
+	// attempt.
+	DefaultBackoff = 250 * time.Millisecond
+)

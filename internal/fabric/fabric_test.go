@@ -1,0 +1,217 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pivot/internal/exp"
+	"pivot/internal/harness"
+	"pivot/internal/machine"
+	"pivot/internal/scenario"
+)
+
+// sweepScenario is a tiny two-unit sweep cheap enough for unit tests.
+const sweepScenario = `{
+  "version": 1,
+  "name": "fabric-test",
+  "machine": {"cores": 4},
+  "policy": "Default",
+  "warmup": 20000,
+  "measure": 30000,
+  "tasks": [
+    {"kind": "lc", "app": "masstree", "interarrival": 3000},
+    {"kind": "be", "app": "ibench", "threads": 2}
+  ],
+  "sweep": [{"param": "policy", "values": ["Default", "FullPath"]}]
+}`
+
+// longScenario runs long enough for checkpoints to ship mid-unit.
+const longScenario = `{
+  "version": 1,
+  "name": "fabric-long",
+  "machine": {"cores": 4},
+  "policy": "Default",
+  "warmup": 50000,
+  "measure": 2000000,
+  "tasks": [
+    {"kind": "lc", "app": "masstree", "interarrival": 3000},
+    {"kind": "be", "app": "ibench", "threads": 2}
+  ]
+}`
+
+func parseScenario(t *testing.T, text string) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// startWorker runs an in-process worker until cancel; returns the cancel.
+func startWorker(t *testing.T, co *Coordinator, name string) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := RunWorker(ctx, WorkerConfig{Addr: co.Addr(), Name: name, Build: co.cfg.Build,
+			Dir: t.TempDir()}); err != nil {
+			t.Errorf("worker %s: %v", name, err)
+		}
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return cancel
+}
+
+// fabricTable drives sc through the fabric and renders its scenario table.
+func fabricTable(t *testing.T, co *Coordinator, cache *Cache, sc *scenario.Scenario) string {
+	t.Helper()
+	ctx := exp.NewContext(machine.KunpengConfig(8), exp.Quick())
+	jobs, labels, err := harness.ScenarioJobs(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := harness.New(harness.Config{Parallel: len(jobs), Executor: co.Executor(cache)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := r.Run(jobs)
+	rendered := make([]exp.RunResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("unit %s: %v", res.ID, res.Err)
+		}
+		rr, err := harness.ValueAs[exp.RunResult](res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered[i] = rr
+	}
+	return exp.ScenarioTable(sc, labels, rendered).String()
+}
+
+// TestFabricMatchesSerial is the fabric's core contract: a sweep distributed
+// across workers renders byte-identical tables to a serial in-process run,
+// and a warm-cache re-run recomputes nothing while rendering the same bytes.
+func TestFabricMatchesSerial(t *testing.T) {
+	sc := parseScenario(t, sweepScenario)
+	serial, err := exp.NewContext(machine.KunpengConfig(8), exp.Quick()).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.String()
+
+	co := testCoordinator(t, Config{Heartbeat: 20 * time.Millisecond})
+	startWorker(t, co, "w1")
+	startWorker(t, co, "w2")
+
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fabricTable(t, co, cache, sc)
+	if got != want {
+		t.Fatalf("fabric table differs from serial:\n--- serial ---\n%s\n--- fabric ---\n%s", want, got)
+	}
+	if cache.Hits() != 0 || cache.Misses() != 2 {
+		t.Fatalf("cold cache: %d hits / %d misses, want 0/2", cache.Hits(), cache.Misses())
+	}
+
+	// Warm re-run: every unit must come from the cache, bytes unchanged.
+	before := co.Stats().Completed
+	got2 := fabricTable(t, co, cache, sc)
+	if got2 != want {
+		t.Fatalf("warm-cache table differs from serial")
+	}
+	if cache.Hits() != 2 {
+		t.Fatalf("warm cache: %d hits, want 2", cache.Hits())
+	}
+	if after := co.Stats().Completed; after != before {
+		t.Fatalf("warm re-run recomputed %d unit(s), want 0", after-before)
+	}
+}
+
+// TestFabricMigratesCheckpoint kills a worker mid-unit and checks that the
+// replacement resumes from the migrated frame and produces the exact result
+// a serial uninterrupted run produces.
+func TestFabricMigratesCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	sc := parseScenario(t, longScenario)
+	units, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("expanded to %d units, want 1", len(units))
+	}
+
+	// Serial reference result.
+	sctx := exp.NewContext(machine.KunpengConfig(8), exp.Quick())
+	rctx := sctx.UnitResolver()(units[0])
+	spec, err := rctx.SpecForUnit(units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRes, err := rctx.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(serialRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := testCoordinator(t, Config{Heartbeat: 20 * time.Millisecond, Backoff: time.Millisecond})
+	cancel1 := startWorker(t, co, "w1")
+
+	// Build the payload the way ScenarioJobs does, with frequent checkpoints
+	// so frames ship quickly.
+	fctx := exp.NewContext(machine.KunpengConfig(8), exp.Quick())
+	fctx.CheckpointInterval = 50_000
+	jobs, _, err := harness.ScenarioJobs(fctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := jobs[0].Payload.(*harness.UnitPayload)
+
+	type submitOut struct {
+		value   json.RawMessage
+		resumed uint64
+		err     error
+	}
+	done := make(chan submitOut, 1)
+	go func() {
+		v, resumed, err := co.Submit(context.Background(), payload)
+		done <- submitOut{v, resumed, err}
+	}()
+
+	// Wait until at least one verified frame arrived, then kill the worker.
+	waitFor(t, func() bool { return co.Stats().Frames >= 1 }, "a shipped checkpoint frame")
+	cancel1()
+	startWorker(t, co, "w2")
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("Submit: %v", out.err)
+		}
+		if out.resumed == 0 {
+			t.Fatal("replacement worker did not resume from the migrated checkpoint")
+		}
+		if string(out.value) != string(wantJSON) {
+			t.Fatalf("migrated result differs from serial:\nserial: %s\nfabric: %s", wantJSON, out.value)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("migrated unit never completed")
+	}
+	st := co.Stats()
+	if st.Requeued < 1 || st.Migrated < 1 {
+		t.Fatalf("stats = %+v, want Requeued>=1 Migrated>=1", st)
+	}
+}

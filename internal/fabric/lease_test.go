@@ -1,0 +1,210 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pivot/internal/checkpoint"
+	"pivot/internal/harness"
+)
+
+func encodeTestFrame(cycle, fp uint64, payload string) []byte {
+	return checkpoint.Encode(checkpoint.Checkpoint{Cycle: cycle, Fingerprint: fp, Payload: []byte(payload)})
+}
+
+func frameName(cycle uint64) string { return checkpoint.FileName(cycle) }
+
+// fakeWorker is a hand-driven protocol peer for lease-table tests: it speaks
+// the wire protocol directly so tests control exactly when heartbeats stop.
+type fakeWorker struct {
+	t *testing.T
+	w *wire
+}
+
+func dialFake(t *testing.T, co *Coordinator, name string) *fakeWorker {
+	t.Helper()
+	c, err := Dial(co.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("%s: dial: %v", name, err)
+	}
+	f := &fakeWorker{t: t, w: newWire(c)}
+	if err := f.w.send(message{Type: msgHello, Worker: name, Build: co.cfg.Build}); err != nil {
+		t.Fatalf("%s: hello: %v", name, err)
+	}
+	t.Cleanup(func() { f.w.close() })
+	return f
+}
+
+func (f *fakeWorker) lease() message {
+	f.t.Helper()
+	if err := f.w.send(message{Type: msgReady}); err != nil {
+		f.t.Fatalf("ready: %v", err)
+	}
+	m, err := f.w.recv()
+	if err != nil {
+		f.t.Fatalf("recv lease: %v", err)
+	}
+	if m.Type != msgLease {
+		f.t.Fatalf("got %q, want a lease", m.Type)
+	}
+	return m
+}
+
+func testCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = filepath.Join(t.TempDir(), "f.sock")
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+func submitAsync(co *Coordinator, p *harness.UnitPayload) chan taskResult {
+	ch := make(chan taskResult, 1)
+	go func() {
+		v, resumed, err := co.Submit(context.Background(), p)
+		ch <- taskResult{value: v, resumed: resumed, err: err}
+	}()
+	return ch
+}
+
+func TestLeaseExpiresOnMissedHeartbeats(t *testing.T) {
+	co := testCoordinator(t, Config{LeaseTTL: 200 * time.Millisecond, Heartbeat: 50 * time.Millisecond,
+		Backoff: time.Millisecond})
+	done := submitAsync(co, testPayload())
+
+	// Worker A takes the lease, heartbeats once, then goes silent without
+	// closing its connection (a wedged process).
+	a := dialFake(t, co, "a")
+	m := a.lease()
+	if m.Payload == nil || m.Payload.Label != "policy=Default" {
+		t.Fatalf("lease payload = %+v", m.Payload)
+	}
+	if err := a.w.send(message{Type: msgHeartbeat, Unit: m.Unit, Cycle: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker B arrives after A's lease must have expired, and completes it.
+	b := dialFake(t, co, "b")
+	m2 := b.lease()
+	if m2.Payload.Label != m.Payload.Label {
+		t.Fatalf("reassigned unit = %q, want %q", m2.Payload.Label, m.Payload.Label)
+	}
+	if err := b.w.send(message{Type: msgResult, Unit: m2.Unit, Value: json.RawMessage(`{"ok":true}`)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("Submit: %v", r.err)
+		}
+		if string(r.value) != `{"ok":true}` {
+			t.Fatalf("value = %s", r.value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit never completed after re-lease")
+	}
+	st := co.Stats()
+	if st.Requeued < 1 {
+		t.Fatalf("Requeued = %d, want >= 1", st.Requeued)
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	co := testCoordinator(t, Config{LeaseTTL: 5 * time.Second, Heartbeat: 50 * time.Millisecond,
+		Retries: 2, Backoff: time.Millisecond})
+	done := submitAsync(co, testPayload())
+
+	// Each worker takes the lease, then drops the connection mid-unit.
+	for i := 0; i < 3; i++ {
+		f := dialFake(t, co, "crash")
+		f.lease()
+		f.w.close()
+	}
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatal("Submit succeeded after 3 lost workers with Retries=2")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit never failed")
+	}
+	if st := co.Stats(); st.Failed != 1 || st.Requeued != 2 {
+		t.Fatalf("stats = %+v, want Failed=1 Requeued=2", st)
+	}
+}
+
+func TestCheckpointFrameMigratesOnRelease(t *testing.T) {
+	co := testCoordinator(t, Config{LeaseTTL: 5 * time.Second, Heartbeat: 50 * time.Millisecond,
+		Backoff: time.Millisecond})
+	_ = submitAsync(co, testPayload())
+
+	a := dialFake(t, co, "a")
+	m := a.lease()
+	frame := encodeTestFrame(1000, 7, "state-at-1000")
+	if err := a.w.send(message{Type: msgCheckpoint, Unit: m.Unit,
+		Ckpt: &Frame{Rel: "run-1/" + frameName(1000), Cycle: 1000, Data: frame}}); err != nil {
+		t.Fatal(err)
+	}
+	// An older frame must not replace the newer one.
+	if err := a.w.send(message{Type: msgCheckpoint, Unit: m.Unit,
+		Ckpt: &Frame{Rel: "run-1/" + frameName(500), Cycle: 500, Data: encodeTestFrame(500, 7, "older")}}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt frame must be discarded, not forwarded.
+	bad := encodeTestFrame(2000, 7, "torn")
+	bad[len(bad)-1] ^= 0xff
+	if err := a.w.send(message{Type: msgCheckpoint, Unit: m.Unit,
+		Ckpt: &Frame{Rel: "run-1/" + frameName(2000), Cycle: 2000, Data: bad}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return co.Stats().Frames >= 2 }, "frames accepted")
+	a.w.close() // worker dies; the unit requeues with its frame
+
+	b := dialFake(t, co, "b")
+	m2 := b.lease()
+	if m2.Ckpt == nil {
+		t.Fatal("re-lease carried no migrated checkpoint frame")
+	}
+	if m2.Ckpt.Cycle != 1000 {
+		t.Fatalf("migrated frame cycle = %d, want 1000 (newest good frame)", m2.Ckpt.Cycle)
+	}
+}
+
+func TestRejectsBuildMismatch(t *testing.T) {
+	co := testCoordinator(t, Config{Build: "pivot v1"})
+	c, err := Dial(co.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWire(c)
+	defer w.close()
+	if err := w.send(message{Type: msgHello, Worker: "x", Build: "pivot v2"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != msgReject {
+		t.Fatalf("got %q, want a reject for mismatched builds", m.Type)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

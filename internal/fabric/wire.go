@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pivot/internal/harness"
+)
+
+// The wire protocol is deliberately dumb: newline-delimited JSON messages
+// over a stream connection, one flat message type for every direction. Local
+// transports only — a unix socket (any address containing a path separator)
+// or localhost TCP — so there is no auth, no TLS and no framing beyond what
+// encoding/json provides. The coordinator and workers must share a build
+// fingerprint: results are only byte-reproducible when both sides run the
+// same code, so the hello handshake rejects mismatches outright.
+
+// Message types.
+const (
+	msgHello      = "hello"      // worker → coordinator: name + build fingerprint
+	msgReady      = "ready"      // worker → coordinator: give me a unit
+	msgLease      = "lease"      // coordinator → worker: run this unit
+	msgHeartbeat  = "heartbeat"  // worker → coordinator: lease alive, cycle progress
+	msgCheckpoint = "checkpoint" // worker → coordinator: newest PIVOTCKP frame
+	msgResult     = "result"     // worker → coordinator: unit finished
+	msgError      = "error"      // worker → coordinator: unit failed
+	msgReject     = "reject"     // coordinator → worker: handshake refused
+	msgDone       = "done"       // coordinator → worker: no more units, disconnect
+)
+
+// Frame is one shipped PIVOTCKP checkpoint frame: the raw encoded bytes plus
+// the run-relative path they were exported from (see checkpoint.ExportLatest).
+type Frame struct {
+	Rel   string `json:"rel"`
+	Cycle uint64 `json:"cycle"`
+	Data  []byte `json:"data"` // base64 via encoding/json
+}
+
+// message is the single wire message shape; Type selects which fields matter.
+type message struct {
+	Type string `json:"type"`
+	// Worker and Build identify the peer (hello); Detail carries reject and
+	// error text.
+	Worker string `json:"worker,omitempty"`
+	Build  string `json:"build,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Unit names the leased unit (lease/heartbeat/checkpoint/result/error).
+	Unit string `json:"unit,omitempty"`
+	// Payload is the unit description (lease).
+	Payload *harness.UnitPayload `json:"payload,omitempty"`
+	// HeartbeatMs tells the worker its heartbeat period (lease).
+	HeartbeatMs int64 `json:"heartbeat_ms,omitempty"`
+	// Ckpt carries a migrated frame: coordinator → worker inside a lease,
+	// worker → coordinator as a msgCheckpoint.
+	Ckpt *Frame `json:"ckpt,omitempty"`
+	// Cycle is the worker's current simulated cycle (heartbeat).
+	Cycle uint64 `json:"cycle,omitempty"`
+	// Resumed is the cycle a migrated run restored at, 0 if it started
+	// fresh (result).
+	Resumed uint64 `json:"resumed,omitempty"`
+	// Value is the JSON-encoded run result (result).
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// wire wraps one connection with a JSON encoder/decoder pair. Sends are
+// mutex-serialised (the worker's heartbeat goroutine and its main loop share
+// the connection); receives have a single reader per side.
+type wire struct {
+	c   net.Conn
+	dec *json.Decoder
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newWire(c net.Conn) *wire {
+	return &wire{c: c, dec: json.NewDecoder(c), enc: json.NewEncoder(c)}
+}
+
+func (w *wire) send(m message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(m)
+}
+
+func (w *wire) recv() (message, error) {
+	var m message
+	err := w.dec.Decode(&m)
+	return m, err
+}
+
+func (w *wire) close() error { return w.c.Close() }
+
+// isUnix reports whether addr names a unix socket path rather than a TCP
+// address: anything containing a path separator (or starting with ".").
+func isUnix(addr string) bool {
+	return strings.ContainsRune(addr, os.PathSeparator) || strings.HasPrefix(addr, ".")
+}
+
+// Listen opens the coordinator's listening socket. A stale socket file from
+// a previous crashed coordinator is removed first (local single-user
+// transport; whoever can write the path owns it).
+func Listen(addr string) (net.Listener, error) {
+	if isUnix(addr) {
+		if _, err := os.Stat(addr); err == nil {
+			if c, derr := net.DialTimeout("unix", addr, 100*time.Millisecond); derr == nil {
+				c.Close()
+				return nil, fmt.Errorf("fabric: %s: a coordinator is already listening", addr)
+			}
+			os.Remove(addr)
+		}
+		return net.Listen("unix", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Dial connects a worker to a coordinator, retrying for up to wait (workers
+// often start before or alongside the coordinator).
+func Dial(addr string, wait time.Duration) (net.Conn, error) {
+	network := "tcp"
+	if isUnix(addr) {
+		network = "unix"
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := net.DialTimeout(network, addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fabric: dialing %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -50,13 +50,25 @@ type Config struct {
 	// Progress, when set, is fed live sweep telemetry (units done/failed and
 	// the current job label) for the /progress debug endpoint.
 	Progress *stats.Progress
+	// Executor, when set, replaces each job's Run with an alternate execution
+	// strategy (e.g. dispatch to a fabric coordinator). The executor receives
+	// the full Job, so it can inspect Payload and fall back to job.Run for
+	// jobs it cannot place elsewhere. Retry, timeout, panic capture and
+	// journaling apply to the executor exactly as they would to Run.
+	Executor Executor
 }
+
+// Executor is a pluggable job execution strategy (see Config.Executor).
+type Executor func(ctx context.Context, job Job) (any, error)
 
 // Job is one unit of work. Run receives a context carrying the per-run
 // deadline; its returned value must be JSON-marshalable for journaling.
+// Payload, when set, is a serialisable description of the work that an
+// Executor can ship to another process; the in-process path ignores it.
 type Job struct {
-	ID  string
-	Run func(ctx context.Context) (any, error)
+	ID      string
+	Run     func(ctx context.Context) (any, error)
+	Payload any
 }
 
 // Result is the outcome of one job, in job order.
@@ -214,6 +226,11 @@ func (r *Runner) runOne(ctx context.Context, job Job) Result {
 			r.cfg.Progress.UnitDone(false)
 			return Result{ID: job.ID, Value: raw, Resumed: true}
 		}
+		if e, ok := r.journal.priorFailure(job.ID); ok {
+			// Failure records are history, not results: report and re-run.
+			r.log.Warn("re-running previously failed job",
+				"job", job.ID, "priorAttempts", e.Attempts, "priorErr", e.Error)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		// Sweep cancelled before this job started: fail fast instead of
@@ -248,6 +265,14 @@ func (r *Runner) runOne(ctx context.Context, job Job) Result {
 		}
 	}
 	r.log.Error("job failed", "job", job.ID, "attempts", attempts, "err", lastErr)
+	if r.journal != nil && ctx.Err() == nil {
+		// Journal the failure so a resumed sweep reports it instead of
+		// silently retrying with no history. Cancellation is not a job
+		// failure — those jobs simply re-run next time.
+		if jerr := r.journal.appendFailure(job.ID, attempts, lastErr); jerr != nil {
+			r.log.Error("journal write failed", "job", job.ID, "err", jerr)
+		}
+	}
 	r.cfg.Progress.UnitDone(true)
 	return Result{
 		ID:       job.ID,
@@ -276,5 +301,8 @@ func (r *Runner) attempt(parent context.Context, job Job) (v any, err error) {
 			v, err = nil, &machine.PanicError{Value: p, Stack: string(debug.Stack())}
 		}
 	}()
+	if r.cfg.Executor != nil {
+		return r.cfg.Executor(ctx, job)
+	}
 	return job.Run(ctx)
 }

@@ -11,14 +11,20 @@ import (
 	"pivot/internal/buildinfo"
 )
 
-// Entry is one journal line: a completed job and its JSON-encoded value.
-// The journal records only successes — failed jobs re-run on resume.
-// Version is the build fingerprint of the binary that produced the value,
+// Entry is one journal line: a completed job and its JSON-encoded value, or
+// a structured failure record. Only successes count as done — failed jobs
+// re-run on resume, but their failure entries give the resumed sweep a
+// history (what failed, how often, under which build) instead of silence.
+// Version is the build fingerprint of the binary that produced the entry,
 // so a resumed sweep can be audited for entries computed by older code.
 type Entry struct {
 	ID      string          `json:"id"`
 	Version string          `json:"version,omitempty"`
-	Value   json.RawMessage `json:"value"`
+	Value   json.RawMessage `json:"value,omitempty"`
+	// Failed marks a failure record; Error and Attempts describe it.
+	Failed   bool   `json:"failed,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 }
 
 // journal is an append-only JSONL file of completed jobs, safe for
@@ -28,32 +34,93 @@ type journal struct {
 	f       *os.File
 	version string // build fingerprint stamped into each entry
 	seen    map[string]json.RawMessage
+	failed  map[string]Entry // prior failure records, reported on resume
 }
 
 // openJournal opens (creating if needed) the journal for appending. When
 // resume is set, existing entries are loaded first; a trailing partial line
 // (the process died mid-write) is ignored.
 func openJournal(path string, resume bool) (*journal, error) {
-	j := &journal{seen: make(map[string]json.RawMessage), version: buildinfo.Fingerprint()}
+	j := &journal{
+		seen:    make(map[string]json.RawMessage),
+		failed:  make(map[string]Entry),
+		version: buildinfo.Fingerprint(),
+	}
 	if resume {
-		loaded, err := LoadJournal(path)
+		entries, err := LoadEntries(path)
 		if err != nil && !os.IsNotExist(err) {
 			return nil, err
 		}
-		j.seen = loaded
+		for _, e := range entries {
+			if e.Failed {
+				// A later success supersedes an earlier failure record, and
+				// vice versa: replay in file order, last entry per ID wins.
+				delete(j.seen, e.ID)
+				j.failed[e.ID] = e
+			} else {
+				delete(j.failed, e.ID)
+				j.seen[e.ID] = e.Value
+			}
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := sealTornTail(f, path); err != nil {
+		f.Close()
 		return nil, err
 	}
 	j.f = f
 	return j, nil
 }
 
+// sealTornTail terminates a trailing partial line (the previous process died
+// mid-append). Without the newline, the first fresh entry would concatenate
+// onto the torn bytes and mangle itself; with it, the torn line stays a
+// skipped malformed line and new entries land clean.
+func sealTornTail(f *os.File, path string) error {
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return err
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	last := make([]byte, 1)
+	if _, err := r.ReadAt(last, st.Size()-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	_, err = f.Write([]byte("\n"))
+	return err
+}
+
 // LoadJournal reads a JSONL journal into a map of job ID to raw value.
-// Malformed lines (a crash mid-append) are skipped, not fatal.
+// Failure records are not successes and are excluded; malformed lines (a
+// crash mid-append) are skipped, not fatal.
 func LoadJournal(path string) (map[string]json.RawMessage, error) {
+	entries, err := LoadEntries(path)
 	out := make(map[string]json.RawMessage)
+	for _, e := range entries {
+		if e.Failed {
+			delete(out, e.ID)
+			continue
+		}
+		out[e.ID] = e.Value
+	}
+	return out, err
+}
+
+// LoadEntries reads every well-formed journal entry in file order, successes
+// and failure records alike. Malformed lines (a crash mid-append, torn or
+// interleaved writes) are skipped, not fatal.
+func LoadEntries(path string) ([]Entry, error) {
+	var out []Entry
 	f, err := os.Open(path)
 	if err != nil {
 		return out, err
@@ -66,7 +133,7 @@ func LoadJournal(path string) (map[string]json.RawMessage, error) {
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.ID == "" {
 			continue
 		}
-		out[e.ID] = e.Value
+		out = append(out, e)
 	}
 	return out, sc.Err()
 }
@@ -76,6 +143,15 @@ func (j *journal) lookup(id string) (json.RawMessage, bool) {
 	defer j.mu.Unlock()
 	v, ok := j.seen[id]
 	return v, ok
+}
+
+// priorFailure returns the journaled failure record for a job, if resume
+// loaded one. The job still re-runs; the record is reported, not trusted.
+func (j *journal) priorFailure(id string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.failed[id]
+	return e, ok
 }
 
 // append journals one completed job. The line is built in memory and issued
@@ -102,6 +178,31 @@ func (j *journal) append(id string, value any) error {
 		return err
 	}
 	j.seen[id] = raw
+	delete(j.failed, id)
+	return nil
+}
+
+// appendFailure journals a structured failure record for a job that ran out
+// of attempts. Resume reports it but does not treat the job as done.
+func (j *journal) appendFailure(id string, attempts int, cause error) error {
+	e := Entry{ID: id, Version: j.version, Failed: true, Attempts: attempts}
+	if cause != nil {
+		e.Error = cause.Error()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.failed[id] = e
 	return nil
 }
 

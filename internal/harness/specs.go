@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -41,10 +42,35 @@ func SpecJobs(ctx *exp.Context, specs []exp.RunSpec) []Job {
 	return jobs
 }
 
+// UnitPayload is the serialisable description of one scenario run unit: the
+// canonical encoding of the unit's resolved scenario plus the execution
+// settings that shape its result. It is everything a worker process needs to
+// reproduce the run bit-identically, and everything a result cache needs to
+// key on. Fields deliberately mirror the inputs of exp.Context.Run for a
+// scenario unit; anything that can change the result must be here.
+type UnitPayload struct {
+	// Index and Label locate the unit within its sweep (display only; the
+	// cache key excludes them so duplicate units dedupe).
+	Index int    `json:"index"`
+	Label string `json:"label"`
+	// Scenario is the unit's resolved (sweep-free) scenario, canonically
+	// encoded; workers strict-parse it back.
+	Scenario json.RawMessage `json:"scenario"`
+	// Scale, Cores and Dense pin the executing context's configuration.
+	Scale exp.Scale `json:"scale"`
+	Cores int       `json:"cores"`
+	Dense bool      `json:"dense,omitempty"`
+	// CkptEvery is the checkpoint interval (simulated cycles) workers apply;
+	// 0 means the machine default.
+	CkptEvery uint64 `json:"ckpt_every,omitempty"`
+}
+
 // ScenarioJobs expands a validated scenario into one job per run unit,
 // against the context the scenario's machine stanza selects. The returned
 // labels parallel the jobs (labels[i] names jobs[i]'s unit) and feed
-// exp.ScenarioTable once the harness delivers the results.
+// exp.ScenarioTable once the harness delivers the results. Each job also
+// carries a UnitPayload so a fabric executor can ship it to worker
+// processes instead of running it here.
 func ScenarioJobs(ctx *exp.Context, sc *scenario.Scenario) ([]Job, []string, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
@@ -69,6 +95,15 @@ func ScenarioJobs(ctx *exp.Context, sc *scenario.Scenario) ([]Job, []string, err
 			ID: fmt.Sprintf("%03d:%s", i, labels[i]),
 			Run: func(rc context.Context) (any, error) {
 				return rctx.WithRunContext(rc).Run(spec)
+			},
+			Payload: &UnitPayload{
+				Index:     i,
+				Label:     labels[i],
+				Scenario:  json.RawMessage(u.Scenario.MustEncode()),
+				Scale:     ctx.Scale,
+				Cores:     ctx.Cfg.Cores,
+				Dense:     ctx.Dense,
+				CkptEvery: uint64(ctx.CheckpointInterval),
 			},
 		}
 	}

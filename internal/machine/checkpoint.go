@@ -172,6 +172,14 @@ func (m *Machine) RunCheckpointed(ctx context.Context, warmup, measure sim.Cycle
 		if err := m.stepCheckpointed(ctx, warmup-m.Engine.Now(), cc); err != nil {
 			return resumedFrom, err
 		}
+	}
+	if m.Engine.Now() == warmup {
+		// Reset at the boundary even when the restore landed exactly on it: a
+		// periodic checkpoint written at the warm-up boundary holds pre-reset
+		// state (the write happens inside the warm-up stepping), so skipping
+		// the reset here would silently count the warm-up as measured. When
+		// the restored frame was already post-reset (an abort flush at this
+		// cycle), resetting again is a no-op — no cycle has elapsed since.
 		m.ResetStats()
 	}
 	if m.Engine.Now() >= end {

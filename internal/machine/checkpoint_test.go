@@ -127,6 +127,50 @@ func TestCheckpointingDoesNotPerturbResults(t *testing.T) {
 	}
 }
 
+// TestResumeAtWarmupBoundaryResetsStats pins the boundary case behind
+// checkpoint migration: a periodic checkpoint whose interval divides the
+// warm-up length lands exactly on the warm-up boundary, holding PRE-reset
+// state (the write happens inside the warm-up stepping, before ResetStats).
+// A resume from that frame must still reset statistics at the boundary, or
+// the warm-up silently counts as measured.
+func TestResumeAtWarmupBoundaryResetsStats(t *testing.T) {
+	tc := ckptCases()[0]
+	ctx := context.Background()
+
+	ref := tc.build(t)
+	if err := ref.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Reproduce the on-disk situation: a frame at exactly the warm-up
+	// boundary with statistics not yet reset.
+	dir := t.TempDir()
+	pre := tc.build(t)
+	if err := pre.StepChecked(ctx, ckptWarmup); err != nil {
+		t.Fatalf("warm-up step: %v", err)
+	}
+	if _, err := pre.WriteCheckpoint(dir, 2); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+
+	res := tc.build(t)
+	resumed, err := res.RunCheckpointed(ctx, ckptWarmup, ckptMeasure,
+		CheckpointConfig{Dir: dir, Interval: ckptInterval})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed != ckptWarmup {
+		t.Fatalf("resumed from cycle %d, want the warm-up boundary %d", resumed, ckptWarmup)
+	}
+	if res.MeasuredCycles() != ref.MeasuredCycles() {
+		t.Errorf("measured cycles = %d, want %d (warm-up leaked into the measured region)",
+			res.MeasuredCycles(), ref.MeasuredCycles())
+	}
+	if got, want := stateBytes(t, res), stateBytes(t, ref); string(got) != string(want) {
+		t.Error("final state differs from an uninterrupted run")
+	}
+}
+
 // TestRestoreThenStepIsBitIdentical is the core restore contract:
 // restore(snapshot(M)) into a fresh machine, then stepping both N cycles,
 // yields byte-identical states — for every workload mix.

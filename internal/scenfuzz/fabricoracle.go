@@ -1,0 +1,91 @@
+package scenfuzz
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pivot/internal/exp"
+	"pivot/internal/fabric"
+	"pivot/internal/harness"
+	"pivot/internal/machine"
+	"pivot/internal/scenario"
+)
+
+// fabricCheck: distributing the scenario's units across the coordinator/worker
+// fabric must render a scenario table byte-identical to the in-process serial
+// path. One in-process worker serves a unix-socket coordinator — the full wire
+// protocol, lease table, payload codec and worker-side context rebuild are on
+// the path, so any nondeterminism the fabric introduces (JSON round-tripping,
+// per-worker caches, checkpoint-interval plumbing) surfaces as a byte diff.
+func fabricCheck(ctx context.Context, sc *scenario.Scenario, env Env, tr *Transcript) error {
+	if err := Executable(sc); err != nil {
+		return err
+	}
+	cfg := machine.KunpengConfig(scenario.DefaultCores)
+	serial, err := exp.NewContext(cfg, exp.Quick()).RunScenario(sc)
+	if err != nil {
+		return fmt.Errorf("serial run: %w", err)
+	}
+	want := serial.String()
+	tr.Logf("serial table: %d bytes", len(want))
+
+	dir, err := os.MkdirTemp("", "pivot-fuzz-fabric-")
+	if err != nil {
+		return fmt.Errorf("fabric dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	co, err := fabric.NewCoordinator(fabric.Config{
+		Addr:      filepath.Join(dir, "f.sock"),
+		Heartbeat: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	defer co.Close()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- fabric.RunWorker(wctx, fabric.WorkerConfig{
+			Addr: co.Addr(), Name: "fuzz-w1", Dir: filepath.Join(dir, "w1"),
+		})
+	}()
+
+	fctx := exp.NewContext(cfg, exp.Quick())
+	jobs, labels, err := harness.ScenarioJobs(fctx, sc)
+	if err != nil {
+		return fmt.Errorf("expanding scenario for the fabric: %w", err)
+	}
+	r, err := harness.New(harness.Config{Parallel: len(jobs), Executor: co.Executor(nil)})
+	if err != nil {
+		return err
+	}
+	results := r.Run(jobs)
+	rendered := make([]exp.RunResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("fabric unit %s: %w", res.ID, res.Err)
+		}
+		rr, err := harness.ValueAs[exp.RunResult](res)
+		if err != nil {
+			return fmt.Errorf("fabric unit %s: decoding result: %w", res.ID, err)
+		}
+		rendered[i] = rr
+	}
+	got := exp.ScenarioTable(sc, labels, rendered).String()
+
+	cancel()
+	co.Close()
+	if err := <-workerDone; err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+
+	if got != want {
+		return fmt.Errorf("fabric table differs from serial: %s", firstDiff([]byte(want), []byte(got)))
+	}
+	tr.Logf("fabric table byte-identical across %d unit(s)", len(jobs))
+	return nil
+}

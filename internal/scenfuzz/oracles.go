@@ -44,6 +44,7 @@ func Oracles() []Oracle {
 		{"checkpoint", "a run killed at a derived cycle and resumed equals an uninterrupted run", checkpointCheck},
 		{"flight", "the flight recorder changes nothing observable", flightCheck},
 		{"audit", "the run completes cleanly under auditor, watchdog and cycle budget", auditCheck},
+		{"fabric", "a coordinator/worker sweep renders tables byte-identical to the in-process path", fabricCheck},
 	}
 }
 

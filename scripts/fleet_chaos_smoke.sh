@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# fleet_chaos_smoke.sh — CI chaos pass for the distributed sweep fabric.
+#
+# Three stages:
+#   1. serial reference: run examples/scenarios/fleet.json in-process;
+#   2. chaos run: the same sweep across 3 worker processes with a result
+#      cache, SIGKILLing one worker mid-sweep — the coordinator must expire
+#      its lease, migrate its newest checkpoint frame and re-lease the unit,
+#      and the final table must be byte-identical to the serial one;
+#   3. warm re-run: the same sweep again must serve >= 90% of units from the
+#      content-addressed cache and render the same bytes.
+#
+#   scripts/fleet_chaos_smoke.sh          # default scratch dir
+#   FLEET_WORK=out scripts/fleet_chaos_smoke.sh   # pin scratch dir (CI artifacts)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ -n "${FLEET_WORK:-}" ]; then
+  work=$FLEET_WORK
+  mkdir -p "$work"
+else
+  work=$(mktemp -d)
+  trap 'rm -rf "$work"' EXIT
+fi
+
+scenario=examples/scenarios/fleet.json
+# Frequent checkpoints so the killed worker has shipped a frame to migrate.
+ckpt_interval=25000
+
+echo "== build"
+go build -o "$work/pivot-exp" ./cmd/pivot-exp
+
+echo "== stage 1: serial reference"
+"$work/pivot-exp" -quick -quiet -scenario "$scenario" \
+  -checkpoint-interval "$ckpt_interval" > "$work/serial.txt"
+
+echo "== stage 2: 3 workers, SIGKILL one mid-sweep"
+"$work/pivot-exp" -quick -scenario "$scenario" -workers 3 \
+  -cache-dir "$work/cache" -checkpoint-interval "$ckpt_interval" \
+  > "$work/chaos.txt" 2> "$work/chaos.err" &
+sweep_pid=$!
+
+# Wait for worker w1 to come up, let it get a unit underway, then kill -9.
+victim=""
+for _ in $(seq 1 100); do
+  victim=$(pgrep -f "pivot-exp worker .*-name w1" | head -1 || true)
+  [ -n "$victim" ] && break
+  sleep 0.1
+done
+if [ -z "$victim" ]; then
+  echo "FAIL: worker w1 never appeared" >&2
+  kill "$sweep_pid" 2>/dev/null || true
+  exit 1
+fi
+sleep 1
+if kill -9 "$victim" 2>/dev/null; then
+  echo "   killed worker w1 (pid $victim)"
+else
+  echo "FAIL: worker w1 (pid $victim) exited before the kill landed — sweep too fast for chaos" >&2
+  kill "$sweep_pid" 2>/dev/null || true
+  exit 1
+fi
+
+if ! wait "$sweep_pid"; then
+  echo "FAIL: chaos sweep exited non-zero" >&2
+  sed 's/^/   | /' "$work/chaos.err" >&2
+  exit 1
+fi
+if ! grep -q "lease lost" "$work/chaos.err"; then
+  echo "FAIL: coordinator never re-leased the killed worker's unit" >&2
+  sed 's/^/   | /' "$work/chaos.err" >&2
+  exit 1
+fi
+if ! cmp -s "$work/serial.txt" "$work/chaos.txt"; then
+  echo "FAIL: chaos-run table differs from the serial reference" >&2
+  diff "$work/serial.txt" "$work/chaos.txt" >&2 || true
+  exit 1
+fi
+echo "   tables byte-identical after worker loss"
+
+echo "== stage 3: warm-cache re-run"
+"$work/pivot-exp" -quick -scenario "$scenario" -workers 3 \
+  -cache-dir "$work/cache" -checkpoint-interval "$ckpt_interval" \
+  > "$work/warm.txt" 2> "$work/warm.err"
+if ! cmp -s "$work/serial.txt" "$work/warm.txt"; then
+  echo "FAIL: warm-cache table differs from the serial reference" >&2
+  diff "$work/serial.txt" "$work/warm.txt" >&2 || true
+  exit 1
+fi
+cache_line=$(grep "result cache:" "$work/warm.err" | tail -1)
+hits=$(echo "$cache_line" | sed -n 's/.*cache: \([0-9]*\) hit(s), \([0-9]*\) miss(es).*/\1/p')
+misses=$(echo "$cache_line" | sed -n 's/.*cache: \([0-9]*\) hit(s), \([0-9]*\) miss(es).*/\2/p')
+if [ -z "$hits" ] || [ -z "$misses" ]; then
+  echo "FAIL: no cache summary on stderr" >&2
+  exit 1
+fi
+total=$((hits + misses))
+if [ "$total" -eq 0 ] || [ $((hits * 10)) -lt $((total * 9)) ]; then
+  echo "FAIL: warm re-run hit $hits of $total unit(s); want >= 90%" >&2
+  exit 1
+fi
+echo "   $cache_line"
+echo "fleet chaos smoke: OK"
