@@ -19,6 +19,10 @@ import (
 type scenarioOpts struct {
 	cores int
 	scale exp.Scale
+	// dense / parallel pick the execution engine for every run unit
+	// (bit-identical results either way; dense wins).
+	dense    bool
+	parallel int
 	// flightOut enables the per-request flight recorder on every run unit and
 	// exports the last unit's tail-attribution report there.
 	flightOut    string
@@ -42,6 +46,8 @@ func runScenario(out, progress io.Writer, path string, opts scenarioOpts) error 
 	ctx := exp.NewContext(machine.KunpengConfig(opts.cores), opts.scale)
 	ctx.Out = progress
 	ctx.Progress = opts.progress
+	ctx.Dense = opts.dense
+	ctx.Parallel = opts.parallel
 	if opts.flightOut != "" {
 		ctx.FlightTop = opts.flightTop
 		ctx.FlightSample = opts.flightSample

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pivot/internal/mem"
 	"pivot/internal/stats"
@@ -37,14 +38,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	part  mem.PartID
-	lru   uint64 // last-touch stamp; larger = more recent
-}
-
 // Stats counts per-cache accesses, split by LC/BE origin so experiments can
 // report per-task miss rates.
 type Stats struct {
@@ -52,11 +45,36 @@ type Stats struct {
 	Misses uint64
 }
 
+// Line-meta bits (one byte per line in Cache.meta).
+const (
+	metaValid = 1 << 0
+	metaDirty = 1 << 1
+)
+
+// invalidTag occupies the tags slot of every invalid line, so the Lookup fast
+// path is a pure tag scan — no per-way metadata load just to reject a stale
+// tag. A real tag would need a block address in the top 64 - lineBits bits of
+// the address space; no modelled workload allocates there. The meta valid bit
+// stays authoritative for serialisation; New, Insert, Invalidate and
+// RestoreState keep the two representations coherent.
+const invalidTag = ^uint64(0)
+
 // Cache is a set-associative, LRU, write-back (timing-only) cache.
 // It is not safe for concurrent use; the simulator is single-goroutine.
+//
+// Lines are stored structure-of-arrays, set-major: the Lookup fast path
+// scans a set's `ways` consecutive tags (one or two cache lines of the
+// host's memory) and touches the metadata byte only on a tag match. The
+// array-of-structs layout this replaced dragged valid/dirty/part/lru through
+// the scan for every probe, and Lookup+Insert were the hottest simulator
+// leaves under bandwidth-saturated mixes.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // [set*ways+way]
+	lru      []uint64 // last-touch stamp; larger = more recent
+	meta     []uint8  // metaValid | metaDirty
+	part     []mem.PartID
+	ways     int
 	setMask  uint64
 	lineBits uint
 	stamp    uint64
@@ -77,14 +95,18 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	n := nsets * cfg.Ways
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, nsets),
+		tags:    make([]uint64, n),
+		lru:     make([]uint64, n),
+		meta:    make([]uint8, n),
+		part:    make([]mem.PartID, n),
+		ways:    cfg.Ways,
 		setMask: uint64(nsets - 1),
 	}
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	for j := range c.tags {
+		c.tags[j] = invalidTag
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.lineBits++
@@ -109,16 +131,18 @@ func (c *Cache) Config() Config { return c.cfg }
 // in mask. Passing 0 restores "all ways". This models Intel CAT / MPAM cache
 // portion partitioning.
 func (c *Cache) SetWayMask(p mem.PartID, mask uint64) {
-	full := uint64(1)<<uint(c.cfg.Ways) - 1
+	full := uint64(1)<<uint(c.ways) - 1
 	c.wayMask[p] = mask & full
 }
 
 // WayMask returns the allocation mask for PartID p (0 = unrestricted).
 func (c *Cache) WayMask(p mem.PartID) uint64 { return c.wayMask[p] }
 
-func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+// index returns the first line slot of addr's set and the (full block
+// address) tag — simple and unambiguous.
+func (c *Cache) index(addr uint64) (base int, tag uint64) {
 	blk := addr >> c.lineBits
-	return blk & c.setMask, blk >> 0 // full block address as tag: simple and unambiguous
+	return int(blk&c.setMask) * c.ways, blk
 }
 
 func (c *Cache) bumpStats(p mem.PartID, hit bool) {
@@ -139,12 +163,13 @@ func (c *Cache) bumpStats(p mem.PartID, hit bool) {
 // Lookup probes the cache for addr, updating LRU on a hit.
 // It returns whether the access hit.
 func (c *Cache) Lookup(addr uint64, p mem.PartID) bool {
-	set, tag := c.index(addr)
+	base, tag := c.index(addr)
 	c.stamp++
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.lru = c.stamp
+	// Reslice the set once so the scan loop runs without bounds checks;
+	// invalid lines hold invalidTag, so a tag match alone proves a hit.
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			c.lru[base+i] = c.stamp
 			c.bumpStats(p, true)
 			return true
 		}
@@ -166,12 +191,33 @@ func (c *Cache) SkipMissProbes(p mem.PartID, n uint64) {
 	}
 }
 
+// Touch is Lookup followed, on a hit, by Insert(addr, p, dirty=true) — the
+// store-hit fast path — collapsed into one set scan. Bit-compatibility with
+// the two-call sequence requires the stamp to advance twice on a hit (Lookup
+// bumps it, then Insert bumps it again before refreshing the line), so the
+// line's recency lands on the second stamp. On a miss only the Lookup half
+// happened, so the stamp advances once and the miss counters grow.
+func (c *Cache) Touch(addr uint64, p mem.PartID) bool {
+	base, tag := c.index(addr)
+	c.stamp++
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == tag {
+			c.bumpStats(p, true)
+			c.stamp++
+			c.lru[base+i] = c.stamp
+			c.meta[base+i] |= metaDirty
+			return true
+		}
+	}
+	c.bumpStats(p, false)
+	return false
+}
+
 // Contains probes without updating LRU or statistics.
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base, tag := c.index(addr)
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == tag {
 			return true
 		}
 	}
@@ -182,60 +228,72 @@ func (c *Cache) Contains(addr uint64) bool {
 // mask, and returns the evicted block address and whether an eviction of a
 // valid line occurred.
 func (c *Cache) Insert(addr uint64, p mem.PartID, dirty bool) (evicted uint64, wasValid bool) {
-	set, tag := c.index(addr)
+	base, tag := c.index(addr)
 	c.stamp++
 	allowed := c.wayMask[p]
 	if allowed == 0 {
-		allowed = uint64(1)<<uint(c.cfg.Ways) - 1
+		allowed = uint64(1)<<uint(c.ways) - 1
 	}
 
-	// Already present (e.g. a racing fill): refresh.
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.lru = c.stamp
-			ln.dirty = ln.dirty || dirty
+	// Refresh if the line is already present (e.g. a racing fill) — a pure
+	// tag scan, branch-predictable and free of mask tests.
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways : base+c.ways]
+	lru := c.lru[base : base+c.ways : base+c.ways]
+	for i, t := range tags {
+		if t == tag {
+			lru[i] = c.stamp
+			if dirty {
+				meta[i] |= metaDirty
+			}
 			return 0, false
 		}
 	}
-
+	// Miss: pick the victim by walking only the allowed ways' set bits —
+	// the first (lowest-index) invalid allowed way wins outright, else the
+	// least-recently-used allowed way (first minimum, matching the ascending
+	// scan the dense-mask version did).
 	victim := -1
 	var victimLRU uint64 = ^uint64(0)
-	for i := range c.sets[set] {
-		if allowed&(1<<uint(i)) == 0 {
-			continue
-		}
-		ln := &c.sets[set][i]
-		if !ln.valid {
-			victim = i
-			victimLRU = 0
+	for a := allowed; a != 0; a &= a - 1 {
+		i := bits.TrailingZeros64(a)
+		if i >= c.ways {
 			break
 		}
-		if ln.lru < victimLRU {
+		if tags[i] == invalidTag {
 			victim = i
-			victimLRU = ln.lru
+			break
+		}
+		if lru[i] < victimLRU {
+			victim, victimLRU = i, lru[i]
 		}
 	}
 	if victim < 0 {
 		// Mask excluded every way; fall back to way 0 to stay functional.
 		victim = 0
 	}
-	ln := &c.sets[set][victim]
-	if ln.valid {
-		evicted = ln.tag << c.lineBits
+	j := base + victim
+	if c.meta[j]&metaValid != 0 {
+		evicted = c.tags[j] << c.lineBits
 		wasValid = true
 	}
-	*ln = line{tag: tag, valid: true, dirty: dirty, part: p, lru: c.stamp}
+	c.tags[j] = tag
+	c.lru[j] = c.stamp
+	c.part[j] = p
+	c.meta[j] = metaValid
+	if dirty {
+		c.meta[j] |= metaDirty
+	}
 	return evicted, wasValid
 }
 
 // Invalidate removes addr if present, returning whether it was there.
 func (c *Cache) Invalidate(addr uint64) bool {
-	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
-			ln.valid = false
+	base, tag := c.index(addr)
+	for j := base; j < base+c.ways; j++ {
+		if c.tags[j] == tag {
+			c.meta[j] &^= metaValid
+			c.tags[j] = invalidTag
 			return true
 		}
 	}

@@ -174,6 +174,7 @@ func TestMSHRFile(t *testing.T) {
 	if e1 == nil || !fresh {
 		t.Fatal("first allocation should create an entry")
 	}
+	e1.Waiters = append(e1.Waiters, 7)
 	e1b, fresh := m.Allocate(0x40)
 	if e1b != e1 || fresh {
 		t.Fatal("same-line allocation should coalesce")
@@ -187,7 +188,10 @@ func TestMSHRFile(t *testing.T) {
 	if e, fresh := m.Allocate(0xC0); e != nil || fresh {
 		t.Fatal("allocation beyond capacity should fail")
 	}
-	if got := m.Fill(0x40); got != e1 {
+	// Fill hands back the removed entry's contents; the pointer itself is a
+	// scratch slot, valid until the next Allocate or Fill, not e1's identity.
+	if got := m.Fill(0x40); got == nil || got.Addr != 0x40 ||
+		len(got.Waiters) != 1 || got.Waiters[0] != 7 {
 		t.Fatal("fill returned wrong entry")
 	}
 	if m.Lookup(0x40) != nil {

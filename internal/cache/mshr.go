@@ -6,9 +6,19 @@ import "pivot/internal/stats"
 // waiters for the same line; when the file is full the cache must stall new
 // misses, which is one of the back-pressure points that lets bandwidth
 // contention propagate toward the core.
+//
+// The file is a fixed-capacity array searched linearly: capacities are small
+// (tens of entries) and every core's load path probes the file, so a linear
+// scan beats a map's hashing and its per-entry heap traffic. Entry order is
+// arbitrary (swap-remove); snapshots sort by address, so serialisation stays
+// deterministic.
 type MSHRFile struct {
 	max     int
-	entries map[uint64]*MSHREntry
+	entries []MSHREntry // live entries; backing array never reallocates
+
+	// popped hands Fill's removed entry to the caller; its waiter slice is
+	// recycled into the next Allocate once the caller is done with it.
+	popped MSHREntry
 }
 
 // MSHREntry is one outstanding miss with its coalesced waiters. Waiters are
@@ -22,7 +32,7 @@ type MSHREntry struct {
 
 // NewMSHRFile returns an MSHR file with capacity max.
 func NewMSHRFile(max int) *MSHRFile {
-	return &MSHRFile{max: max, entries: make(map[uint64]*MSHREntry, max)}
+	return &MSHRFile{max: max, entries: make([]MSHREntry, 0, max)}
 }
 
 // Full reports whether a new (non-coalescing) allocation would fail.
@@ -31,23 +41,32 @@ func (m *MSHRFile) Full() bool { return len(m.entries) >= m.max }
 // Len reports the number of live entries.
 func (m *MSHRFile) Len() int { return len(m.entries) }
 
-// Lookup returns the entry for addr, or nil.
-func (m *MSHRFile) Lookup(addr uint64) *MSHREntry { return m.entries[addr] }
+// Lookup returns the entry for addr, or nil. The pointer is valid only until
+// the next Allocate or Fill.
+func (m *MSHRFile) Lookup(addr uint64) *MSHREntry {
+	for i := range m.entries {
+		if m.entries[i].Addr == addr {
+			return &m.entries[i]
+		}
+	}
+	return nil
+}
 
 // Allocate returns the entry for addr, creating it if needed. The boolean is
 // true when a new entry was created (i.e. a downstream request must be sent)
 // and false when the miss coalesced onto an existing entry. If the file is
 // full and addr has no entry, Allocate returns (nil, false).
 func (m *MSHRFile) Allocate(addr uint64) (*MSHREntry, bool) {
-	if e, ok := m.entries[addr]; ok {
+	if e := m.Lookup(addr); e != nil {
 		return e, false
 	}
 	if m.Full() {
 		return nil, false
 	}
-	e := &MSHREntry{Addr: addr}
-	m.entries[addr] = e
-	return e, true
+	w := m.popped.Waiters[:0] // recycle the last filled entry's waiter slice
+	m.popped.Waiters = nil
+	m.entries = append(m.entries, MSHREntry{Addr: addr, Waiters: w})
+	return &m.entries[len(m.entries)-1], true
 }
 
 // RegisterStats registers the file's occupancy gauge under prefix: sustained
@@ -57,11 +76,19 @@ func (m *MSHRFile) RegisterStats(reg *stats.Registry, prefix string) {
 	reg.Gauge(prefix+".occupancy", func() float64 { return float64(len(m.entries)) })
 }
 
-// Fill removes and returns the entry for addr (nil if absent).
+// Fill removes and returns the entry for addr (nil if absent). The returned
+// pointer — waiters included — is valid only until the next Allocate or Fill.
 func (m *MSHRFile) Fill(addr uint64) *MSHREntry {
-	e := m.entries[addr]
-	if e != nil {
-		delete(m.entries, addr)
+	for i := range m.entries {
+		if m.entries[i].Addr != addr {
+			continue
+		}
+		last := len(m.entries) - 1
+		m.popped = m.entries[i]
+		m.entries[i] = m.entries[last]
+		m.entries[last] = MSHREntry{} // drop the stale waiter reference
+		m.entries = m.entries[:last]
+		return &m.popped
 	}
-	return e
+	return nil
 }

@@ -29,23 +29,22 @@ type CacheState struct {
 
 // StateLines reports the line count a snapshot of this cache must hold, so
 // composers can validate geometry before mutating anything.
-func (c *Cache) StateLines() int { return len(c.sets) * c.cfg.Ways }
+func (c *Cache) StateLines() int { return len(c.tags) }
 
 // SnapshotState captures the cache's complete mutable state.
 func (c *Cache) SnapshotState() CacheState {
 	s := CacheState{
-		Lines:     make([]LineState, 0, len(c.sets)*c.cfg.Ways),
+		Lines:     make([]LineState, len(c.tags)),
 		Stamp:     c.stamp,
 		WayMask:   c.wayMask,
 		Stats:     c.Stats,
 		PartStats: c.PartStats,
 	}
-	for _, set := range c.sets {
-		for _, ln := range set {
-			s.Lines = append(s.Lines, LineState{
-				Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty,
-				Part: ln.part, LRU: ln.lru,
-			})
+	for j := range c.tags {
+		s.Lines[j] = LineState{
+			Tag: c.tags[j], Valid: c.meta[j]&metaValid != 0,
+			Dirty: c.meta[j]&metaDirty != 0,
+			Part:  c.part[j], LRU: c.lru[j],
 		}
 	}
 	return s
@@ -54,18 +53,29 @@ func (c *Cache) SnapshotState() CacheState {
 // RestoreState overwrites the cache's mutable state from a snapshot taken on
 // an identically configured cache.
 func (c *Cache) RestoreState(s CacheState) error {
-	if len(s.Lines) != len(c.sets)*c.cfg.Ways {
+	if len(s.Lines) != len(c.tags) {
 		return fmt.Errorf("cache %s: snapshot has %d lines, geometry holds %d",
-			c.cfg.Name, len(s.Lines), len(c.sets)*c.cfg.Ways)
+			c.cfg.Name, len(s.Lines), len(c.tags))
 	}
-	i := 0
-	for _, set := range c.sets {
-		for w := range set {
-			ls := s.Lines[i]
-			set[w] = line{tag: ls.Tag, valid: ls.Valid, dirty: ls.Dirty,
-				part: ls.Part, lru: ls.LRU}
-			i++
+	for j, ls := range s.Lines {
+		// Invalid lines carry the sentinel tag in the live arrays (see
+		// invalidTag); normalise here so snapshots from either representation
+		// restore into a coherent cache.
+		if ls.Valid {
+			c.tags[j] = ls.Tag
+		} else {
+			c.tags[j] = invalidTag
 		}
+		c.lru[j] = ls.LRU
+		c.part[j] = ls.Part
+		var m uint8
+		if ls.Valid {
+			m |= metaValid
+		}
+		if ls.Dirty {
+			m |= metaDirty
+		}
+		c.meta[j] = m
 	}
 	c.stamp = s.Stamp
 	c.wayMask = s.WayMask
@@ -95,9 +105,10 @@ func (m *MSHRFile) SnapshotState() MSHRState {
 
 // RestoreState replaces the file's contents with the snapshot's.
 func (m *MSHRFile) RestoreState(s MSHRState) {
-	m.entries = make(map[uint64]*MSHREntry, m.max)
+	m.entries = make([]MSHREntry, 0, m.max)
+	m.popped = MSHREntry{}
 	for _, e := range s.Entries {
-		cp := MSHREntry{Addr: e.Addr, Waiters: append([]uint64(nil), e.Waiters...)}
-		m.entries[e.Addr] = &cp
+		m.entries = append(m.entries,
+			MSHREntry{Addr: e.Addr, Waiters: append([]uint64(nil), e.Waiters...)})
 	}
 }

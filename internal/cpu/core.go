@@ -149,8 +149,15 @@ type Core struct {
 
 	lastWriter [NumRegs]uint64 // seq producing each register; 0 = none
 
+	// readyQ/retryQ are FIFOs popped via a head index rather than a [1:]
+	// reslice: reslicing walks the backing array's capacity away, forcing a
+	// reallocation every ~cap pushes under steady issue traffic. The head
+	// indices are not serialised — snapshots store the live readyQ[readyH:]
+	// suffix and restore compacted.
 	readyQ   []uint64 // seqs ready to issue (FIFO)
+	readyH   int
 	retryQ   []uint64 // mem ops refused by the port, retried first
+	retryH   int
 	lqUsed   int
 	sqUsed   int
 	fetchBuf MicroOp
@@ -271,7 +278,7 @@ type skipShape struct {
 
 func (c *Core) nextWork(now sim.Cycle) (sim.Cycle, bool) {
 	// ALU completions pending or ops ready to issue: work this cycle.
-	if c.aluPending > 0 || len(c.readyQ) > 0 {
+	if c.aluPending > 0 || len(c.readyQ) > c.readyH {
 		return 0, false
 	}
 	sh := skipShape{}
@@ -287,11 +294,11 @@ func (c *Core) nextWork(now sim.Cycle) (sim.Cycle, bool) {
 	// A refused memory op is retried every cycle; that retry is elidable
 	// only when the port can prove it would be refused again and its probe
 	// side effects are fully compensable.
-	if len(c.retryQ) > 0 {
+	if len(c.retryQ) > c.retryH {
 		if c.retry == nil {
 			return 0, false
 		}
-		e := c.slotOf(c.retryQ[0])
+		e := c.slotOf(c.retryQ[c.retryH])
 		if e == nil {
 			return 0, false // stale seq: the retry queue itself would shrink
 		}
@@ -447,18 +454,21 @@ func (c *Core) issue(now sim.Cycle) {
 	issued := 0
 
 	// Retry memory ops the port refused before consuming new ready ops.
-	for issued < c.cfg.IssueWidth && len(c.retryQ) > 0 {
-		seq := c.retryQ[0]
+	for issued < c.cfg.IssueWidth && len(c.retryQ) > c.retryH {
+		seq := c.retryQ[c.retryH]
 		if !c.tryIssueMem(seq, now) {
 			break // port still busy; preserve order
 		}
-		c.retryQ = c.retryQ[1:]
+		c.retryH++
 		issued++
 	}
+	if c.retryH == len(c.retryQ) && c.retryH > 0 {
+		c.retryQ, c.retryH = c.retryQ[:0], 0
+	}
 
-	for issued < c.cfg.IssueWidth && len(c.readyQ) > 0 {
-		seq := c.readyQ[0]
-		c.readyQ = c.readyQ[1:]
+	for issued < c.cfg.IssueWidth && len(c.readyQ) > c.readyH {
+		seq := c.readyQ[c.readyH]
+		c.readyH++
 		e := c.slotOf(seq)
 		if e == nil || e.state != stReady {
 			continue
@@ -482,6 +492,9 @@ func (c *Core) issue(now sim.Cycle) {
 			}
 			issued++
 		}
+	}
+	if c.readyH == len(c.readyQ) && c.readyH > 0 {
+		c.readyQ, c.readyH = c.readyQ[:0], 0
 	}
 
 	c.drainALUWheel(now)

@@ -45,8 +45,8 @@ func (c *Core) SnapshotState() CoreState {
 		NextSeq:    c.nextSeq,
 		HeadSeq:    c.headSeq,
 		LastWriter: c.lastWriter,
-		ReadyQ:     append([]uint64(nil), c.readyQ...),
-		RetryQ:     append([]uint64(nil), c.retryQ...),
+		ReadyQ:     append([]uint64(nil), c.readyQ[c.readyH:]...),
+		RetryQ:     append([]uint64(nil), c.retryQ[c.retryH:]...),
 		LQUsed:     c.lqUsed,
 		SQUsed:     c.sqUsed,
 		FetchBuf:   c.fetchBuf,
@@ -87,8 +87,8 @@ func (c *Core) RestoreState(s CoreState) {
 	c.nextSeq = s.NextSeq
 	c.headSeq = s.HeadSeq
 	c.lastWriter = s.LastWriter
-	c.readyQ = append(c.readyQ[:0], s.ReadyQ...)
-	c.retryQ = append(c.retryQ[:0], s.RetryQ...)
+	c.readyQ, c.readyH = append(c.readyQ[:0], s.ReadyQ...), 0
+	c.retryQ, c.retryH = append(c.retryQ[:0], s.RetryQ...), 0
 	c.lqUsed = s.LQUsed
 	c.sqUsed = s.SQUsed
 	c.fetchBuf = s.FetchBuf

@@ -13,6 +13,7 @@ package dram
 
 import (
 	"pivot/internal/mem"
+	"pivot/internal/ring"
 	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
@@ -123,8 +124,12 @@ type Controller struct {
 
 	// pendingResp holds completed requests waiting out the response latency,
 	// kept sorted by due cycle (appends are naturally in order because
-	// completions are issued in bus order).
-	pendingResp []respEntry
+	// completions are issued in bus order). A ring: every completion pops
+	// the head once its latency elapses. respHead caches the head's due
+	// cycle (sim.NeverWork when empty) so the per-tick delivery poll is one
+	// compare instead of a ring access; derived state, rebuilt on restore.
+	pendingResp ring.Ring[respEntry]
+	respHead    sim.Cycle
 
 	claimed     []bool // per-bank activation ownership, reused across ticks
 	lineBits    uint
@@ -144,11 +149,20 @@ type Controller struct {
 
 	// actSettled memoises startActivates: the earliest cycle at which another
 	// run could change any bank's state, valid only while the queues, banks
-	// and refresh clock stay untouched (every mutation zeroes it). Only used
-	// on the unranked, fault-free path — Classify reads MPAM classes that
-	// mutate outside the controller, and fault injectors perturb grant
-	// timing. Derived state: never serialised; restore zeroes it.
+	// and refresh clock stay untouched (every mutation invalidates it). Only
+	// used on the unranked, fault-free path — Classify reads MPAM classes
+	// that mutate outside the controller, and fault injectors perturb grant
+	// timing. Derived state: never serialised; restore invalidates it.
 	actSettled sim.Cycle
+
+	// pendClaimN holds normal-queue indices of entries accepted since the
+	// last full startActivates run while its memo stayed valid. An append is
+	// the one queue mutation a full re-scan handles incrementally: every
+	// older entry's claim is a no-op by the memo's own guarantee, so the next
+	// Tick claims just these tail entries instead of re-walking both queues.
+	// Any other mutation (serve, refresh, restore, priority accept) discards
+	// memo and list.
+	pendClaimN []int32
 
 	Stats Stats
 }
@@ -164,9 +178,11 @@ func New(cfg Config, lineBytes int) *Controller {
 		cfg.Channels = 1
 	}
 	c := &Controller{
-		cfg:       cfg,
-		banks:     make([]bankState, cfg.Banks*cfg.Channels),
-		busFreeAt: make([]sim.Cycle, cfg.Channels),
+		cfg:         cfg,
+		banks:       make([]bankState, cfg.Banks*cfg.Channels),
+		busFreeAt:   make([]sim.Cycle, cfg.Channels),
+		pendingResp: ring.New[respEntry](cfg.CapNormal + cfg.CapPrio),
+		respHead:    sim.NeverWork,
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -261,13 +277,111 @@ func (c *Controller) Accept(r *mem.Req, now sim.Cycle) bool {
 	bank, row := c.decode(r.Addr)
 	e := entry{req: r, enq: now, bank: bank, row: row, ready: ready}
 	r.Enter(mem.CompMemCtrl, now)
-	c.actSettled = 0 // a new entry may claim a previously idle bank
 	if usePrio {
 		c.prio = append(c.prio, e)
 	} else {
 		c.normal = append(c.normal, e)
 	}
+	// A new normal-queue tail may claim a previously idle bank. While the
+	// activation memo is valid (fault-free, unranked), the next Tick only
+	// needs to run claim for this tail entry — every older entry's claim is a
+	// no-op by the memo's own guarantee, and the tail gates on the same
+	// claimed-bank set a full re-scan would have built by the time it reached
+	// it. A priority accept cannot reuse the retained set: priority entries
+	// claim ahead of normal traffic, so a bank owned by a normal claimant
+	// must not gate them — fall back to a full re-scan for those (and for
+	// the never-memoised ranked/faulted paths).
+	if !usePrio && c.actSettled != 0 && now < c.actSettled && c.Fault == nil && c.Classify == nil {
+		c.pendClaimN = append(c.pendClaimN, int32(len(c.normal)-1))
+		if c.cfg.MaxWait > 0 && len(c.normal) == 1 {
+			// New head: the scan order changes when it starves.
+			if starveAt := now + c.cfg.MaxWait + 1; starveAt < c.actSettled {
+				c.actSettled = starveAt
+			}
+		}
+	} else {
+		c.invalidateAct()
+	}
 	return true
+}
+
+// invalidateAct discards the activation memo and any pending tail claims
+// (their queue indices go stale with the memo).
+func (c *Controller) invalidateAct() {
+	c.actSettled = 0
+	c.pendClaimN = c.pendClaimN[:0]
+}
+
+// repairAfterServe keeps the activation memo alive across a normal-queue
+// serve — the hottest invalidation by far — on the unranked, fault-free,
+// priority-empty path. Removing entry i changes exactly two things a full
+// re-scan would see: its bank may now belong to the queue-order-first entry
+// still targeting it, and the queue may have a new head whose starvation
+// cycle reorders the scan. Both are folded into the memo: the new bank
+// winner is queued as a pending claim for the next Tick (the cycle a full
+// re-scan would have claimed it), and the head's starve cycle lowers the
+// memo. Everything else is untouched by construction — removal reorders no
+// surviving entry, so every other bank keeps its queue-order-first winner.
+func (c *Controller) repairAfterServe(i, bank int, now sim.Cycle) {
+	if c.actSettled == 0 || c.Fault != nil || c.Classify != nil || len(c.prio) > 0 {
+		c.invalidateAct()
+		return
+	}
+	// Shift pending tail-claim indices across the removal; the served entry
+	// may itself have been pending.
+	keep := c.pendClaimN[:0]
+	for _, idx := range c.pendClaimN {
+		if int(idx) == i {
+			continue
+		}
+		if int(idx) > i {
+			idx--
+		}
+		keep = append(keep, idx)
+	}
+	c.pendClaimN = keep
+	c.claimed[bank] = false
+	for j := range c.normal {
+		if c.normal[j].bank == bank {
+			c.insertPendClaim(int32(j))
+			break
+		}
+	}
+	if c.cfg.MaxWait > 0 && len(c.normal) > 0 {
+		starveAt := c.normal[0].enq + c.cfg.MaxWait + 1
+		if starveAt <= now+1 {
+			c.invalidateAct() // head already starved: the full scan must lead with it
+			return
+		}
+		if starveAt < c.actSettled {
+			c.actSettled = starveAt
+		}
+	}
+}
+
+// insertPendClaim adds a queue index to the pending-claim list, keeping it
+// ascending: pending claims must run in queue (FCFS scan) order so that two
+// claimants of the same bank resolve exactly as a full re-scan would.
+func (c *Controller) insertPendClaim(idx int32) {
+	c.pendClaimN = append(c.pendClaimN, idx)
+	j := len(c.pendClaimN) - 1
+	for j > 0 && c.pendClaimN[j-1] > idx {
+		c.pendClaimN[j] = c.pendClaimN[j-1]
+		j--
+	}
+	c.pendClaimN[j] = idx
+}
+
+// runPendingClaims claims banks for normal entries appended since the last
+// full startActivates run, in FCFS append order (the full scan's order),
+// lowering the memo when a new winner is blocked on a busy bank.
+func (c *Controller) runPendingClaims(now sim.Cycle) {
+	next := c.actSettled
+	for _, i := range c.pendClaimN {
+		c.claim(&c.normal[i], now, &next)
+	}
+	c.pendClaimN = c.pendClaimN[:0]
+	c.actSettled = next
 }
 
 // QueueLen reports queue occupancy (normal, priority).
@@ -303,9 +417,13 @@ func (c *Controller) startActivates(now sim.Cycle) sim.Cycle {
 		}
 	}
 	next := sim.NeverWork
+	nb := len(c.banks)
+	nClaimed := 0
 	if c.cfg.MaxWait > 0 && len(c.normal) > 0 {
 		if starveAt := c.normal[0].enq + c.cfg.MaxWait + 1; now >= starveAt {
-			c.claim(&c.normal[0], now, &next)
+			if c.claim(&c.normal[0], now, &next) {
+				nClaimed++
+			}
 		} else if starveAt < next {
 			next = starveAt // scan order changes when the head starves
 		}
@@ -317,41 +435,57 @@ func (c *Controller) startActivates(now sim.Cycle) sim.Cycle {
 	// loses activation overlap. Policies that prioritise more traffic
 	// (FullPath) therefore pay more idle bus time than ones that prioritise
 	// a sliver (PIVOT).
-	for i := 0; i < len(c.prio) && i < prioActivateWindow; i++ {
-		c.claim(&c.prio[i], now, &next)
+	for i := 0; i < len(c.prio) && i < prioActivateWindow && nClaimed < nb; i++ {
+		if c.claim(&c.prio[i], now, &next) {
+			nClaimed++
+		}
 	}
 	if c.Classify != nil {
 		// Class-ordered activation: high-class (LC) normal requests claim
 		// their banks ahead of best-effort traffic.
 		for i := range c.normal {
+			if nClaimed >= nb {
+				break
+			}
 			if c.Classify(c.normal[i].req) == 0 {
-				c.claim(&c.normal[i], now, &next)
+				if c.claim(&c.normal[i], now, &next) {
+					nClaimed++
+				}
 			}
 		}
 	}
+	// Deep saturated queues stop scanning as soon as every bank has an
+	// owner; everything past that point cannot claim anything.
 	for i := range c.normal {
-		c.claim(&c.normal[i], now, &next)
+		if nClaimed >= nb {
+			break
+		}
+		if c.claim(&c.normal[i], now, &next) {
+			nClaimed++
+		}
 	}
 	return next
 }
 
 // claim lets e control its bank's row this cycle if no older request already
 // did, activating e's row when needed. next is lowered to the cycle this
-// winner will act if it is currently blocked on a busy bank.
-func (c *Controller) claim(e *entry, now sim.Cycle, next *sim.Cycle) {
+// winner will act if it is currently blocked on a busy bank. It reports
+// whether e newly claimed its bank, so scans can stop once every bank has an
+// owner — any further claim is a no-op by the first check here.
+func (c *Controller) claim(e *entry, now sim.Cycle, next *sim.Cycle) bool {
 	if c.claimed[e.bank] {
-		return
+		return false
 	}
 	c.claimed[e.bank] = true
 	b := &c.banks[e.bank]
 	if b.openRow == e.row {
-		return
+		return true
 	}
 	if b.readyAt > now {
 		if b.readyAt < *next {
 			*next = b.readyAt
 		}
-		return
+		return true
 	}
 	pen := c.cfg.TRCD
 	if b.openRow >= 0 {
@@ -360,6 +494,7 @@ func (c *Controller) claim(e *entry, now sim.Cycle, next *sim.Cycle) {
 	b.openRow = e.row
 	b.readyAt = now + pen
 	c.Stats.RowMisses++
+	return true
 }
 
 // pick selects the next request to put on the data bus:
@@ -451,7 +586,7 @@ func (c *Controller) maybeRefresh(now sim.Cycle) {
 	}
 	c.nextRefresh = now + c.cfg.RefreshInterval
 	c.Stats.Refreshes++
-	c.actSettled = 0 // every row closes; pending activation decisions reset
+	c.invalidateAct() // every row closes; pending activation decisions reset
 	until := now + c.cfg.RefreshLatency
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -468,10 +603,13 @@ func (c *Controller) maybeRefresh(now sim.Cycle) {
 // activates, and, when the data bus is free, move one request's line.
 func (c *Controller) Tick(now sim.Cycle) {
 	// Deliver responses whose return latency elapsed.
-	for len(c.pendingResp) > 0 && c.pendingResp[0].due <= now {
-		r := c.pendingResp[0].req
-		copy(c.pendingResp, c.pendingResp[1:])
-		c.pendingResp = c.pendingResp[:len(c.pendingResp)-1]
+	for c.respHead <= now {
+		r := c.pendingResp.PopHead().req
+		if c.pendingResp.Len() > 0 {
+			c.respHead = c.pendingResp.At(0).due
+		} else {
+			c.respHead = sim.NeverWork
+		}
 		if c.Respond != nil {
 			c.Respond(r, now)
 		}
@@ -482,14 +620,17 @@ func (c *Controller) Tick(now sim.Cycle) {
 		if c.Fault.HoldGrant(now) {
 			return // injected scheduler stall: no activates or grants this cycle
 		}
-		c.actSettled = 0 // grant holds perturb timing; don't trust the memo
+		c.invalidateAct() // grant holds perturb timing; don't trust the memo
 		c.startActivates(now)
 	} else if c.Classify != nil {
 		// Ranked activation reads MPAM classes that mutate outside the
 		// controller, so the settled memo cannot be trusted across cycles.
 		c.startActivates(now)
 	} else if now >= c.actSettled {
+		c.pendClaimN = c.pendClaimN[:0]
 		c.actSettled = c.startActivates(now)
+	} else if len(c.pendClaimN) > 0 {
+		c.runPendingClaims(now)
 	}
 
 	for ch := range c.busFreeAt {
@@ -502,7 +643,11 @@ func (c *Controller) Tick(now sim.Cycle) {
 			continue
 		}
 		e := remove(q, i)
-		c.actSettled = 0 // the scan order lost an entry; re-run activations
+		if q == &c.normal {
+			c.repairAfterServe(i, e.bank, now)
+		} else {
+			c.invalidateAct() // a priority serve shifts the activation window
+		}
 		c.Stats.Served++
 		c.Stats.RowHits++ // row was open by construction of pick
 		c.Stats.LinesMoved++
@@ -524,7 +669,10 @@ func (c *Controller) Tick(now sim.Cycle) {
 		e.req.Depart(mem.CompMemCtrl, e.enq, now, 0)
 		e.req.Hop(mem.CompDRAM, now, done-now)
 		e.req.Hop(mem.CompResp, done, c.cfg.RespLatency)
-		c.pendingResp = append(c.pendingResp, respEntry{req: e.req, due: done + c.cfg.RespLatency})
+		if c.pendingResp.Len() == 0 {
+			c.respHead = done + c.cfg.RespLatency
+		}
+		c.pendingResp.Push(respEntry{req: e.req, due: done + c.cfg.RespLatency})
 	}
 }
 
@@ -544,13 +692,9 @@ func (c *Controller) NextWork(now sim.Cycle) (sim.Cycle, bool) {
 			return 0, false
 		}
 	}
-	next := sim.NeverWork
-	if len(c.pendingResp) > 0 {
-		due := c.pendingResp[0].due
-		if due <= now {
-			return 0, false
-		}
-		next = due
+	next := c.respHead
+	if next <= now {
+		return 0, false
 	}
 	if c.cfg.RefreshInterval > 0 {
 		nr := c.nextRefresh
@@ -609,19 +753,19 @@ func (c *Controller) EachReq(f func(*mem.Req)) {
 	for i := range c.normal {
 		f(c.normal[i].req)
 	}
-	for i := range c.pendingResp {
-		f(c.pendingResp[i].req)
+	for i, n := 0, c.pendingResp.Len(); i < n; i++ {
+		f(c.pendingResp.At(i).req)
 	}
 }
 
 // Drained reports whether all queues and in-flight responses are empty.
 func (c *Controller) Drained() bool {
-	return len(c.normal) == 0 && len(c.prio) == 0 && len(c.pendingResp) == 0
+	return len(c.normal) == 0 && len(c.prio) == 0 && c.pendingResp.Len() == 0
 }
 
 // PendingResponses reports how many completed requests are waiting out the
 // response latency — in-flight state the invariant auditor must account for.
-func (c *Controller) PendingResponses() int { return len(c.pendingResp) }
+func (c *Controller) PendingResponses() int { return c.pendingResp.Len() }
 
 // PeakLinesPerCycle returns the aggregate data-bus peak rate in lines per
 // cycle across all channels.

@@ -65,14 +65,15 @@ func (c *Controller) SnapshotState() ControllerState {
 		Normal:      snapQueue(c.normal),
 		Prio:        snapQueue(c.prio),
 		BusFreeAt:   append([]sim.Cycle(nil), c.busFreeAt...),
-		PendingResp: make([]RespEntryState, len(c.pendingResp)),
+		PendingResp: make([]RespEntryState, c.pendingResp.Len()),
 		NextRefresh: c.nextRefresh,
 		Stats:       c.Stats,
 	}
 	for i, b := range c.banks {
 		s.Banks[i] = BankStateSnap{OpenRow: b.openRow, ReadyAt: b.readyAt}
 	}
-	for i, r := range c.pendingResp {
+	for i := range s.PendingResp {
+		r := c.pendingResp.At(i)
 		s.PendingResp[i] = RespEntryState{Req: r.req.State(), Due: r.due}
 	}
 	return s
@@ -90,11 +91,16 @@ func (c *Controller) RestoreState(s ControllerState) {
 	c.normal = append(c.normal[:0], restoreQueue(s.Normal)...)
 	c.prio = append(c.prio[:0], restoreQueue(s.Prio)...)
 	copy(c.busFreeAt, s.BusFreeAt)
-	c.pendingResp = c.pendingResp[:0]
+	c.pendingResp.Reset()
 	for _, r := range s.PendingResp {
-		c.pendingResp = append(c.pendingResp, respEntry{req: r.Req.Materialize(), due: r.Due})
+		c.pendingResp.Push(respEntry{req: r.Req.Materialize(), due: r.Due})
+	}
+	if c.pendingResp.Len() > 0 {
+		c.respHead = c.pendingResp.At(0).due
+	} else {
+		c.respHead = sim.NeverWork
 	}
 	c.nextRefresh = s.NextRefresh
 	c.Stats = s.Stats
-	c.actSettled = 0 // derived memo; rebuild from the restored queues
+	c.invalidateAct() // derived memo; rebuild from the restored queues
 }

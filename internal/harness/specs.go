@@ -56,10 +56,12 @@ type UnitPayload struct {
 	// Scenario is the unit's resolved (sweep-free) scenario, canonically
 	// encoded; workers strict-parse it back.
 	Scenario json.RawMessage `json:"scenario"`
-	// Scale, Cores and Dense pin the executing context's configuration.
-	Scale exp.Scale `json:"scale"`
-	Cores int       `json:"cores"`
-	Dense bool      `json:"dense,omitempty"`
+	// Scale, Cores, Dense and Parallel pin the executing context's
+	// configuration.
+	Scale    exp.Scale `json:"scale"`
+	Cores    int       `json:"cores"`
+	Dense    bool      `json:"dense,omitempty"`
+	Parallel int       `json:"parallel,omitempty"`
 	// CkptEvery is the checkpoint interval (simulated cycles) workers apply;
 	// 0 means the machine default.
 	CkptEvery uint64 `json:"ckpt_every,omitempty"`
@@ -103,6 +105,7 @@ func ScenarioJobs(ctx *exp.Context, sc *scenario.Scenario) ([]Job, []string, err
 				Scale:     ctx.Scale,
 				Cores:     ctx.Cfg.Cores,
 				Dense:     ctx.Dense,
+				Parallel:  ctx.Parallel,
 				CkptEvery: uint64(ctx.CheckpointInterval),
 			},
 		}

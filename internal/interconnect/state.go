@@ -2,6 +2,7 @@ package interconnect
 
 import (
 	"pivot/internal/mem"
+	"pivot/internal/ring"
 	"pivot/internal/sim"
 )
 
@@ -22,27 +23,27 @@ type StationState struct {
 	Stats  Stats
 }
 
-func snapQueue(q []entry) []EntryState {
-	out := make([]EntryState, len(q))
-	for i, e := range q {
+func snapQueue(q *ring.Ring[entry]) []EntryState {
+	out := make([]EntryState, q.Len())
+	for i := range out {
+		e := q.At(i)
 		out[i] = EntryState{Req: e.req.State(), Ready: e.ready, Enq: e.enq}
 	}
 	return out
 }
 
-func restoreQueue(q []EntryState) []entry {
-	out := make([]entry, len(q))
-	for i, e := range q {
-		out[i] = entry{req: e.Req.Materialize(), ready: e.Ready, enq: e.Enq}
+func restoreQueue(q *ring.Ring[entry], st []EntryState) {
+	q.Reset()
+	for _, e := range st {
+		q.Push(entry{req: e.Req.Materialize(), ready: e.Ready, enq: e.Enq})
 	}
-	return out
 }
 
 // SnapshotState captures the station's mutable state.
 func (s *Station) SnapshotState() StationState {
 	return StationState{
-		Normal: snapQueue(s.normal),
-		Prio:   snapQueue(s.prio),
+		Normal: snapQueue(&s.normal),
+		Prio:   snapQueue(&s.prio),
 		Stats:  s.Stats,
 	}
 }
@@ -50,7 +51,7 @@ func (s *Station) SnapshotState() StationState {
 // RestoreState overwrites the station's queues and counters from a snapshot.
 // The restored queues own freshly materialised requests.
 func (s *Station) RestoreState(st StationState) {
-	s.normal = append(s.normal[:0], restoreQueue(st.Normal)...)
-	s.prio = append(s.prio[:0], restoreQueue(st.Prio)...)
+	restoreQueue(&s.normal, st.Normal)
+	restoreQueue(&s.prio, st.Prio)
 	s.Stats = st.Stats
 }

@@ -13,6 +13,7 @@ package interconnect
 
 import (
 	"pivot/internal/mem"
+	"pivot/internal/ring"
 	"pivot/internal/sim"
 	"pivot/internal/stats"
 )
@@ -66,8 +67,10 @@ type Station struct {
 	cfg  Config
 	down Acceptor
 
-	normal []entry
-	prio   []entry
+	// Both queues are rings: forwarding pops the head every grant, and a
+	// slice pop would copy the whole remaining queue each time.
+	normal ring.Ring[entry]
+	prio   ring.Ring[entry]
 
 	// PriorityEnabled selects whether requests with the critical bit use the
 	// dedicated priority queue (PIVOT / FullPath) or share the normal queue.
@@ -107,8 +110,8 @@ func New(cfg Config, down Acceptor) *Station {
 	return &Station{
 		cfg:    cfg,
 		down:   down,
-		normal: make([]entry, 0, cfg.CapNormal),
-		prio:   make([]entry, 0, cfg.CapPrio),
+		normal: ring.New[entry](cfg.CapNormal),
+		prio:   ring.New[entry](cfg.CapPrio),
 	}
 }
 
@@ -119,7 +122,7 @@ func (s *Station) Config() Config { return s.cfg }
 func (s *Station) SetDownstream(a Acceptor) { s.down = a }
 
 // QueueLen reports current normal- and priority-queue occupancy.
-func (s *Station) QueueLen() (normal, prio int) { return len(s.normal), len(s.prio) }
+func (s *Station) QueueLen() (normal, prio int) { return s.normal.Len(), s.prio.Len() }
 
 // Accept implements Acceptor: enqueue r if there is space.
 func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
@@ -136,23 +139,23 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 	}
 	usePrio := s.PriorityEnabled && r.Critical
 	if usePrio {
-		if len(s.prio) >= s.cfg.CapPrio {
+		if s.prio.Len() >= s.cfg.CapPrio {
 			// The paper's priority queue exists precisely so critical loads
 			// are not blocked by a full normal queue; if even the priority
 			// queue is full, fall back to refusing.
 			s.Stats.Refused++
 			return false
 		}
-		s.prio = append(s.prio, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
+		s.prio.Push(entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
 		r.Enter(s.cfg.Component, now)
 		s.Stats.Accepted++
 		return true
 	}
-	if len(s.normal) >= s.cfg.CapNormal {
+	if s.normal.Len() >= s.cfg.CapNormal {
 		s.Stats.Refused++
 		return false
 	}
-	s.normal = append(s.normal, entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
+	s.normal.Push(entry{req: r, ready: now + s.cfg.Latency + spike, enq: now})
 	r.Enter(s.cfg.Component, now)
 	s.Stats.Accepted++
 	return true
@@ -165,105 +168,156 @@ func (s *Station) Accept(r *mem.Req, now sim.Cycle) bool {
 // in its favour. Absent injected latency spikes, ready order follows queue
 // order, so the scan also stops at the first not-yet-ready entry.
 func (s *Station) pickNormal(now sim.Cycle) int {
+	n := s.normal.Len()
+	if n == 0 {
+		return -1
+	}
+	if s.Classify == nil {
+		// Every rank is 0: the first ready entry wins outright.
+		if s.normal.At(0).ready <= now {
+			return 0
+		}
+		if !s.sawSpike {
+			return -1
+		}
+		for i := 1; i < n; i++ {
+			if s.normal.At(i).ready <= now {
+				return i
+			}
+		}
+		return -1
+	}
+	// Ranked scan over the whole queue; iterate the ring's contiguous
+	// segments directly — this scan runs every grant under saturation.
 	best := -1
 	bestRank := int(^uint(0) >> 1)
-	for i := range s.normal {
-		e := &s.normal[i]
-		if e.ready > now {
-			if !s.sawSpike {
-				break
+	a, b := s.normal.Slices()
+	i := 0
+scan:
+	for _, seg := range [2][]entry{a, b} {
+		for k := range seg {
+			e := &seg[k]
+			if e.ready > now {
+				if !s.sawSpike {
+					break scan
+				}
+				i++
+				continue
 			}
-			continue
-		}
-		rank := 0
-		if s.Classify != nil {
-			rank = s.Classify(e.req)
-		}
-		if rank < bestRank {
-			best, bestRank = i, rank
-			if rank <= 0 {
-				break
+			if rank := s.Classify(e.req); rank < bestRank {
+				best, bestRank = i, rank
+				if rank <= 0 {
+					break scan
+				}
 			}
+			i++
 		}
 	}
 	return best
 }
 
-// starvedNormal returns the index of the oldest over-waited normal entry, or
-// -1. Serving it first implements the §IV-D starvation guard.
-func (s *Station) starvedNormal(now sim.Cycle) int {
-	if s.cfg.MaxWait == 0 || len(s.normal) == 0 {
-		return -1
-	}
-	e := &s.normal[0] // FCFS: index 0 is the oldest
-	if e.ready <= now && now-e.enq > s.cfg.MaxWait {
-		return 0
-	}
-	return -1
-}
-
-func (s *Station) removeNormal(i int, now sim.Cycle) *mem.Req {
-	r := s.normal[i].req
-	s.Stats.WaitCycles += uint64(now - s.normal[i].enq)
-	copy(s.normal[i:], s.normal[i+1:])
-	s.normal = s.normal[:len(s.normal)-1]
-	return r
-}
-
-func (s *Station) removePrio(now sim.Cycle) *mem.Req {
-	r := s.prio[0].req
-	s.Stats.WaitCycles += uint64(now - s.prio[0].enq)
-	copy(s.prio, s.prio[1:])
-	s.prio = s.prio[:len(s.prio)-1]
-	return r
-}
-
 // Tick forwards up to Bandwidth ready requests into the downstream acceptor.
 // Priority-queue requests go first, except that a starved normal request is
 // promoted ahead of them.
-func (s *Station) Tick(now sim.Cycle) {
-	if s.Fault != nil && s.Fault.HoldGrant(now) {
-		return // injected arbitration stall: no grants this cycle
+func (s *Station) Tick(now sim.Cycle) { s.TickNext(now) }
+
+// TickNext is Tick fused with a post-tick NextWork verdict, for schedulers
+// that would otherwise pay a separate idle poll around every tick. It
+// returns the same (next, idle) contract as NextWork evaluated after the
+// grants, plus whether any request was actually forwarded downstream (the
+// signal dirty-propagation schedulers need). The verdict is exact on the
+// "nothing ready" exit — the grant loop has just proven both heads unready —
+// and conservatively busy on the refusal and bandwidth-exhausted exits,
+// where a ready head may remain.
+func (s *Station) TickNext(now sim.Cycle) (next sim.Cycle, idle, worked bool) {
+	if s.Fault != nil {
+		// Injected faults consume per-cycle injector state (HoldGrant draws
+		// its schedule on every call), so a faulted station may never sleep:
+		// stay dense and conservatively report work.
+		if !s.Fault.HoldGrant(now) {
+			s.tickNext(now)
+		}
+		return 0, false, true
 	}
+	return s.tickNext(now)
+}
+
+// tickNext runs the grant loop. The selection reads each queue head exactly
+// once — an earlier version spelled it as starvedNormal/prio-peek/pickNormal
+// helpers, whose repeated head loads were the hottest lines of the loop
+// under saturation.
+func (s *Station) tickNext(now sim.Cycle) (next sim.Cycle, idle, worked bool) {
 	for n := 0; n < s.cfg.Bandwidth; n++ {
-		var r *mem.Req
+		var e *entry
 		var fromPrio bool
-		var idx int
+		idx := 0
 
-		if i := s.starvedNormal(now); i >= 0 {
-			idx, fromPrio = i, false
-			r = s.normal[i].req
+		var hn *entry
+		if s.normal.Len() > 0 {
+			hn = s.normal.At(0) // FCFS: index 0 is the oldest
+		}
+		if hn != nil && s.cfg.MaxWait != 0 && hn.ready <= now && now-hn.enq > s.cfg.MaxWait {
+			// §IV-D starvation guard: the over-waited head beats the
+			// priority queue.
+			e = hn
 			s.Stats.Promoted++
-		} else if len(s.prio) > 0 && s.prio[0].ready <= now {
-			r = s.prio[0].req
-			fromPrio = true
-		} else if i := s.pickNormal(now); i >= 0 {
-			idx = i
-			r = s.normal[i].req
-		} else {
-			return // nothing ready
+		} else if s.prio.Len() > 0 {
+			if hp := s.prio.At(0); hp.ready <= now {
+				e, fromPrio = hp, true
+			}
+		}
+		if e == nil {
+			if s.Classify == nil && !s.sawSpike {
+				// Every rank is 0 and ready order follows queue order: the
+				// head is the only candidate.
+				if hn != nil && hn.ready <= now {
+					e = hn
+				}
+			} else if i := s.pickNormal(now); i >= 0 {
+				e, idx = s.normal.At(i), i
+			}
+		}
+		if e == nil {
+			// Nothing ready: every exit above proves both heads (and, absent
+			// spikes, therefore every entry) lie in the future.
+			nl, pl := s.normal.Len(), s.prio.Len()
+			if nl == 0 && pl == 0 {
+				s.sawSpike = false
+				return sim.NeverWork, true, worked
+			}
+			if s.sawSpike {
+				return 0, false, worked
+			}
+			next = sim.NeverWork
+			if pl > 0 {
+				next = s.prio.At(0).ready
+			}
+			if nl > 0 && hn.ready < next {
+				next = hn.ready
+			}
+			return next, true, worked
 		}
 
-		var enq sim.Cycle
-		if fromPrio {
-			enq = s.prio[0].enq
-		} else {
-			enq = s.normal[idx].enq
-		}
+		r, enq := e.req, e.enq
 		if !s.down.Accept(r, now) {
-			return // head-of-line blocking: downstream full
+			return 0, false, worked // head-of-line blocking: downstream full
 		}
 		// Charge the residency only on successful hand-off: the downstream
 		// Accept may already have stamped the request into its own stage,
-		// which is why Depart takes the enqueue cycle explicitly.
+		// which is why Depart uses the enqueue cycle read above.
 		r.Depart(s.cfg.Component, enq, now, s.cfg.Latency)
+		s.Stats.WaitCycles += uint64(now - enq)
 		if fromPrio {
-			s.removePrio(now)
+			s.prio.PopHead()
+		} else if idx == 0 {
+			s.normal.PopHead()
 		} else {
-			s.removeNormal(idx, now)
+			s.normal.RemoveAt(idx)
 		}
 		s.Stats.Forwarded++
+		worked = true
 	}
+	return 0, false, worked // bandwidth exhausted: a ready head may remain
 }
 
 // NextWork implements sim.IdleReporter. A station with no fault injector and
@@ -277,7 +331,7 @@ func (s *Station) NextWork(now sim.Cycle) (sim.Cycle, bool) {
 	if s.Fault != nil {
 		return 0, false
 	}
-	if len(s.normal) == 0 && len(s.prio) == 0 {
+	if s.normal.Len() == 0 && s.prio.Len() == 0 {
 		s.sawSpike = false
 		return sim.NeverWork, true
 	}
@@ -285,18 +339,20 @@ func (s *Station) NextWork(now sim.Cycle) (sim.Cycle, bool) {
 		return 0, false
 	}
 	next := sim.NeverWork
-	if len(s.prio) > 0 {
-		if s.prio[0].ready <= now {
+	if s.prio.Len() > 0 {
+		ready := s.prio.At(0).ready
+		if ready <= now {
 			return 0, false
 		}
-		next = s.prio[0].ready
+		next = ready
 	}
-	if len(s.normal) > 0 {
-		if s.normal[0].ready <= now {
+	if s.normal.Len() > 0 {
+		ready := s.normal.At(0).ready
+		if ready <= now {
 			return 0, false
 		}
-		if s.normal[0].ready < next {
-			next = s.normal[0].ready
+		if ready < next {
+			next = ready
 		}
 	}
 	return next, true
@@ -313,24 +369,24 @@ func (s *Station) RegisterStats(reg *stats.Registry, prefix string) {
 	reg.Counter(prefix+".promoted", func() uint64 { return st.Promoted })
 	reg.Counter(prefix+".wait_cycles", func() uint64 { return st.WaitCycles })
 	reg.Rate(prefix+".refused_epoch", func() uint64 { return st.Refused })
-	reg.Gauge(prefix+".qdepth_normal", func() float64 { return float64(len(s.normal)) })
-	reg.Gauge(prefix+".qdepth_prio", func() float64 { return float64(len(s.prio)) })
+	reg.Gauge(prefix+".qdepth_normal", func() float64 { return float64(s.normal.Len()) })
+	reg.Gauge(prefix+".qdepth_prio", func() float64 { return float64(s.prio.Len()) })
 }
 
 // EachReq visits every queued request in deterministic order (priority queue
 // first, then normal, both FCFS), for checkpoint layers that must enumerate
 // in-flight requests identically before a snapshot and after its restore.
 func (s *Station) EachReq(f func(*mem.Req)) {
-	for i := range s.prio {
-		f(s.prio[i].req)
+	for i, n := 0, s.prio.Len(); i < n; i++ {
+		f(s.prio.At(i).req)
 	}
-	for i := range s.normal {
-		f(s.normal[i].req)
+	for i, n := 0, s.normal.Len(); i < n; i++ {
+		f(s.normal.At(i).req)
 	}
 }
 
 // Drain reports whether both queues are empty.
-func (s *Station) Drain() bool { return len(s.normal) == 0 && len(s.prio) == 0 }
+func (s *Station) Drain() bool { return s.normal.Len() == 0 && s.prio.Len() == 0 }
 
 // ResetStats zeroes the counters.
 func (s *Station) ResetStats() { s.Stats = Stats{} }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"pivot/internal/bwctrl"
@@ -129,6 +130,15 @@ type Options struct {
 	// compares against — so Dense is deliberately NOT part of the checkpoint
 	// fingerprint: dense and skip-ahead runs share checkpoints.
 	Dense bool
+
+	// Parallel, when > 0, shards the machine across that many worker
+	// goroutines (one shard per core; see parallel.go): the -parallel-sim
+	// knob. Results are bit-identical to serial for every worker count, so
+	// like Dense it is deliberately NOT part of the checkpoint fingerprint —
+	// serial and parallel runs share checkpoints. Dense wins when both are
+	// set, and enabling the flight recorder falls back to serial (its pooled
+	// span allocation is issue-order-sensitive).
+	Parallel int
 }
 
 // LCTask is the runtime state of one latency-critical task.
@@ -181,10 +191,15 @@ type Machine struct {
 	// statsOn caches "EnableStats was called" as a plain bool so per-request
 	// hot paths pay a single flag test, not pointer comparisons, when the
 	// framework is disabled.
-	statsReg *stats.Registry
-	sampler  *stats.Sampler
-	latDist  *stats.Distribution
-	statsOn  bool
+	statsReg   *stats.Registry
+	sampler    *stats.Sampler
+	latDist    *stats.Distribution
+	statsOn    bool
+	statsEpoch sim.Cycle
+
+	// par is the sharded-execution runtime (nil in serial mode); see
+	// parallel.go.
+	par *parRuntime
 
 	// Flight recorder (nil until EnableFlight); flightOn caches the check so
 	// the request hot paths pay a single flag test when recording is off.
@@ -211,6 +226,11 @@ type Machine struct {
 	reqsIssued   uint64
 	reqsRecycled uint64
 	reqsDelayed  int
+	// outOcc is a bitmask of ports with a non-empty egress queue, kept
+	// coherent at every len(p.out) 0↔non-0 transition so the per-cycle
+	// skip-ahead polls (auxNextWork, auxSkip) iterate set bits instead of
+	// scanning every port. Derived state — restore rebuilds it.
+	outOcc uint64
 	// statsResetAt anchors elapsed-cycle accounting (bandwidth credit) to
 	// the last ResetStats.
 	statsResetAt sim.Cycle
@@ -256,7 +276,7 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 		if spec.Kind == TaskLC {
 			lc := &LCTask{Core: i, Spec: spec}
 			lc.Gen = workload.NewReqGen(spec.LC, i, rng.Fork())
-			lc.Source = loadgen.New(lc.Gen, rng.Fork(), spec.MeanInterarrival, m.Engine.Now)
+			lc.Source = loadgen.New(lc.Gen, rng.Fork(), spec.MeanInterarrival, m.lcClock(i))
 			stream = lc.Source
 			hooks.OnReqEnd = lc.Source.OnReqEnd
 			if opt.Profile {
@@ -305,6 +325,9 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 		m.Engine.Register(c)
 	}
 	m.Engine.SetDense(opt.Dense)
+	if opt.Parallel > 0 && !opt.Dense {
+		m.buildParallel(opt.Parallel)
+	}
 	return m, nil
 }
 
@@ -486,24 +509,43 @@ func (m *Machine) retireHook(lc *LCTask) func(pc uint64, stall sim.Cycle, llcMis
 }
 
 // auxTicker registers Machine.auxTick with the engine and reports when the
-// machine-level plumbing is quiescent: no port has a pending L2-miss egress,
-// no delay slot is due before the reported cycle, and (when any predictor is
-// attached) the next 1024-cycle refresh boundary bounds the sleep. An idle
-// auxTick is pure, so no SkipCycles compensation is needed.
+// machine-level plumbing is quiescent: no delay slot is due before the
+// reported cycle, every port with pending egress is held by the MBA throttle
+// (whose release cycle then bounds the sleep), and (when any predictor is
+// attached) the next 1024-cycle refresh boundary bounds the sleep. The only
+// counter an elided auxTick would have bumped is the throttle's per-cycle
+// Delayed count on each held port's head request; SkipCycles compensates it.
 type auxTicker struct{ m *Machine }
 
 func (a *auxTicker) Tick(now sim.Cycle) { a.m.auxTick(now) }
 
 func (a *auxTicker) NextWork(now sim.Cycle) (sim.Cycle, bool) {
-	m := a.m
-	for _, p := range m.ports {
-		if len(p.out) > 0 {
-			return 0, false
-		}
-	}
+	return a.m.auxNextWork(now)
+}
+
+func (a *auxTicker) SkipCycles(from, to sim.Cycle) { a.m.auxSkip(from, to) }
+
+// auxNextWork is the quiescence bound shared by the serial auxTicker and the
+// parallel coordinator's aux slot. A port with pending egress used to pin
+// the machine dense unconditionally — through entire MBA-throttled intervals
+// — but when the head request is only waiting out the throttle's inserted
+// delay, the release cycle is a hard bound: nothing else can move that queue
+// earlier, and downstream refusals (a full interconnect) report as not-held
+// and stay dense.
+func (m *Machine) auxNextWork(now sim.Cycle) (sim.Cycle, bool) {
 	next, idle := m.delays.nextDue(now)
 	if !idle {
 		return 0, false
+	}
+	for occ := m.outOcc; occ != 0; occ &= occ - 1 {
+		p := m.ports[bits.TrailingZeros64(occ)]
+		until, held := m.thr.HeldUntil(p.out[0].Part, now)
+		if !held {
+			return 0, false
+		}
+		if until < next {
+			next = until
+		}
 	}
 	if m.predTick {
 		if now&1023 == 0 {
@@ -516,13 +558,23 @@ func (a *auxTicker) NextWork(now sim.Cycle) (sim.Cycle, bool) {
 	return next, true
 }
 
+// auxSkip compensates elided auxTicks: each skipped cycle, a dense flush
+// would have offered every non-empty port's head request to the throttle and
+// been refused once (the flush loop stops at the first refusal), bumping
+// Delayed exactly once per held port per cycle.
+func (m *Machine) auxSkip(from, to sim.Cycle) {
+	if n := bits.OnesCount64(m.outOcc); n > 0 {
+		m.thr.Delayed += uint64(n) * uint64(to-from)
+	}
+}
+
 // auxTick runs the machine-level plumbing each cycle: delayed completions,
 // per-core L2-miss egress, and (coarsely) predictor refresh and threshold
 // adaptation.
 func (m *Machine) auxTick(now sim.Cycle) {
 	m.drainDelays(now)
-	for _, p := range m.ports {
-		p.flush(now)
+	for occ := m.outOcc; occ != 0; occ &= occ - 1 {
+		m.ports[bits.TrailingZeros64(occ)].flush(now)
 	}
 	if now&1023 == 0 {
 		for _, lc := range m.lcs {
@@ -573,6 +625,10 @@ func (m *Machine) onResp(r *mem.Req, now sim.Cycle) {
 		return
 	}
 	m.llc.Insert(r.Addr, r.Part, false)
+	if m.par != nil {
+		m.deliverPar(r, now, true)
+		return
+	}
 	m.deliver(r, now, true)
 }
 
@@ -589,24 +645,33 @@ func (m *Machine) deliver(r *mem.Req, now sim.Cycle, llcMiss bool) {
 	// Even a waiter-less fill (a prefetch) frees an MSHR that may unblock a
 	// structurally refused load: drop the core's cached idle verdict.
 	m.Cores[r.CoreID].WakeIdle()
-	if r.LCTask && !r.Prefetch && now >= m.measureStart {
-		if m.statsSet == nil || m.statsSet.Contains(r.PC) {
-			for c := 0; c < int(mem.NumComponents); c++ {
-				m.splitSum[c] += float64(r.Split[c])
-			}
-			m.splitCount++
-		}
-		if m.statsOn {
-			m.latDist.Observe(float64(now - r.Issued))
-		}
-		if len(m.sampled) < m.Opt.SampleRequests {
-			m.sampled = append(m.sampled, RequestRecord{
-				PC: r.PC, CoreID: r.CoreID, Critical: r.Critical,
-				IssuedAt: uint64(r.Issued), CompletedAt: uint64(now), Split: r.Split,
-			})
-		}
-	}
+	m.deliverStats(r, now)
 	m.recycle(r, now)
+}
+
+// deliverStats is the measurement half of a delivery: the per-component
+// latency split, the LC latency distribution and request-flow sampling. In
+// parallel mode it runs on the coordinator (deliverPar), in exactly the
+// order serial delivers run.
+func (m *Machine) deliverStats(r *mem.Req, now sim.Cycle) {
+	if !r.LCTask || r.Prefetch || now < m.measureStart {
+		return
+	}
+	if m.statsSet == nil || m.statsSet.Contains(r.PC) {
+		for c := 0; c < int(mem.NumComponents); c++ {
+			m.splitSum[c] += float64(r.Split[c])
+		}
+		m.splitCount++
+	}
+	if m.statsOn {
+		m.latDist.Observe(float64(now - r.Issued))
+	}
+	if len(m.sampled) < m.Opt.SampleRequests {
+		m.sampled = append(m.sampled, RequestRecord{
+			PC: r.PC, CoreID: r.CoreID, Critical: r.Critical,
+			IssuedAt: uint64(r.Issued), CompletedAt: uint64(now), Split: r.Split,
+		})
+	}
 }
 
 func (m *Machine) newReq() *mem.Req {
@@ -635,6 +700,14 @@ func (m *Machine) recycle(r *mem.Req, now sim.Cycle) {
 		r.Trace = nil
 	}
 	m.reqsRecycled++
+	if m.par != nil {
+		// Return the request to its issuing core's pool: shard allocation
+		// must never contend with another shard (pools are unobservable, so
+		// the routing cannot affect results).
+		sh := m.par.shards[r.CoreID]
+		sh.pool = append(sh.pool, r)
+		return
+	}
 	m.reqPool = append(m.reqPool, r)
 }
 

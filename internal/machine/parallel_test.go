@@ -1,0 +1,254 @@
+package machine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"pivot/internal/mem"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
+
+// TestParallelWorkerCountInvariance: the sharded engine's contract is
+// determinism regardless of goroutine scheduling, so every worker count —
+// including counts above the shard count, which clamp — must produce the
+// same bytes.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	tc := ckptCases()[1] // PIVOT policy: manager + RRBP active
+	ctx := context.Background()
+	var ref []byte
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		m := tc.buildPar(t, workers)
+		if err := m.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := stateBytes(t, m)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: state differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestParallelKillResume is satellite coverage for checkpointing under
+// -parallel-sim: a parallel run killed mid-measure must resume from a
+// barrier-aligned frame and finish byte-identical to an uninterrupted dense
+// run. Checkpoint frames are only ever cut at Step boundaries, which the
+// windowed loop treats as barriers, so a kill can never capture a torn
+// mid-quantum state.
+func TestParallelKillResume(t *testing.T) {
+	tc := ckptCases()[0]
+	ctx := context.Background()
+
+	ref := tc.buildMode(t, true)
+	if err := ref.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
+		t.Fatalf("dense reference: %v", err)
+	}
+
+	dir := t.TempDir()
+	cc := CheckpointConfig{Dir: dir, Interval: ckptInterval, Keep: 3}
+
+	killed := tc.buildPar(t, 2)
+	killed.Opt.MaxCycles = 72_000 // mid-measure, off any interval boundary
+	if _, err := killed.RunCheckpointed(ctx, ckptWarmup, ckptMeasure, cc); !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("killed run: err = %v, want cycle-budget abort", err)
+	}
+
+	resumed := tc.buildPar(t, 4)
+	from, err := resumed.RunCheckpointed(ctx, ckptWarmup, ckptMeasure, cc)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if from < 72_000 {
+		t.Fatalf("resumed from cycle %d, want the abort flush at >= 72000", from)
+	}
+	if got, want := stateBytes(t, resumed), stateBytes(t, ref); !bytes.Equal(got, want) {
+		t.Error("parallel kill-and-resume final state differs from uninterrupted dense run")
+	}
+	if resumed.LCp95(0) != ref.LCp95(0) || resumed.BECommitted() != ref.BECommitted() {
+		t.Errorf("whole-run stats differ: p95 %d vs %d, BE %d vs %d",
+			resumed.LCp95(0), ref.LCp95(0), resumed.BECommitted(), ref.BECommitted())
+	}
+}
+
+// TestParallelCheckpointBoundaries: a parallel run must cut exactly the same
+// checkpoint files as a dense run — same names (cycle stamps at interval
+// multiples) and same payload bytes — even though its engine advances in
+// variable-width windows.
+func TestParallelCheckpointBoundaries(t *testing.T) {
+	ctx := context.Background()
+	mk := func(opt Options) *Machine {
+		opt.Policy = PolicyDefault
+		return MustNew(KunpengConfig(4), opt,
+			[]TaskSpec{lcTask(workload.Silo, 60_000)})
+	}
+	const interval sim.Cycle = 16_000
+
+	runDir := func(m *Machine) string {
+		dir := t.TempDir()
+		if err := m.stepCheckpointed(ctx, 100_000, CheckpointConfig{Dir: dir, Interval: interval, Keep: 100}); err != nil {
+			t.Fatalf("stepCheckpointed: %v", err)
+		}
+		return dir
+	}
+	dDir, pDir := runDir(mk(Options{Dense: true})), runDir(mk(Options{Parallel: 2}))
+
+	list := func(dir string) []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return names
+	}
+	dNames, pNames := list(dDir), list(pDir)
+	if len(pNames) != len(dNames) || len(pNames) != int(100_000/interval) {
+		t.Fatalf("checkpoint counts differ: parallel %d, dense %d, want %d",
+			len(pNames), len(dNames), 100_000/interval)
+	}
+	for i := range dNames {
+		if pNames[i] != dNames[i] {
+			t.Fatalf("checkpoint file %d differs: %s vs %s", i, pNames[i], dNames[i])
+		}
+		got, want := payloadAt(t, pDir+"/"+pNames[i]), payloadAt(t, dDir+"/"+dNames[i])
+		if !bytes.Equal(got, want) {
+			t.Errorf("checkpoint %s payload differs between modes", pNames[i])
+		}
+	}
+}
+
+// flaky is a deterministic counter-driven mem.Fault: its decisions depend
+// only on how many times each hook ran, and faulted stations pin themselves
+// dense, so dense and parallel runs present it the identical call sequence.
+type flaky struct{ drops, spikes, holds uint64 }
+
+func (f *flaky) DropAccept(sim.Cycle) bool { f.drops++; return f.drops%97 == 0 }
+func (f *flaky) ExtraLatency(sim.Cycle) sim.Cycle {
+	f.spikes++
+	if f.spikes%41 == 0 {
+		return 7
+	}
+	return 0
+}
+func (f *flaky) HoldGrant(sim.Cycle) bool { f.holds++; return f.holds%61 == 0 }
+
+// TestParallelFaultEquivalence: fault injection perturbs admission, latency
+// and arbitration on all four MSC stations — all coordinator-side — and the
+// parallel run must still match dense byte-for-byte. Faults are detached
+// before snapshotting (fault state lives outside the snapshot surface, which
+// is why faulted runs refuse checkpointing).
+func TestParallelFaultEquivalence(t *testing.T) {
+	tc := ckptCases()[0]
+	ctx := context.Background()
+	run := func(m *Machine) *Machine {
+		t.Helper()
+		for _, comp := range mem.MSCs {
+			if err := m.SetFault(comp, &flaky{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
+			t.Fatalf("faulted run: %v", err)
+		}
+		for _, comp := range mem.MSCs {
+			if err := m.SetFault(comp, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	dense := run(tc.buildMode(t, true))
+	par := run(tc.buildPar(t, 2))
+	if got, want := stateBytes(t, par), stateBytes(t, dense); !bytes.Equal(got, want) {
+		t.Error("fault-injected parallel state differs from dense")
+	}
+	var dj, pj bytes.Buffer
+	if err := dense.Snapshot().WriteJSON(&dj); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Snapshot().WriteJSON(&pj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj.Bytes(), dj.Bytes()) {
+		t.Error("fault-injected result snapshots differ")
+	}
+}
+
+// TestThrottleIdleEquivalence targets the MBA quiescence fix: ports whose
+// heads are held by the bandwidth throttle used to pin the machine dense
+// (the aux ticker reported "work now" the whole time); the throttle now
+// reports its real next-release cycle so skip-ahead and the parallel
+// coordinator elide throttled intervals — and must still match dense
+// byte-for-byte, including the Delayed compensation counter.
+func TestThrottleIdleEquivalence(t *testing.T) {
+	mk := func(opt Options) *Machine {
+		opt.Policy = PolicyDefault
+		m := MustNew(KunpengConfig(4), opt,
+			append([]TaskSpec{lcTask(workload.Silo, 2000)}, beTasks(workload.IBench, 3)...))
+		for core := 1; core < 4; core++ {
+			m.MBA().SetLevel(mem.PartID(core), 2) // floor: ~50x TBurst between grants
+		}
+		return m
+	}
+	d, s, p := mk(Options{Dense: true}), mk(Options{}), mk(Options{Parallel: 2})
+	d.Run(10_000, 90_000)
+	s.Run(10_000, 90_000)
+	p.Run(10_000, 90_000)
+	if d.MBA().Delayed == 0 {
+		t.Fatal("throttle never held a request; test exercises nothing")
+	}
+	ref := stateBytes(t, d)
+	if got := stateBytes(t, s); !bytes.Equal(got, ref) {
+		t.Errorf("throttled skip state differs (%d vs %d bytes)", len(got), len(ref))
+	}
+	if got := stateBytes(t, p); !bytes.Equal(got, ref) {
+		t.Errorf("throttled parallel state differs (%d vs %d bytes)", len(got), len(ref))
+	}
+	if s.MBA().Delayed != d.MBA().Delayed || p.MBA().Delayed != d.MBA().Delayed {
+		t.Errorf("throttle Delayed counters differ: dense %d, skip %d, parallel %d",
+			d.MBA().Delayed, s.MBA().Delayed, p.MBA().Delayed)
+	}
+	if s.BECommitted() != d.BECommitted() || p.BECommitted() != d.BECommitted() {
+		t.Errorf("BE committed differ: dense %d, skip %d, parallel %d",
+			d.BECommitted(), s.BECommitted(), p.BECommitted())
+	}
+}
+
+// TestParallelFlightFallback: the flight recorder's pooled span allocation is
+// issue-order sensitive, so enabling it on a parallel machine must quietly
+// fall back to the serial loop rather than diverge.
+func TestParallelFlightFallback(t *testing.T) {
+	tc := ckptCases()[0]
+	m := tc.buildPar(t, 2)
+	if !m.ParallelActive() {
+		t.Fatal("parallel not active before EnableFlight")
+	}
+	m.EnableFlight(flightCfg)
+	if m.ParallelActive() {
+		t.Fatal("parallel still active with a flight recorder attached")
+	}
+	m.Run(10_000, 30_000) // must run clean on the fallback path
+}
+
+// TestParallelDenseWins: Dense is the trusted reference mode and must
+// override a Parallel request.
+func TestParallelDenseWins(t *testing.T) {
+	m := MustNew(KunpengConfig(4),
+		Options{Policy: PolicyDefault, Dense: true, Parallel: 4},
+		[]TaskSpec{lcTask(workload.Silo, 2000)})
+	if m.ParallelActive() {
+		t.Fatal("Parallel should not activate when Dense is set")
+	}
+	if !m.Engine.Dense() {
+		t.Fatal("Dense mode lost")
+	}
+}

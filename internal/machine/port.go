@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"math/bits"
+
 	"pivot/internal/cache"
 	"pivot/internal/cpu"
 	"pivot/internal/mem"
@@ -12,12 +14,15 @@ import (
 // wheel. Every latency scheduled through it (L1/L2 hits, LLC-hit responses)
 // is far below 256 cycles, so slot collisions across laps cannot occur.
 //
-// count caches the wheel occupancy for skip-ahead's quiescence poll. It is
-// derived state — never serialised; RestoreState rebuilds it with recount.
+// count caches the wheel occupancy for skip-ahead's quiescence poll, and occ
+// is a 256-bit bitmap of non-empty slots so nextDue is a word scan instead of
+// a slot walk. Both are derived state — never serialised; RestoreState
+// rebuilds them with recount.
 type delayQ struct {
 	wheel [256][]delayed
 
 	count int
+	occ   [4]uint64
 }
 
 // delayKind discriminates the four fixed-latency completion events the wheel
@@ -47,42 +52,80 @@ type delayed struct {
 	seq  uint64
 	line uint64
 	req  *mem.Req // delayEgress / delayDeliver only
+
+	// schedSeq breaks canonical-order ties between events one core schedules
+	// in the same cycle when parallel mode reassembles slot order across
+	// shard wheels (see parallel.go). Serial mode leaves it zero; it is
+	// derived bookkeeping, never serialised.
+	schedSeq uint64
 }
 
 func (d *delayQ) after(e delayed) {
 	slot := int(e.due) & 255
 	d.wheel[slot] = append(d.wheel[slot], e)
 	d.count++
+	d.occ[slot>>6] |= 1 << uint(slot&63)
+}
+
+// take empties slot and returns its events, keeping count and occ coherent.
+// Callers dispatch the returned batch; events scheduled during dispatch
+// always land in other slots (latencies are in [1, 256)).
+func (d *delayQ) take(slot int) []delayed {
+	pend := d.wheel[slot]
+	if len(pend) == 0 {
+		return nil
+	}
+	d.wheel[slot] = pend[:0]
+	d.count -= len(pend)
+	d.occ[slot>>6] &^= 1 << uint(slot&63)
+	return pend
 }
 
 // nextDue reports the earliest cycle at which a wheel event falls due, or
 // (0, false) when an event is due at now and the wheel must be drained this
 // cycle. Every live event's due cycle lies in [now, now+256) — latencies are
 // strictly below 256 and past-due events were drained the cycle they fell
-// due — so each slot holds at most one distinct due cycle and a forward walk
-// from now stops at the first occupied slot with the exact earliest due. In
-// a busy machine that slot is a handful of cycles away; in an empty one the
-// count guard answers without touching the wheel.
+// due — so each slot holds at most one distinct due cycle and the first
+// occupied slot at or after now (circularly) carries the exact earliest due.
+// The occ bitmap turns that search into at most four word scans.
 func (d *delayQ) nextDue(now sim.Cycle) (sim.Cycle, bool) {
 	if d.count == 0 {
 		return sim.NeverWork, true
 	}
-	if len(d.wheel[int(now)&255]) > 0 {
-		return 0, false
+	s := int(now) & 255
+	w, b := s>>6, uint(s&63)
+	if x := d.occ[w] >> b; x != 0 {
+		off := sim.Cycle(bits.TrailingZeros64(x))
+		if off == 0 {
+			return 0, false
+		}
+		return now + off, true
 	}
-	for off := sim.Cycle(1); off < 256; off++ {
-		if len(d.wheel[int(now+off)&255]) > 0 {
-			return now + off, true
+	// Remaining words in circular order; the wrap back into word w covers its
+	// low b bits (slots now+256-b .. now+255).
+	off := sim.Cycle(64 - b)
+	for i := 1; i <= 4; i++ {
+		x := d.occ[(w+i)&3]
+		if i == 4 {
+			x &= 1<<b - 1
+		}
+		if x != 0 {
+			return now + off + sim.Cycle((i-1)*64+bits.TrailingZeros64(x)), true
 		}
 	}
 	return 0, false // unreachable while count > 0; fail dense, not idle
 }
 
-// recount rebuilds the derived occupancy count after a checkpoint restore.
+// recount rebuilds the derived occupancy caches after a checkpoint restore
+// or an out-of-band wheel edit (shard merge, restore split).
 func (d *delayQ) recount() {
 	d.count = 0
+	d.occ = [4]uint64{}
 	for slot := range d.wheel {
-		d.count += len(d.wheel[slot])
+		if n := len(d.wheel[slot]); n > 0 {
+			d.count += n
+			d.occ[slot>>6] |= 1 << uint(slot&63)
+		}
 	}
 }
 
@@ -90,14 +133,7 @@ func (d *delayQ) recount() {
 // events may schedule new ones, but always at a sub-256-cycle latency, never
 // into the slot being drained.
 func (m *Machine) drainDelays(now sim.Cycle) {
-	slot := int(now) & 255
-	pend := m.delays.wheel[slot]
-	if len(pend) == 0 {
-		return
-	}
-	m.delays.wheel[slot] = pend[:0]
-	m.delays.count -= len(pend)
-	for _, e := range pend {
+	for _, e := range m.delays.take(int(now) & 255) {
 		m.dispatchDelayed(e, now)
 	}
 }
@@ -112,6 +148,7 @@ func (m *Machine) dispatchDelayed(e delayed, now sim.Cycle) {
 		m.reqsDelayed--
 		p := m.ports[e.req.CoreID]
 		p.out = append(p.out, e.req)
+		m.outOcc |= 1 << uint(e.req.CoreID)
 	case delayDeliver:
 		m.reqsDelayed--
 		m.deliver(e.req, now, false)
@@ -138,6 +175,53 @@ type corePort struct {
 	// out holds L2-miss requests awaiting acceptance by the MBA throttle /
 	// interconnect; bounded by Cfg.PortOutCap for back-pressure.
 	out []*mem.Req
+
+	// sh is this core's shard when the machine runs in parallel mode (nil in
+	// serial mode). While set, core-local completions go to the shard wheel,
+	// egress is staged for the barrier merge, requests come from the shard
+	// pool, and the out-queue length is read from the shard's mirror.
+	sh *parShard
+}
+
+// schedLocal schedules a core-local completion (loadDone / fillLocal).
+func (p *corePort) schedLocal(e delayed) {
+	if sh := p.sh; sh != nil {
+		sh.seq++
+		e.schedSeq = sh.seq
+		sh.wheel.after(e)
+		return
+	}
+	p.m.delays.after(e)
+}
+
+// delayReq schedules this core's egress hop (see Machine.delayReq).
+func (p *corePort) delayReq(due sim.Cycle, kind delayKind, r *mem.Req) {
+	if sh := p.sh; sh != nil {
+		sh.delayedEv++
+		sh.seq++
+		sh.egress = append(sh.egress, delayed{due: due, kind: kind, req: r, schedSeq: sh.seq})
+		return
+	}
+	p.m.delayReq(due, kind, r)
+}
+
+// newReq allocates a request from this core's pool (the shard's in parallel
+// mode, the machine's otherwise).
+func (p *corePort) newReq() *mem.Req {
+	if sh := p.sh; sh != nil {
+		return sh.newReq()
+	}
+	return p.m.newReq()
+}
+
+// egressLen is the out-queue length as seen from the core's own timeline: in
+// parallel mode the shard's mailbox-maintained mirror, since the queue itself
+// belongs to the coordinator.
+func (p *corePort) egressLen() int {
+	if sh := p.sh; sh != nil {
+		return sh.outLen
+	}
+	return len(p.out)
 }
 
 func newCorePort(m *Machine, id int, isLC bool) *corePort {
@@ -171,14 +255,14 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	l1Hit := sim.Cycle(p.m.Cfg.L1.HitCycles)
 
 	if p.l1.Lookup(line, part) {
-		p.m.delays.after(delayed{due: now + l1Hit, kind: delayLoadDone, core: p.id, seq: lr.Seq})
+		p.schedLocal(delayed{due: now + l1Hit, kind: delayLoadDone, core: p.id, seq: lr.Seq})
 		return true
 	}
 	if e := p.mshr.Lookup(line); e != nil {
 		e.Waiters = append(e.Waiters, lr.Seq)
 		return true
 	}
-	if p.mshr.Full() || len(p.out) >= p.m.Cfg.PortOutCap {
+	if p.mshr.Full() || p.egressLen() >= p.m.Cfg.PortOutCap {
 		return false // structural stall; the core retries
 	}
 
@@ -186,14 +270,14 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	if p.l2.Lookup(line, part) {
 		e, _ := p.mshr.Allocate(line)
 		e.Waiters = append(e.Waiters, lr.Seq)
-		p.m.delays.after(delayed{due: now + l1Hit + l2Hit, kind: delayFillLocal, core: p.id, line: line})
+		p.schedLocal(delayed{due: now + l1Hit + l2Hit, kind: delayFillLocal, core: p.id, line: line})
 		return true
 	}
 
 	// L2 miss: a shared-path request is born.
 	e, _ := p.mshr.Allocate(line)
 	e.Waiters = append(e.Waiters, lr.Seq)
-	r := p.m.newReq()
+	r := p.newReq()
 	r.Addr = line
 	r.PC = lr.PC
 	r.CoreID = p.id
@@ -203,7 +287,7 @@ func (p *corePort) Load(lr cpu.LoadRequest, now sim.Cycle) bool {
 	r.Issued = now
 	r.Hop(mem.CompL1, now, l1Hit)
 	r.Hop(mem.CompL2, now+l1Hit, l2Hit)
-	p.m.delayReq(now+l1Hit+l2Hit, delayEgress, r)
+	p.delayReq(now+l1Hit+l2Hit, delayEgress, r)
 	p.maybePrefetch(line, now)
 	return true
 }
@@ -221,7 +305,7 @@ func (p *corePort) maybePrefetch(line uint64, now sim.Cycle) {
 		// Prefetches are second-class citizens: they may use only half the
 		// miss buffers and egress slots, so a burst can never starve demand
 		// misses of structural resources.
-		if p.mshr.Len() >= p.m.Cfg.L1.MSHRs/2 || len(p.out) >= p.m.Cfg.PortOutCap/2 {
+		if p.mshr.Len() >= p.m.Cfg.L1.MSHRs/2 || p.egressLen() >= p.m.Cfg.PortOutCap/2 {
 			return
 		}
 		if p.l1.Contains(cand) || p.l2.Contains(cand) || p.mshr.Lookup(cand) != nil {
@@ -230,14 +314,14 @@ func (p *corePort) maybePrefetch(line uint64, now sim.Cycle) {
 		if _, fresh := p.mshr.Allocate(cand); !fresh {
 			continue
 		}
-		r := p.m.newReq()
+		r := p.newReq()
 		r.Addr = cand
 		r.CoreID = p.id
 		r.Part = mem.PartID(p.id)
 		r.LCTask = p.isLC
 		r.Prefetch = true
 		r.Issued = now
-		p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
+		p.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
 	}
 }
 
@@ -261,10 +345,10 @@ func (p *corePort) fillLocal(line uint64, now sim.Cycle) {
 func (p *corePort) RetryReady(kind cpu.OpKind, addr uint64) bool {
 	line := p.lineOf(addr)
 	if kind == cpu.OpStore {
-		return p.l1.Contains(line) || len(p.out) < p.m.Cfg.PortOutCap
+		return p.l1.Contains(line) || p.egressLen() < p.m.Cfg.PortOutCap
 	}
 	return p.l1.Contains(line) || p.mshr.Lookup(line) != nil ||
-		(!p.mshr.Full() && len(p.out) < p.m.Cfg.PortOutCap)
+		(!p.mshr.Full() && p.egressLen() < p.m.Cfg.PortOutCap)
 }
 
 // SkipRetries implements cpu.RetryPort: account for n elided retry attempts
@@ -283,14 +367,13 @@ func (p *corePort) SkipRetries(kind cpu.OpKind, addr uint64, n uint64) {
 func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
 	line := p.lineOf(addr)
 	part := mem.PartID(p.id)
-	if p.l1.Lookup(line, part) {
-		p.l1.Insert(line, part, true) // refresh + mark dirty
+	if p.l1.Touch(line, part) { // Lookup + refresh/mark-dirty in one scan
 		return true
 	}
-	if len(p.out) >= p.m.Cfg.PortOutCap {
+	if p.egressLen() >= p.m.Cfg.PortOutCap {
 		return false // write buffer full: SQ backs up
 	}
-	r := p.m.newReq()
+	r := p.newReq()
 	r.Addr = line
 	r.PC = pc
 	r.CoreID = p.id
@@ -299,7 +382,7 @@ func (p *corePort) Store(addr, pc uint64, now sim.Cycle) bool {
 	r.Critical = p.storeCritical
 	r.LCTask = p.isLC
 	r.Issued = now
-	p.m.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
+	p.delayReq(now+sim.Cycle(p.m.Cfg.L1.HitCycles), delayEgress, r)
 	return true
 }
 
@@ -317,6 +400,9 @@ func (p *corePort) flush(now sim.Cycle) {
 		popped = true
 	}
 	if popped {
+		if len(p.out) == 0 {
+			p.m.outOcc &^= 1 << uint(p.id)
+		}
 		// Freed egress slots may unblock a refused load or store retry.
 		p.m.Cores[p.id].WakeIdle()
 	}

@@ -26,17 +26,38 @@ func (tc ckptCase) buildMode(t *testing.T, dense bool) *Machine {
 	return m
 }
 
-// TestSkipAheadEquivalence is the tentpole's central proof obligation: for
-// every workload mix, a skip-ahead run and a -dense run finish with
+// buildPar builds a ckptCase machine in sharded parallel mode with the given
+// worker count.
+func (tc ckptCase) buildPar(t *testing.T, workers int) *Machine {
+	t.Helper()
+	opt := tc.opt
+	opt.Parallel = workers
+	m, err := New(KunpengConfig(4), opt, tc.tasks)
+	if err != nil {
+		t.Fatalf("%s: New: %v", tc.name, err)
+	}
+	if !m.ParallelActive() {
+		t.Fatalf("%s: parallel mode not active", tc.name)
+	}
+	if tc.stats {
+		m.EnableStats(5_000, 0)
+	}
+	return m
+}
+
+// TestSkipAheadEquivalence is the tentpole's central proof obligation,
+// extended to a serial/skip/parallel triangle: for every workload mix, a
+// skip-ahead run, a sharded parallel run and a -dense run finish with
 // byte-identical serialised machine state, byte-identical result-snapshot
 // JSON, byte-identical stats-framework dumps (where enabled), and the same
-// checkpoint fingerprint.
+// checkpoint fingerprint. The dense serial loop remains the trusted oracle.
 func TestSkipAheadEquivalence(t *testing.T) {
 	for _, tc := range ckptCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			ctx := context.Background()
 			dense := tc.buildMode(t, true)
 			skip := tc.buildMode(t, false)
+			par := tc.buildPar(t, 2)
 			if dense.Engine.Dense() == skip.Engine.Dense() {
 				t.Fatal("modes not actually distinct")
 			}
@@ -46,38 +67,58 @@ func TestSkipAheadEquivalence(t *testing.T) {
 			if err := skip.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
 				t.Fatalf("skip run: %v", err)
 			}
+			if err := par.RunChecked(ctx, ckptWarmup, ckptMeasure); err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
 
-			if got, want := stateBytes(t, skip), stateBytes(t, dense); !bytes.Equal(got, want) {
-				t.Errorf("serialised machine state differs (%d vs %d bytes)", len(got), len(want))
+			ref := stateBytes(t, dense)
+			if got := stateBytes(t, skip); !bytes.Equal(got, ref) {
+				t.Errorf("skip: serialised machine state differs (%d vs %d bytes)", len(got), len(ref))
 			}
-			if skip.Fingerprint() != dense.Fingerprint() {
-				t.Errorf("checkpoint fingerprints differ: %#x vs %#x",
-					skip.Fingerprint(), dense.Fingerprint())
+			if got := stateBytes(t, par); !bytes.Equal(got, ref) {
+				t.Errorf("parallel: serialised machine state differs (%d vs %d bytes)", len(got), len(ref))
 			}
-			var sj, dj bytes.Buffer
+			if skip.Fingerprint() != dense.Fingerprint() || par.Fingerprint() != dense.Fingerprint() {
+				t.Errorf("checkpoint fingerprints differ: skip %#x, par %#x, dense %#x",
+					skip.Fingerprint(), par.Fingerprint(), dense.Fingerprint())
+			}
+			var sj, dj, pj bytes.Buffer
 			if err := skip.Snapshot().WriteJSON(&sj); err != nil {
 				t.Fatal(err)
 			}
 			if err := dense.Snapshot().WriteJSON(&dj); err != nil {
 				t.Fatal(err)
 			}
+			if err := par.Snapshot().WriteJSON(&pj); err != nil {
+				t.Fatal(err)
+			}
 			if !bytes.Equal(sj.Bytes(), dj.Bytes()) {
-				t.Error("result-snapshot JSON differs between modes")
+				t.Error("skip: result-snapshot JSON differs from dense")
+			}
+			if !bytes.Equal(pj.Bytes(), dj.Bytes()) {
+				t.Error("parallel: result-snapshot JSON differs from dense")
 			}
 			if tc.stats {
-				var ss, ds bytes.Buffer
+				var ss, ds, ps bytes.Buffer
 				if err := skip.StatsDump().WriteJSON(&ss); err != nil {
 					t.Fatal(err)
 				}
 				if err := dense.StatsDump().WriteJSON(&ds); err != nil {
 					t.Fatal(err)
 				}
+				if err := par.StatsDump().WriteJSON(&ps); err != nil {
+					t.Fatal(err)
+				}
 				if !bytes.Equal(ss.Bytes(), ds.Bytes()) {
-					t.Error("stats-framework dump differs between modes")
+					t.Error("skip: stats-framework dump differs from dense")
+				}
+				if !bytes.Equal(ps.Bytes(), ds.Bytes()) {
+					t.Error("parallel: stats-framework dump differs from dense")
 				}
 			}
-			if skip.MeasuredCycles() != dense.MeasuredCycles() {
-				t.Errorf("measured cycles: %d vs %d", skip.MeasuredCycles(), dense.MeasuredCycles())
+			if skip.MeasuredCycles() != dense.MeasuredCycles() || par.MeasuredCycles() != dense.MeasuredCycles() {
+				t.Errorf("measured cycles: skip %d, par %d, dense %d",
+					skip.MeasuredCycles(), par.MeasuredCycles(), dense.MeasuredCycles())
 			}
 		})
 	}
@@ -88,20 +129,29 @@ func TestSkipAheadEquivalence(t *testing.T) {
 // component quiescent, so the engine takes large global jumps — and must
 // still be byte-identical to the dense reference.
 func TestSkipAheadEquivalenceIdleHeavy(t *testing.T) {
-	mk := func(dense bool) *Machine {
-		return MustNew(KunpengConfig(4),
-			Options{Policy: PolicyDefault, Dense: dense},
+	mk := func(opt Options) *Machine {
+		opt.Policy = PolicyDefault
+		return MustNew(KunpengConfig(4), opt,
 			[]TaskSpec{lcTask(workload.Silo, 60_000)})
 	}
-	d, s := mk(true), mk(false)
+	d, s, p := mk(Options{Dense: true}), mk(Options{}), mk(Options{Parallel: 2})
 	d.Run(50_000, 150_000)
 	s.Run(50_000, 150_000)
-	if got, want := stateBytes(t, s), stateBytes(t, d); !bytes.Equal(got, want) {
-		t.Errorf("idle-heavy states differ (%d vs %d bytes)", len(got), len(want))
+	p.Run(50_000, 150_000)
+	ref := stateBytes(t, d)
+	if got := stateBytes(t, s); !bytes.Equal(got, ref) {
+		t.Errorf("idle-heavy skip state differs (%d vs %d bytes)", len(got), len(ref))
+	}
+	if got := stateBytes(t, p); !bytes.Equal(got, ref) {
+		t.Errorf("idle-heavy parallel state differs (%d vs %d bytes)", len(got), len(ref))
 	}
 	if s.LCp95(0) != d.LCp95(0) || s.Cores[0].Stats.IdleCycles != d.Cores[0].Stats.IdleCycles {
 		t.Errorf("idle-heavy stats differ: p95 %d vs %d, idle %d vs %d",
 			s.LCp95(0), d.LCp95(0), s.Cores[0].Stats.IdleCycles, d.Cores[0].Stats.IdleCycles)
+	}
+	if p.LCp95(0) != d.LCp95(0) || p.Cores[0].Stats.IdleCycles != d.Cores[0].Stats.IdleCycles {
+		t.Errorf("idle-heavy parallel stats differ: p95 %d vs %d, idle %d vs %d",
+			p.LCp95(0), d.LCp95(0), p.Cores[0].Stats.IdleCycles, d.Cores[0].Stats.IdleCycles)
 	}
 }
 

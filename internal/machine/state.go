@@ -49,6 +49,18 @@ type DelayedState struct {
 	Req    mem.ReqState
 }
 
+// delayedState converts one wheel event to its serialisable form. The
+// parallel-mode schedSeq tie-breaker is deliberately absent: it is derived
+// bookkeeping, and the wire format stays identical to serial's.
+func delayedState(e delayed) DelayedState {
+	ds := DelayedState{Due: e.due, Kind: uint8(e.kind), Core: e.core, Seq: e.seq, Line: e.line}
+	if e.req != nil {
+		ds.HasReq = true
+		ds.Req = e.req.State()
+	}
+	return ds
+}
+
 // LCTaskState is one LC task's runtime state (predictor tables, profiler and
 // the load generator's arrival process).
 type LCTaskState struct {
@@ -182,20 +194,19 @@ func (m *Machine) SnapshotState() (*MachineState, error) {
 		}
 		s.Ports[i] = ps
 	}
-	for slot, pend := range m.delays.wheel {
-		if len(pend) == 0 {
-			continue
-		}
-		out := make([]DelayedState, len(pend))
-		for i, e := range pend {
-			ds := DelayedState{Due: e.due, Kind: uint8(e.kind), Core: e.core, Seq: e.seq, Line: e.line}
-			if e.req != nil {
-				ds.HasReq = true
-				ds.Req = e.req.State()
+	if m.par != nil {
+		m.snapshotDelays(s)
+	} else {
+		for slot, pend := range m.delays.wheel {
+			if len(pend) == 0 {
+				continue
 			}
-			out[i] = ds
+			out := make([]DelayedState, len(pend))
+			for i, e := range pend {
+				out[i] = delayedState(e)
+			}
+			s.Delays[slot] = out
 		}
-		s.Delays[slot] = out
 	}
 	for _, lc := range m.lcs {
 		ls := LCTaskState{Source: lc.Source.SnapshotState()}
@@ -323,6 +334,11 @@ func (m *Machine) RestoreState(s *MachineState) error {
 		for _, rs := range ps.Out {
 			p.out = append(p.out, rs.Materialize())
 		}
+		if len(p.out) > 0 {
+			m.outOcc |= 1 << uint(i)
+		} else {
+			m.outOcc &^= 1 << uint(i)
+		}
 		if p.pf != nil {
 			p.pf.RestoreState(*ps.PF)
 		}
@@ -349,6 +365,12 @@ func (m *Machine) RestoreState(s *MachineState) error {
 	// The occupancy cache feeding skip-ahead's quiescence poll is derived
 	// state: rebuild it from the restored wheel.
 	m.delays.recount()
+	if m.par != nil {
+		// Parallel mode keeps core-local completions in per-shard wheels:
+		// re-split the restored (canonically ordered) shared wheel and reset
+		// every shard's window-scoped runtime.
+		m.splitRestoredDelays()
+	}
 
 	for i, lc := range m.lcs {
 		ls := s.LCs[i]

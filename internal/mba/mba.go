@@ -16,11 +16,12 @@ import (
 // between consecutive requests sized so the partition's request rate is L%
 // of one request per baseGap cycles.
 //
-// The throttle is an interconnect.Acceptor only, never a sim.Ticker, so it
-// needs no NextWork for the skip-ahead engine: it mutates state (nextOK,
-// Delayed) only inside Accept, which is reached exclusively from port
-// flushes — and the machine's auxTicker already reports itself active while
-// any port has pending egress traffic.
+// The throttle is an interconnect.Acceptor only, never a sim.Ticker: it
+// mutates state (nextOK, Delayed) only inside Accept, which is reached
+// exclusively from port flushes. It cooperates with the skip-ahead engine
+// through HeldUntil, which lets the machine's auxTicker report a real
+// NextWork bound — instead of pinning every slot dense — while a port's
+// head-of-line request sits in an MBA-inserted delay.
 type Throttle struct {
 	down    interconnect.Acceptor
 	baseGap sim.Cycle
@@ -74,6 +75,22 @@ func (t *Throttle) gap(percent int) sim.Cycle {
 	}
 	// rate = percent/100 requests per baseGap => gap = baseGap*100/percent.
 	return t.baseGap * sim.Cycle(100) / sim.Cycle(percent)
+}
+
+// HeldUntil reports whether a request of PartID p offered at cycle now
+// would be refused by the inserted delay, and if so the first cycle at
+// which the throttle itself would let it through. The bound only covers
+// the throttle's own state: a request released at until may still be
+// refused downstream, so callers must treat until as a wake-up cycle, not
+// an acceptance guarantee.
+func (t *Throttle) HeldUntil(p mem.PartID, now sim.Cycle) (until sim.Cycle, held bool) {
+	if int(p) >= len(t.level) {
+		return 0, false
+	}
+	if t.gap(t.level[p]) > 0 && now < t.nextOK[p] {
+		return t.nextOK[p], true
+	}
+	return 0, false
 }
 
 // Accept implements interconnect.Acceptor with delay insertion.

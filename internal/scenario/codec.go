@@ -113,6 +113,9 @@ func (s *Scenario) decode(data []byte) error {
 		case "faults":
 			s.Faults = new(Faults)
 			err = strictUnmarshal(raw, s.Faults, key)
+		case "sim":
+			s.Sim = new(Sim)
+			err = strictUnmarshal(raw, s.Sim, key)
 		case "sweep":
 			err = s.decodeSweep(raw)
 		default:

@@ -371,5 +371,9 @@ func (s *Scenario) clone() *Scenario {
 		}
 		out.Faults = &cp
 	}
+	if s.Sim != nil {
+		cp := *s.Sim
+		out.Sim = &cp
+	}
 	return &out
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"os"
 	"testing"
+
+	"pivot/internal/scenario"
 )
 
 // testdataCorpus is the checked-in seed corpus. CI replays it via pivot-fuzz
@@ -73,6 +75,26 @@ func TestSeedCorpusRegenerate(t *testing.T) {
 		Scenario: rrbpBug,
 	}
 	if _, err := WriteEntry(testdataCorpus, entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned parallel-equivalence scenario: a generated mix carrying an
+	// explicit `sim` stanza, replayed through the parallel oracle. Keeps the
+	// stanza's strict-codec path and the sharded-vs-dense byte contract
+	// exercised even if the generator never emits sim overrides.
+	parSc := Generate(1, 2).Clone()
+	parSc.Sim = &scenario.Sim{Parallel: 2}
+	if got := CheckAll(ctx, parSc, Oracles(), Env{}); got != nil {
+		t.Fatalf("parallel-pinned scenario not green: %s: %s", got.Oracle, got.Detail)
+	}
+	parEntry := &Finding{
+		Oracle:   "parallel",
+		Seed:     1,
+		Index:    2,
+		Detail:   "pinned: a sharded parallel run must stay byte-identical to dense",
+		Scenario: parSc,
+	}
+	if _, err := WriteEntry(testdataCorpus, parEntry); err != nil {
 		t.Fatal(err)
 	}
 }

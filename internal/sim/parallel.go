@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// This file is the engine's sharded execution mode: one machine split into a
+// coordinator (the shared, order-sensitive side) plus N independent shards
+// (typically one per simulated core), advanced in lockstep quanta ("windows")
+// with cross-shard effects exchanged only at window boundaries.
+//
+// The mode exists for parallelism — each shard can run on its own goroutine —
+// but its correctness contract is strictly stronger than "same results when
+// parallel": the window protocol itself is constructed so that a sharded run
+// is BIT-IDENTICAL to the serial reference for any worker count, including
+// Workers == 1. Determinism therefore never depends on goroutine scheduling;
+// the scheduler only decides how fast the identical answer arrives.
+//
+// Window protocol, per iteration of Engine.Step:
+//
+//  1. The engine collects every shard's NextIssue forecast — the earliest
+//     cycle at which that shard might next perform work whose effects reach
+//     the shared side.
+//  2. Coordinator.PlanWindow proposes a window end E bounded by the earliest
+//     forecast plus the minimum shard→coordinator latency (so the coordinator
+//     cannot run past a cycle where it would need a not-yet-simulated shard
+//     event).
+//  3. Coordinator.RunCoordWindow runs the shared side serially over [from,E),
+//     staging per-shard events (fills, queue deltas, wake-ups) into mailboxes
+//     stamped with their exact cycle. It may *shrink* E while running — e.g.
+//     when it stages an event that could wake a shard early — and returns the
+//     final end.
+//  4. Every shard runs [from, E) independently, applying its mailbox events
+//     at their exact stamps and skipping idle stretches in bulk.
+//  5. Coordinator.FinishWindow merges shard-staged output back into the
+//     shared structures at the barrier.
+//
+// Steps 1-3 and 5 run on the calling goroutine; only step 4 fans out.
+
+// Shard is one independently-advancing partition of a machine.
+type Shard interface {
+	// RunShardWindow advances the shard from cycle from to cycle to,
+	// consuming the mailbox events staged by the coordinator for this
+	// window. It must not touch any state owned by another shard or by the
+	// coordinator.
+	RunShardWindow(from, to Cycle)
+
+	// NextIssue forecasts the earliest cycle >= at at which this shard might
+	// perform work that affects the shared side (NeverWork when only a
+	// coordinator-staged event could wake it). The forecast may be
+	// conservative (early) but never late.
+	NextIssue(at Cycle) Cycle
+}
+
+// Coordinator owns the shared, order-sensitive remainder of a machine.
+type Coordinator interface {
+	// PlanWindow proposes the end of the next window starting at from,
+	// clamped to limit (the enclosing Step boundary). earliestIssue is the
+	// minimum of all shard NextIssue forecasts. The result must satisfy
+	// from < end <= limit.
+	PlanWindow(from, limit, earliestIssue Cycle) Cycle
+
+	// RunCoordWindow advances the shared side over [from, to), staging
+	// per-shard mailbox events. It may end the window early (never before
+	// from+1) and returns the actual end, which callers use as the barrier.
+	RunCoordWindow(from, to Cycle) Cycle
+
+	// FinishWindow runs at the barrier after every shard has reached end:
+	// merge shard-staged output into shared structures, fold counters, and
+	// perform any end-of-window sampling.
+	FinishWindow(end Cycle)
+}
+
+// ShardPlan describes a sharded execution of one engine.
+type ShardPlan struct {
+	Coord  Coordinator
+	Shards []Shard
+
+	// Workers is the number of goroutines driving shards (clamped to
+	// [1, len(Shards)]). Results are identical for every value; 1 runs the
+	// shards inline on the calling goroutine with no synchronization at all.
+	Workers int
+}
+
+// ShardPanic wraps a panic raised inside a shard goroutine so it can be
+// re-raised on the engine's goroutine with the original stack preserved.
+type ShardPanic struct {
+	Value any
+	Stack string
+}
+
+func (p *ShardPanic) Error() string {
+	return fmt.Sprintf("sim: shard panic: %v\n%s", p.Value, p.Stack)
+}
+
+// SetShardPlan installs (or, with nil, removes) the engine's sharded
+// execution mode. The plan takes effect on the next Step; SetDense(true)
+// overrides it, keeping the dense serial loop the trusted reference.
+func (e *Engine) SetShardPlan(p *ShardPlan) {
+	if p != nil && (p.Coord == nil || len(p.Shards) == 0) {
+		p = nil
+	}
+	e.plan = p
+}
+
+// ShardPlanned reports whether a sharded execution plan is installed.
+func (e *Engine) ShardPlanned() bool { return e.plan != nil }
+
+type shardJob struct {
+	shard    Shard
+	from, to Cycle
+}
+
+type shardDone struct {
+	panicked any
+	stack    []byte
+}
+
+func runShardJob(j shardJob) (d shardDone) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.panicked = r
+			d.stack = debug.Stack()
+		}
+	}()
+	j.shard.RunShardWindow(j.from, j.to)
+	return d
+}
+
+func shardWorker(work <-chan shardJob, done chan<- shardDone) {
+	for j := range work {
+		done <- runShardJob(j)
+	}
+}
+
+// stepSharded is Step's windowed execution loop. Worker goroutines live for
+// the duration of one Step call: callers step in granules of thousands of
+// cycles, so spawn cost is amortized over many windows, and no goroutine
+// outlives the call (machines are created in droves by sweeps; a parked
+// pool per machine would leak).
+func (e *Engine) stepSharded(end Cycle) {
+	p := e.plan
+	workers := p.Workers
+	if workers > len(p.Shards) {
+		workers = len(p.Shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var work chan shardJob
+	var done chan shardDone
+	if workers > 1 {
+		work = make(chan shardJob, len(p.Shards))
+		done = make(chan shardDone, len(p.Shards))
+		for w := 0; w < workers; w++ {
+			go shardWorker(work, done)
+		}
+		defer close(work)
+	}
+
+	for e.now < end {
+		earliest := NeverWork
+		for _, s := range p.Shards {
+			if v := s.NextIssue(e.now); v < earliest {
+				earliest = v
+			}
+		}
+		to := p.Coord.PlanWindow(e.now, end, earliest)
+		if to <= e.now {
+			to = e.now + 1
+		}
+		if to > end {
+			to = end
+		}
+		to = p.Coord.RunCoordWindow(e.now, to)
+
+		if workers > 1 {
+			for _, s := range p.Shards {
+				work <- shardJob{shard: s, from: e.now, to: to}
+			}
+			var failed *ShardPanic
+			for range p.Shards {
+				d := <-done
+				if d.panicked != nil && failed == nil {
+					failed = &ShardPanic{Value: d.panicked, Stack: string(d.stack)}
+				}
+			}
+			if failed != nil {
+				panic(failed)
+			}
+		} else {
+			for _, s := range p.Shards {
+				s.RunShardWindow(e.now, to)
+			}
+		}
+
+		p.Coord.FinishWindow(to)
+		e.now = to
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// testShard records the windows it was asked to run and forecasts issue work
+// every issueEvery cycles (0 = never).
+type testShard struct {
+	issueEvery Cycle
+	windows    [][2]Cycle
+	panicAt    Cycle // panic when asked to run a window containing this cycle
+	ran        atomic.Int64
+}
+
+func (s *testShard) RunShardWindow(from, to Cycle) {
+	s.ran.Add(1)
+	if s.panicAt != 0 && from <= s.panicAt && s.panicAt < to {
+		panic("testShard: boom")
+	}
+	s.windows = append(s.windows, [2]Cycle{from, to})
+}
+
+func (s *testShard) NextIssue(at Cycle) Cycle {
+	if s.issueEvery == 0 {
+		return NeverWork
+	}
+	if at%s.issueEvery == 0 {
+		return at
+	}
+	return at + (s.issueEvery - at%s.issueEvery)
+}
+
+// testCoord plans windows of a fixed span (further clamped by the shard
+// forecast bound), optionally shrinking them while running, and records the
+// barrier sequence.
+type testCoord struct {
+	span     Cycle
+	latency  Cycle // min shard->coordinator latency added to earliestIssue
+	shrinkTo Cycle // if non-zero, RunCoordWindow ends windows at multiples of this
+	barriers []Cycle
+	windows  [][2]Cycle
+}
+
+func (c *testCoord) PlanWindow(from, limit, earliestIssue Cycle) Cycle {
+	e := from + c.span
+	if earliestIssue != NeverWork && earliestIssue+c.latency < e {
+		e = earliestIssue + c.latency
+	}
+	if e <= from {
+		e = from + 1
+	}
+	if e > limit {
+		e = limit
+	}
+	return e
+}
+
+func (c *testCoord) RunCoordWindow(from, to Cycle) Cycle {
+	if c.shrinkTo != 0 {
+		if next := from + c.shrinkTo - from%c.shrinkTo; next < to {
+			to = next
+		}
+	}
+	c.windows = append(c.windows, [2]Cycle{from, to})
+	return to
+}
+
+func (c *testCoord) FinishWindow(end Cycle) { c.barriers = append(c.barriers, end) }
+
+// tiles asserts the recorded windows exactly tile [0, end).
+func tiles(t *testing.T, name string, ws [][2]Cycle, end Cycle) {
+	t.Helper()
+	var at Cycle
+	for i, w := range ws {
+		if w[0] != at || w[1] <= w[0] {
+			t.Fatalf("%s: window %d is [%d,%d), want start %d", name, i, w[0], w[1], at)
+		}
+		at = w[1]
+	}
+	if at != end {
+		t.Fatalf("%s: windows end at %d, want %d", name, at, end)
+	}
+}
+
+func TestStepShardedTilesWindows(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e := NewEngine()
+		shards := []*testShard{{issueEvery: 7}, {issueEvery: 0}, {issueEvery: 13}}
+		coord := &testCoord{span: 50, latency: 2, shrinkTo: 9}
+		plan := &ShardPlan{Coord: coord, Workers: workers}
+		for _, s := range shards {
+			plan.Shards = append(plan.Shards, s)
+		}
+		e.SetShardPlan(plan)
+		e.Step(100)
+		e.Step(37) // lands at 137, deliberately not a multiple of anything above
+
+		tiles(t, "coordinator", coord.windows, 137)
+		for i, s := range shards {
+			if workers == 1 {
+				tiles(t, "shard", s.windows, 137)
+			} else if got := s.ran.Load(); got != int64(len(coord.windows)) {
+				t.Fatalf("shard %d ran %d windows, want %d", i, got, len(coord.windows))
+			}
+		}
+		if len(coord.barriers) != len(coord.windows) {
+			t.Fatalf("%d barriers for %d windows", len(coord.barriers), len(coord.windows))
+		}
+		for i, b := range coord.barriers {
+			if b != coord.windows[i][1] {
+				t.Fatalf("barrier %d at %d, want window end %d", i, b, coord.windows[i][1])
+			}
+		}
+		if e.Now() != 137 {
+			t.Fatalf("engine at %d after sharded steps", e.Now())
+		}
+	}
+}
+
+// TestStepShardedWindowBounds: every window end must respect the earliest
+// shard forecast plus latency — the coordinator may never outrun a cycle
+// where an unsimulated shard event could land.
+func TestStepShardedWindowBounds(t *testing.T) {
+	e := NewEngine()
+	sh := &testShard{issueEvery: 10}
+	coord := &testCoord{span: 1000, latency: 3}
+	e.SetShardPlan(&ShardPlan{Coord: coord, Shards: []Shard{sh}, Workers: 1})
+	e.Step(60)
+	for i, w := range coord.windows {
+		issue := sh.NextIssue(w[0])
+		if bound := issue + coord.latency; w[1] > bound {
+			t.Fatalf("window %d [%d,%d) exceeds forecast bound %d", i, w[0], w[1], bound)
+		}
+	}
+}
+
+func TestStepShardedPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		e := NewEngine()
+		bad := &testShard{panicAt: 25}
+		coord := &testCoord{span: 10}
+		e.SetShardPlan(&ShardPlan{
+			Coord:   coord,
+			Shards:  []Shard{&testShard{}, bad, &testShard{}},
+			Workers: workers,
+		})
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: shard panic not propagated", workers)
+				}
+				if workers > 1 {
+					sp, ok := r.(*ShardPanic)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want *ShardPanic", workers, r)
+					}
+					if !strings.Contains(sp.Error(), "boom") {
+						t.Fatalf("ShardPanic lost the original value: %q", sp.Error())
+					}
+				}
+			}()
+			e.Step(100)
+		}()
+	}
+}
+
+func TestSetShardPlanNilAndInvalid(t *testing.T) {
+	e := NewEngine()
+	e.SetShardPlan(&ShardPlan{}) // no coordinator, no shards: rejected
+	if e.ShardPlanned() {
+		t.Fatal("empty plan should not install")
+	}
+	e.SetShardPlan(&ShardPlan{Coord: &testCoord{span: 5}, Shards: []Shard{&testShard{}}})
+	if !e.ShardPlanned() {
+		t.Fatal("valid plan did not install")
+	}
+	e.SetShardPlan(nil)
+	if e.ShardPlanned() {
+		t.Fatal("nil did not clear the plan")
+	}
+	e.Step(10) // back on the serial path
+	if e.Now() != 10 {
+		t.Fatalf("engine at %d after serial step", e.Now())
+	}
+}

@@ -1,68 +1,104 @@
 #!/usr/bin/env bash
-# bench.sh — record (or gate on) the simulator's headline perf number.
+# bench.sh — record (or gate on) the simulator's headline perf numbers.
 #
-# Default mode runs BenchmarkSimulatorCyclesPerSecond and appends the result
-# to the history array in BENCH_cycles_per_sec.json in the repo root:
+# Default mode runs the serial headline benchmark and the sharded parallel
+# benchmark (all worker counts, keeping the fastest variant) and appends one
+# record per benchmark to the history array in BENCH_cycles_per_sec.json in
+# the repo root:
 #
 #   [
 #     {"commit": ..., "date": ..., "benchmark": ..., "ns_per_cycle": ...,
 #      "cycles_per_sec": ...},
+#     {"commit": ..., "date": ..., "benchmark": "...Parallel", "workers": N,
+#      "ns_per_cycle": ..., "cycles_per_sec": ...},
 #     ...
 #   ]
 #
-# One record per commit (re-measuring the same commit replaces its record),
-# so the perf trajectory is readable from the working tree alone — no
-# spelunking through git history for earlier numbers.
+# One record per commit per benchmark (re-measuring the same commit replaces
+# its records), so the perf trajectory is readable from the working tree
+# alone — no spelunking through git history for earlier numbers.
 #
 #   scripts/bench.sh              # measure and append to the history
-#   scripts/bench.sh -check       # measure and FAIL if cycles/sec regressed
-#                                 # >20% vs the latest committed record
+#   scripts/bench.sh -check       # measure and FAIL if either benchmark's
+#                                 # cycles/sec regressed >20% vs its latest
+#                                 # committed record (a benchmark with no
+#                                 # committed record passes trivially)
 #
 # A pre-history file holding a single bare JSON object is migrated to the
 # array form on the next write.
 #
-# The benchmark steps the Fig-1 default mix (1 LC Silo + 3 BE iBench) in
-# 10,000-cycle granules, so ns_per_cycle = ns/op / 10000.
+# Both benchmarks step the Fig-1 default mix (1 LC Silo + 3 BE iBench) in
+# 10,000-cycle granules, so ns_per_cycle = ns/op / 10000. The serial one
+# hosts it on the 4-core Kunpeng config; the parallel one on the 8-core
+# config under the sharded windowed tick loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 out=BENCH_cycles_per_sec.json
-bench=BenchmarkSimulatorCyclesPerSecond
+serial=BenchmarkSimulatorCyclesPerSecond
+parallel=BenchmarkSimulatorCyclesPerSecondParallel
 benchtime=${BENCHTIME:-2s}
 mode=${1:-write}
 
-line=$(go test -bench "^${bench}\$" -benchtime "$benchtime" -run '^$' . | tee /dev/stderr | grep "^${bench}")
-ns_per_op=$(echo "$line" | awk '{for (i=1;i<=NF;i++) if ($(i)=="ns/op") print $(i-1)}')
-if [ -z "$ns_per_op" ]; then
-    echo "bench.sh: could not parse ns/op from: $line" >&2
+bench_out=$(go test -bench "^(${serial}|${parallel})\$" -benchtime "$benchtime" -run '^$' . | tee /dev/stderr)
+
+# pick_ns NAME_REGEX -> fastest "ns/op" among matching result lines (the
+# parallel benchmark emits one line per workers= variant; keep the best).
+pick_ns() {
+    echo "$bench_out" | grep -E "^$1" |
+        awk '{for (i=1;i<=NF;i++) if ($(i)=="ns/op" && ($(i-1)+0 < best || best=="")) best=$(i-1)} END{print best}'
+}
+
+serial_ns=$(pick_ns "${serial}[^P]")
+par_ns=$(pick_ns "${parallel}/")
+par_workers=$(echo "$bench_out" | grep -E "^${parallel}/" |
+    awk -v best="$par_ns" '$0 ~ /ns\/op/ {for (i=1;i<=NF;i++) if ($(i)=="ns/op" && $(i-1)==best) {split($1,a,"="); print a[2]}}' | head -n 1)
+if [ -z "$serial_ns" ] || [ -z "$par_ns" ]; then
+    echo "bench.sh: could not parse ns/op (serial='${serial_ns}' parallel='${par_ns}')" >&2
     exit 1
 fi
 
-ns_per_cycle=$(awk -v n="$ns_per_op" 'BEGIN{printf "%.4f", n/10000}')
-cycles_per_sec=$(awk -v n="$ns_per_op" 'BEGIN{printf "%.0f", 1e9/(n/10000)}')
+to_cps() { awk -v n="$1" 'BEGIN{printf "%.0f", 1e9/(n/10000)}'; }
+to_npc() { awk -v n="$1" 'BEGIN{printf "%.4f", n/10000}'; }
+
+serial_cps=$(to_cps "$serial_ns")
+par_cps=$(to_cps "$par_ns")
 
 if [ "$mode" = "-check" ]; then
     if [ ! -f "$out" ]; then
         echo "bench.sh: no committed $out baseline to check against" >&2
         exit 1
     fi
-    # Latest record = last cycles_per_sec in the file (records are appended
-    # in measurement order; also works on the pre-history single object).
-    base=$(grep -o '"cycles_per_sec"[^,}]*' "$out" | tail -n 1 | grep -o '[0-9.]*$')
-    floor=$(awk -v b="$base" 'BEGIN{printf "%.0f", b*0.8}')
-    echo "bench.sh: current ${cycles_per_sec} cycles/s, latest baseline ${base}, floor ${floor}"
-    if awk -v c="$cycles_per_sec" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
-        echo "bench.sh: FAIL — cycles/sec regressed >20% vs committed baseline" >&2
-        exit 1
-    fi
+    fail=0
+    for pair in "${serial}:${serial_cps}" "${parallel}:${par_cps}"; do
+        name=${pair%%:*}
+        cur=${pair##*:}
+        # Latest record for this benchmark = last matching line (records are
+        # appended in measurement order; the pre-history single object names
+        # the serial benchmark).
+        base=$(grep -o '{[^}]*}' "$out" | grep "\"benchmark\": \"${name}\"" |
+            tail -n 1 | grep -o '"cycles_per_sec"[^,}]*' | grep -o '[0-9.]*$' || true)
+        if [ -z "$base" ]; then
+            echo "bench.sh: ${name}: no committed record yet (${cur} cycles/s) — skipping gate"
+            continue
+        fi
+        floor=$(awk -v b="$base" 'BEGIN{printf "%.0f", b*0.8}')
+        echo "bench.sh: ${name}: current ${cur} cycles/s, latest baseline ${base}, floor ${floor}"
+        if awk -v c="$cur" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
+            echo "bench.sh: FAIL — ${name} regressed >20% vs committed baseline" >&2
+            fail=1
+        fi
+    done
+    [ "$fail" = 0 ] || exit 1
     echo "bench.sh: OK"
     exit 0
 fi
 
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-record="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${bench}\", \"ns_per_cycle\": ${ns_per_cycle}, \"cycles_per_sec\": ${cycles_per_sec}}"
+serial_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${serial}\", \"ns_per_cycle\": $(to_npc "$serial_ns"), \"cycles_per_sec\": ${serial_cps}}"
+par_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${parallel}\", \"workers\": ${par_workers:-1}, \"ns_per_cycle\": $(to_npc "$par_ns"), \"cycles_per_sec\": ${par_cps}}"
 
 # Existing records, one per line (records are flat objects, so this parses
 # both the array form and the pre-history single object), minus any previous
@@ -71,7 +107,7 @@ records=""
 if [ -f "$out" ]; then
     records=$(grep -o '{[^}]*}' "$out" | grep -v "\"commit\": \"${commit}\"" || true)
 fi
-records=$(printf '%s\n%s\n' "$records" "$record" | sed '/^[[:space:]]*$/d')
+records=$(printf '%s\n%s\n%s\n' "$records" "$serial_rec" "$par_rec" | sed '/^[[:space:]]*$/d')
 
 {
     echo '['
@@ -79,4 +115,4 @@ records=$(printf '%s\n%s\n' "$records" "$record" | sed '/^[[:space:]]*$/d')
     echo ']'
 } >"$out"
 n=$(printf '%s\n' "$records" | wc -l | tr -d ' ')
-echo "bench.sh: appended to $out (${cycles_per_sec} sim-cycles/s, ${n} record(s))"
+echo "bench.sh: appended to $out (serial ${serial_cps}, parallel ${par_cps} sim-cycles/s @ workers=${par_workers:-1}, ${n} record(s))"

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # kill_resume_smoke.sh — end-to-end crash-recovery proof for pivot-exp.
 #
-# Runs an experiment sweep three ways:
-#   1. uninterrupted, as the reference;
+# Runs an experiment sweep five ways:
+#   1. uninterrupted serial, as the reference;
 #   2. with journal + checkpoints, SIGKILLed mid-sweep;
-#   3. resumed from the journal and checkpoints of (2).
-# The resumed output must be byte-identical to the reference. The kill lands
-# wherever it lands — during calibration, mid-simulation, or (on a very fast
-# host) after completion; recovery must produce identical tables in every
-# case, so the check is deterministic even though the kill point is not.
+#   3. resumed from the journal and checkpoints of (2);
+#   4. uninterrupted under -parallel-sim (sharded windowed tick loop);
+#   5. SIGKILLed under -parallel-sim, then resumed SERIALLY from the
+#      parallel run's checkpoints — the checkpoint payload is engine-
+#      agnostic, so a parallel run's state must replay on either engine.
+# Every recovered or parallel output must be byte-identical to the
+# reference. The kill lands wherever it lands — during calibration,
+# mid-simulation, or (on a very fast host) after completion; recovery must
+# produce identical tables in every case, so the check is deterministic even
+# though the kill point is not.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,3 +45,32 @@ if ! cmp -s "$work/ref.txt" "$work/resumed.txt"; then
     exit 1
 fi
 echo "OK: resumed output is byte-identical to the uninterrupted reference"
+
+echo "== parallel-sim run (2 shard workers, uninterrupted) =="
+"$work/pivot-exp" -parallel-sim 2 "${args[@]}" > "$work/par.txt"
+if ! cmp -s "$work/ref.txt" "$work/par.txt"; then
+    echo "FAIL: -parallel-sim output differs from the serial reference" >&2
+    diff "$work/ref.txt" "$work/par.txt" >&2 || true
+    exit 1
+fi
+echo "OK: -parallel-sim output is byte-identical to the serial reference"
+
+echo "== interrupted parallel-sim run (SIGKILL mid-sweep) =="
+"$work/pivot-exp" -parallel-sim 2 -journal "$work/journal2.jsonl" \
+    -checkpoint-dir "$work/ckpt2" \
+    "${args[@]}" > "$work/killed2.txt" 2> "$work/killed2.err" &
+pid=$!
+sleep 3
+kill -KILL "$pid" 2>/dev/null || echo "(sweep finished before the kill)"
+wait "$pid" 2>/dev/null || true
+
+echo "== resumed serially from the parallel run's checkpoints =="
+"$work/pivot-exp" -journal "$work/journal2.jsonl" -resume -checkpoint-dir "$work/ckpt2" \
+    "${args[@]}" > "$work/resumed2.txt"
+
+if ! cmp -s "$work/ref.txt" "$work/resumed2.txt"; then
+    echo "FAIL: serial resume of the parallel run differs from the reference" >&2
+    diff "$work/ref.txt" "$work/resumed2.txt" >&2 || true
+    exit 1
+fi
+echo "OK: serial resume of the parallel-sim run is byte-identical to the reference"
