@@ -44,6 +44,7 @@ import (
 	"pivot/internal/cliutil"
 	"pivot/internal/exp"
 	"pivot/internal/flight"
+	"pivot/internal/load"
 	"pivot/internal/machine"
 	"pivot/internal/mem"
 	"pivot/internal/metrics"
@@ -64,6 +65,7 @@ var policies = map[string]pivot.Policy{
 func main() {
 	lcName := flag.String("lc", pivot.Masstree, "LC application (img-dnn|moses|xapian|silo|masstree)")
 	ia := flag.Float64("ia", 4000, "mean request inter-arrival in cycles (0 = closed loop)")
+	zipf := flag.Float64("zipf", 0, "Zipf skew theta of the LC task's reference popularity, in [0, 1) (0 = uniform; richer load shapes need -scenario)")
 	beName := flag.String("be", pivot.IBench, "BE application")
 	threads := flag.Int("threads", 7, "BE thread count")
 	policyName := flag.String("policy", "pivot", "partitioning policy: "+strings.Join(keys(), "|"))
@@ -150,6 +152,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pivotsim: unknown policy %q\n", *policyName)
 		os.Exit(2)
 	}
+	if *zipf < 0 || *zipf >= 1 {
+		fmt.Fprintf(os.Stderr, "pivotsim: -zipf %v must be in [0, 1)\n", *zipf)
+		os.Exit(2)
+	}
 	lcApp, ok := pivot.LCApps()[*lcName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "pivotsim: unknown LC app %q\n", *lcName)
@@ -176,6 +182,7 @@ func main() {
 	tasks := []pivot.TaskSpec{{
 		Kind: pivot.TaskLC, LC: lcApp,
 		MeanInterarrival: *ia, Potential: potential, Seed: *seed,
+		Load: load.Spec{ZipfTheta: *zipf},
 	}}
 	for i := 0; i < *threads && len(tasks) < *cores; i++ {
 		tasks = append(tasks, pivot.TaskSpec{Kind: pivot.TaskBE, BE: beApp,
@@ -261,6 +268,9 @@ func main() {
 	fmt.Printf("lc app            %s (inter-arrival %.0f cycles)\n", *lcName, *ia)
 	fmt.Printf("be app            %s x%d\n", *beName, *threads)
 	fmt.Printf("requests done     %d\n", src.Completed())
+	if n := src.DroppedLatencies(); n > 0 {
+		fmt.Printf("latency records   %d DROPPED past the 1Mi cap — percentiles cover a truncated prefix\n", n)
+	}
 	fmt.Printf("lc p95 latency    %d cycles\n", m.LCp95(0))
 	fmt.Printf("be throughput     %.4f instructions/cycle\n",
 		float64(m.BECommitted())/float64(m.MeasuredCycles()))

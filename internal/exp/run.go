@@ -9,6 +9,7 @@ import (
 	"pivot/internal/checkpoint"
 	"pivot/internal/faultinject"
 	"pivot/internal/flight"
+	"pivot/internal/load"
 	"pivot/internal/machine"
 	"pivot/internal/manager"
 	"pivot/internal/mem"
@@ -30,6 +31,12 @@ type LCSpec struct {
 	// ExpectedBW overrides the task's expected bandwidth fraction; 0 derives
 	// it from calibration (0.9x the run-alone bandwidth at LoadPct).
 	ExpectedBW float64
+
+	// Load shapes the task's arrival process and reference skew (phases,
+	// on-off bursts, tenant windows, Zipf). Its Mean is left zero — the base
+	// rate always comes from Interarrival or calibration at LoadPct; the
+	// machine fills it in. The zero value keeps stationary Poisson arrivals.
+	Load load.Spec
 }
 
 // BESpec places n threads of one BE app.
@@ -141,6 +148,7 @@ func (ctx *Context) Run(spec RunSpec) (res RunResult, err error) {
 			Kind:      machine.TaskLC,
 			Potential: ctx.potentialFor(spec.Method, lc.App),
 			Seed:      seed,
+			Load:      lc.Load,
 		}
 		if lc.Interarrival > 0 {
 			// Explicit arrival rate: no calibration, no knee-derived target.

@@ -253,6 +253,7 @@ func (ctx *Context) SpecForUnit(u scenario.RunUnit) (RunSpec, error) {
 				LoadPct:      t.LoadPct,
 				Interarrival: t.Interarrival,
 				ExpectedBW:   t.ExpectedBW,
+				Load:         t.Load.ToLoad(),
 			})
 		} else {
 			spec.BEs = append(spec.BEs, BESpec{App: t.AppName(), Threads: t.ThreadCount()})

@@ -4,13 +4,15 @@ import (
 	"testing"
 
 	"pivot/internal/cpu"
+	"pivot/internal/load"
 	"pivot/internal/sim"
 	"pivot/internal/workload"
 )
 
 func newSource(meanIA float64, clock *sim.Cycle) *Source {
 	gen := workload.NewReqGen(workload.LCApps()[workload.Silo], 0, sim.NewRNG(1))
-	return New(gen, sim.NewRNG(2), meanIA, func() sim.Cycle { return *clock })
+	model := load.New(load.Spec{Mean: meanIA}, sim.NewRNG(2))
+	return New(gen, model, func() sim.Cycle { return *clock })
 }
 
 func TestOpenLoopArrivalRate(t *testing.T) {
@@ -126,12 +128,75 @@ func TestRecentP95(t *testing.T) {
 	}
 }
 
+func TestLatencyDropCounterAtCap(t *testing.T) {
+	var now sim.Cycle
+	s := newSource(0, &now)
+	s.dropAfter = 4 // shrink the 1Mi cap so the test exercises it
+	var op cpu.MicroOp
+	for now = 0; now < 20_000; now++ {
+		s.Next(&op)
+		if op.Flags&cpu.FlagReqEnd != 0 {
+			s.OnReqEnd(op.ReqID, now)
+			op.Flags = 0
+		}
+	}
+	if s.Completed() <= 4 {
+		t.Fatalf("setup: only %d completions, need more than the cap", s.Completed())
+	}
+	if got := len(s.Latencies()); got != 4 {
+		t.Fatalf("recorded %d latencies, want cap of 4", got)
+	}
+	if want := s.Completed() - 4; s.DroppedLatencies() != want {
+		t.Fatalf("DroppedLatencies = %d, want %d (completions past the cap are counted, not silent)",
+			s.DroppedLatencies(), want)
+	}
+	s.ResetMeasurement()
+	if s.DroppedLatencies() != 0 {
+		t.Fatal("ResetMeasurement left the drop counter set")
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	var now sim.Cycle
+	gen := workload.NewReqGen(workload.LCApps()[workload.Silo], 0, sim.NewRNG(1))
+	model := load.New(load.Spec{
+		Mean: 500,
+		Phases: []load.Phase{
+			{Shape: load.ShapeFlat, Cycles: 50_000, Scale: 1},
+			{Shape: load.ShapeFlat, Cycles: 50_000, Scale: 0.5},
+		},
+		Repeat: true,
+	}, sim.NewRNG(2))
+	s := New(gen, model, func() sim.Cycle { return now })
+	var op cpu.MicroOp
+	for now = 0; now < 200_000; now++ {
+		for s.Next(&op) {
+			if op.Flags&cpu.FlagReqEnd != 0 {
+				s.OnReqEnd(op.ReqID, now)
+			}
+		}
+	}
+	done := s.PhaseCompleted()
+	if len(done) != 2 {
+		t.Fatalf("PhaseCompleted has %d phases, want 2", len(done))
+	}
+	if done[0]+done[1] != s.Completed() {
+		t.Fatalf("phase counts %v do not sum to completed %d", done, s.Completed())
+	}
+	if done[0] == 0 || done[1] == 0 {
+		t.Fatalf("phase counts %v: both phases should complete requests", done)
+	}
+	if done[0] <= done[1] {
+		t.Fatalf("phase counts %v: the full-rate phase should complete more than the half-rate one", done)
+	}
+}
+
 func TestRatePerMCycle(t *testing.T) {
 	var now sim.Cycle
-	if got := newSource(2000, &now).RatePerMCycle(); got != 500 {
+	if got := newSource(2000, &now).RatePerMCycle(now); got != 500 {
 		t.Fatalf("rate = %v, want 500", got)
 	}
-	if got := newSource(0, &now).RatePerMCycle(); got != 0 {
+	if got := newSource(0, &now).RatePerMCycle(now); got != 0 {
 		t.Fatalf("closed-loop rate = %v, want 0", got)
 	}
 }

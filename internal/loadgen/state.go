@@ -2,39 +2,49 @@ package loadgen
 
 import (
 	"pivot/internal/cpu"
+	"pivot/internal/load"
 	"pivot/internal/sim"
 	"pivot/internal/workload"
 )
 
-// SourceState is the serialisable form of a Source: the arrival process (RNG
-// cursor, next-arrival clock, backlog and full arrival history — OnReqEnd
-// indexes it by request ID), the in-flight program buffer, the recorded
-// latencies, and the embedded request generator's cursors.
+// SourceState is the serialisable form of a Source: the arrival process
+// (load-model cursor, next-arrival clock, backlog and full arrival history —
+// OnReqEnd indexes it by request ID), the in-flight program buffer, the
+// recorded latencies with the drop counter, per-phase completion counts, and
+// the embedded request generator's cursors.
 type SourceState struct {
-	RNG         uint64
+	Model       load.ModelState
 	NextArrival sim.Cycle
+	HasNext     bool
 	Backlog     []uint64
 	Arrival     []sim.Cycle
+	ReqPhase    []uint8
 	Buf         []cpu.MicroOp
 	BufPos      int
 	Latencies   []uint32
 	Started     uint64
 	Completed   uint64
+	LatDropped  uint64
+	PhaseDone   []uint64
 	Gen         workload.ReqGenState
 }
 
 // SnapshotState captures the source's complete mutable state.
 func (s *Source) SnapshotState() SourceState {
 	return SourceState{
-		RNG:         s.rng.State(),
+		Model:       s.model.SnapshotState(),
 		NextArrival: s.nextArrival,
+		HasNext:     s.hasNext,
 		Backlog:     append([]uint64(nil), s.backlog...),
 		Arrival:     append([]sim.Cycle(nil), s.arrival...),
+		ReqPhase:    append([]uint8(nil), s.reqPhase...),
 		Buf:         append([]cpu.MicroOp(nil), s.buf...),
 		BufPos:      s.bufPos,
 		Latencies:   append([]uint32(nil), s.latencies...),
 		Started:     s.started,
 		Completed:   s.completed,
+		LatDropped:  s.latDropped,
+		PhaseDone:   append([]uint64(nil), s.phaseDone...),
 		Gen:         s.gen.SnapshotState(),
 	}
 }
@@ -42,14 +52,18 @@ func (s *Source) SnapshotState() SourceState {
 // RestoreState overwrites the source's mutable state from a snapshot taken on
 // an identically configured source.
 func (s *Source) RestoreState(st SourceState) {
-	s.rng.SetState(st.RNG)
+	s.model.RestoreState(st.Model)
 	s.nextArrival = st.NextArrival
+	s.hasNext = st.HasNext
 	s.backlog = append(s.backlog[:0], st.Backlog...)
 	s.arrival = append(s.arrival[:0], st.Arrival...)
+	s.reqPhase = append(s.reqPhase[:0], st.ReqPhase...)
 	s.buf = append(s.buf[:0], st.Buf...)
 	s.bufPos = st.BufPos
 	s.latencies = append(s.latencies[:0], st.Latencies...)
 	s.started = st.Started
 	s.completed = st.Completed
+	s.latDropped = st.LatDropped
+	s.phaseDone = append(s.phaseDone[:0], st.PhaseDone...)
 	s.gen.RestoreState(st.Gen)
 }

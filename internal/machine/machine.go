@@ -12,6 +12,7 @@ import (
 	"pivot/internal/dram"
 	"pivot/internal/flight"
 	"pivot/internal/interconnect"
+	"pivot/internal/load"
 	"pivot/internal/loadgen"
 	"pivot/internal/mba"
 	"pivot/internal/mem"
@@ -40,7 +41,15 @@ type TaskSpec struct {
 
 	// MeanInterarrival is the LC request inter-arrival mean in cycles
 	// (0 = closed loop, used for profiling and max-throughput probes).
+	// It is shorthand for a stationary Load spec: when Load.Mean is zero it
+	// is copied into the load model's base mean.
 	MeanInterarrival float64
+
+	// Load declares the LC task's arrival-rate shape and request-population
+	// skew (phase curves, on-off bursts, activity windows, Zipf payloads).
+	// The zero value, combined with MeanInterarrival, reproduces the
+	// historical stationary open/closed-loop Poisson process bit-exactly.
+	Load load.Spec
 
 	// Potential is the offline-profiled potential-critical set consumed by
 	// PolicyPIVOT. Nil under PIVOT means "no filter" (every load measured).
@@ -196,6 +205,12 @@ type Machine struct {
 	latDist    *stats.Distribution
 	statsOn    bool
 	statsEpoch sim.Cycle
+	// statsNow is the cycle of the in-flight epoch sample. Time-varying
+	// gauges must read it, not a live clock: the serial engine samples from
+	// a ticker at the sample cycle, the parallel coordinator samples from
+	// the window barrier one cycle later, and only this stamp is identical
+	// in both.
+	statsNow sim.Cycle
 
 	// par is the sharded-execution runtime (nil in serial mode); see
 	// parallel.go.
@@ -276,7 +291,15 @@ func New(cfg Config, opt Options, tasks []TaskSpec) (*Machine, error) {
 		if spec.Kind == TaskLC {
 			lc := &LCTask{Core: i, Spec: spec}
 			lc.Gen = workload.NewReqGen(spec.LC, i, rng.Fork())
-			lc.Source = loadgen.New(lc.Gen, rng.Fork(), spec.MeanInterarrival, m.lcClock(i))
+			lc.Gen.SetZipf(spec.Load.ZipfTheta)
+			// The model receives the same RNG fork the source itself used
+			// to own, so stationary arrivals stay bit-identical to the
+			// pre-refactor engine.
+			lspec := spec.Load
+			if lspec.Mean == 0 {
+				lspec.Mean = spec.MeanInterarrival
+			}
+			lc.Source = loadgen.New(lc.Gen, load.New(lspec, rng.Fork()), m.lcClock(i))
 			stream = lc.Source
 			hooks.OnReqEnd = lc.Source.OnReqEnd
 			if opt.Profile {

@@ -472,6 +472,7 @@ func (pr *parRuntime) FinishWindow(end sim.Cycle) {
 		sh.outLen = len(m.ports[sh.id].out)
 	}
 	if m.statsOn && m.statsEpoch > 0 && (end-1)%m.statsEpoch == 0 {
+		m.statsNow = end - 1
 		m.sampler.Sample(uint64(end - 1))
 	}
 }

@@ -38,6 +38,13 @@ type LCSnapshot struct {
 	Mean       float64 `json:"meanCycles"`
 	IPC        float64 `json:"ipc"`
 	QueueDepth int     `json:"arrivalBacklog"`
+	// LatDropped counts completions whose latency record was discarded at
+	// the per-source cap — non-zero means the percentiles above cover a
+	// truncated prefix of the run.
+	LatDropped uint64 `json:"latDropped,omitempty"`
+	// PhaseDone attributes completed requests to load-model phases; present
+	// only for shaped (multi-phase) load specs.
+	PhaseDone []uint64 `json:"phaseCompleted,omitempty"`
 }
 
 // BESnapshot aggregates the best-effort tasks.
@@ -77,7 +84,7 @@ func (m *Machine) Snapshot() Snapshot {
 	for _, lc := range m.lcs {
 		lat := lc.Source.Latencies()
 		qs := metrics.Quantiles(lat, 50, 95, 99)
-		s.LC = append(s.LC, LCSnapshot{
+		ls := LCSnapshot{
 			Core:       lc.Core,
 			App:        lc.Spec.LC.Name,
 			Completed:  lc.Source.Completed(),
@@ -87,7 +94,12 @@ func (m *Machine) Snapshot() Snapshot {
 			Mean:       metrics.Mean(lat),
 			IPC:        m.Cores[lc.Core].IPC(m.measured),
 			QueueDepth: lc.Source.QueueDepth(),
-		})
+			LatDropped: lc.Source.DroppedLatencies(),
+		}
+		if pd := lc.Source.PhaseCompleted(); len(pd) > 1 {
+			ls.PhaseDone = append([]uint64(nil), pd...)
+		}
+		s.LC = append(s.LC, ls)
 	}
 	beCores := 0
 	for _, t := range m.tasks {

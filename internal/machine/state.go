@@ -125,9 +125,12 @@ func (m *Machine) Fingerprint() uint64 {
 		m.Opt.SampleRequests, m.Opt.Prefetch, m.Opt.PrefetchCfg)
 	for _, t := range m.tasks {
 		// Maps format with sorted keys, so Potential hashes deterministically.
-		fmt.Fprintf(h, "|task:%d:%+v:%+v:%g:%g:%d:%v:%t",
+		// Load is a pure value (slices of values, no pointers or maps), so
+		// %+v formats it deterministically too; including it keys checkpoint
+		// directories by load shape.
+		fmt.Fprintf(h, "|task:%d:%+v:%+v:%g:%g:%d:%v:%t:%+v",
 			t.Kind, t.LC, t.BE, t.MeanInterarrival, t.ExpectedBW, t.Seed,
-			t.Potential, t.CustomStream != nil)
+			t.Potential, t.CustomStream != nil, t.Load)
 	}
 	return h.Sum64()
 }

@@ -56,6 +56,20 @@ func (m *Machine) EnableStats(epochCycles sim.Cycle, ringCap int) {
 			func() float64 { return float64(src.QueueDepth()) })
 		reg.Counter(fmt.Sprintf("machine.lc%d.completed", lc.Core),
 			func() uint64 { return src.Completed() })
+		reg.Counter(fmt.Sprintf("machine.lc%d.lat_dropped", lc.Core),
+			func() uint64 { return src.DroppedLatencies() })
+		// Shaped load models additionally expose the instantaneous arrival
+		// rate and per-phase completions, so timelines attribute tail shifts
+		// to the load phase that caused them.
+		if src.Model().NumPhases() > 1 {
+			reg.Gauge(fmt.Sprintf("machine.lc%d.load_rate_mcycle", lc.Core),
+				func() float64 { return src.RatePerMCycle(m.statsNow) })
+			for p := 0; p < src.Model().NumPhases(); p++ {
+				phase := p
+				reg.Counter(fmt.Sprintf("machine.lc%d.phase%d.completed", lc.Core, phase),
+					func() uint64 { return src.PhaseCompleted()[phase] })
+			}
+		}
 	}
 	m.latDist = reg.Distribution("machine.lc_mem_latency", 0)
 
@@ -80,6 +94,7 @@ type samplerTicker struct {
 
 func (s *samplerTicker) Tick(now sim.Cycle) {
 	if now%s.epoch == 0 {
+		s.m.statsNow = now
 		s.m.sampler.Sample(uint64(now))
 	}
 }

@@ -161,6 +161,9 @@ func (s *Scenario) decodeTasks(raw json.RawMessage) error {
 				err = unmarshalField(fraw, &t.Interarrival, fpath)
 			case "expected_bw":
 				err = unmarshalField(fraw, &t.ExpectedBW, fpath)
+			case "load":
+				t.Load = new(LoadSpec)
+				err = decodeLoad(fraw, t.Load, fpath)
 			case "threads":
 				err = unmarshalField(fraw, &t.Threads, fpath)
 			default:
@@ -169,6 +172,54 @@ func (s *Scenario) decodeTasks(raw json.RawMessage) error {
 			if err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// decodeLoad walks a task's load stanza manually so phase and window
+// indices ("tasks[0].load.phases[2].scale") land in error paths.
+func decodeLoad(raw json.RawMessage, l *LoadSpec, path string) error {
+	fields, err := objectFields(raw, path)
+	if err != nil {
+		return err
+	}
+	for _, key := range sortedKeys(fields) {
+		fraw := fields[key]
+		fpath := path + "." + key
+		switch key {
+		case "zipf_theta":
+			err = unmarshalField(fraw, &l.ZipfTheta, fpath)
+		case "repeat":
+			err = unmarshalField(fraw, &l.Repeat, fpath)
+		case "onoff":
+			l.OnOff = new(LoadOnOff)
+			err = strictUnmarshal(fraw, l.OnOff, fpath)
+		case "phases":
+			var elems []json.RawMessage
+			if elems, err = arrayElems(fraw, fpath); err == nil {
+				l.Phases = make([]LoadPhase, len(elems))
+				for i, e := range elems {
+					if err = strictUnmarshal(e, &l.Phases[i], fmt.Sprintf("%s[%d]", fpath, i)); err != nil {
+						break
+					}
+				}
+			}
+		case "windows":
+			var elems []json.RawMessage
+			if elems, err = arrayElems(fraw, fpath); err == nil {
+				l.Windows = make([]LoadWindow, len(elems))
+				for i, e := range elems {
+					if err = strictUnmarshal(e, &l.Windows[i], fmt.Sprintf("%s[%d]", fpath, i)); err != nil {
+						break
+					}
+				}
+			}
+		default:
+			err = errf(path, "unknown field %q", key)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,10 @@
 package scenario
 
-import "pivot/internal/workload"
+import (
+	"pivot/internal/load"
+	"pivot/internal/sim"
+	"pivot/internal/workload"
+)
 
 // ToWorkload converts the scenario-schema LC parameters to the simulator's
 // form, field by field so the schema keeps a stable JSON surface independent
@@ -52,6 +56,59 @@ func (t *Task) BEWorkload() workload.BEParams {
 		return t.BEParams.ToWorkload()
 	}
 	return workload.BEApps()[t.App]
+}
+
+// ToLoad converts the scenario-schema load spec to the simulator's form,
+// field by field. The base mean is not set here — the harness fills it from
+// the task's calibrated or explicit inter-arrival time. A nil receiver
+// yields the zero (stationary) spec.
+func (l *LoadSpec) ToLoad() load.Spec {
+	if l == nil {
+		return load.Spec{}
+	}
+	out := load.Spec{
+		ZipfTheta: l.ZipfTheta,
+		Repeat:    l.Repeat,
+	}
+	for _, p := range l.Phases {
+		out.Phases = append(out.Phases, load.Phase{
+			Shape:  loadShape(p.Shape),
+			Cycles: p.Cycles,
+			Scale:  p.Scale,
+			To:     p.To,
+			Amp:    p.Amp,
+			Period: p.Period,
+		})
+	}
+	if l.OnOff != nil {
+		out.OnOff = load.OnOff{
+			OnMean:   l.OnOff.OnMean,
+			OffMean:  l.OnOff.OffMean,
+			OnScale:  l.OnOff.OnScale,
+			OffScale: l.OnOff.OffScale,
+		}
+	}
+	for _, w := range l.Windows {
+		out.Windows = append(out.Windows, load.Window{
+			From:  sim.Cycle(w.From),
+			Until: sim.Cycle(w.Until),
+		})
+	}
+	return out
+}
+
+// loadShape maps a validated shape name to the simulator's enum.
+func loadShape(name string) load.Shape {
+	switch name {
+	case ShapeRamp:
+		return load.ShapeRamp
+	case ShapeSine:
+		return load.ShapeSine
+	case ShapeOff:
+		return load.ShapeOff
+	default:
+		return load.ShapeFlat
+	}
 }
 
 // AppName is the task's application name: App, or the inline params' Name.

@@ -135,6 +135,11 @@ const (
 	paramTaskLoad
 	paramTaskIA
 	paramTaskThreads
+	paramTaskZipf
+	paramTaskPhaseScale
+	paramTaskPhaseCycles
+	paramTaskOnMean
+	paramTaskOffMean
 	paramOptExpectedLCBW
 	paramOptRRBPEntries
 	paramOptMBALevel
@@ -144,10 +149,12 @@ const (
 	paramMachineBEWays
 )
 
-// paramRef is a parsed axis parameter: which field, and of which task.
+// paramRef is a parsed axis parameter: which field, of which task, and —
+// for load-phase fields — of which phase.
 type paramRef struct {
-	kind paramKind
-	task int
+	kind  paramKind
+	task  int
+	phase int
 }
 
 // paramRef parses an axis parameter name against this scenario (task indices
@@ -198,6 +205,7 @@ func (s *Scenario) paramRef(name, path string) (paramRef, error) {
 	}
 	ref := paramRef{task: idx}
 	kind := s.Tasks[idx].Kind
+	lcField := false
 	switch field {
 	case "app":
 		ref.kind = paramTaskApp
@@ -208,9 +216,54 @@ func (s *Scenario) paramRef(name, path string) (paramRef, error) {
 	case "threads":
 		ref.kind = paramTaskThreads
 	default:
-		return paramRef{}, errf(path, "unknown sweep parameter %q", name)
+		loadField, isLoad := strings.CutPrefix(field, "load.")
+		if !isLoad {
+			return paramRef{}, errf(path, "unknown sweep parameter %q", name)
+		}
+		lcField = true
+		if kind == KindLC && s.Tasks[idx].Load == nil {
+			return paramRef{}, errf(path, "%q sweeps a load field but tasks[%d] declares no load stanza", name, idx)
+		}
+		switch loadField {
+		case "zipf_theta":
+			ref.kind = paramTaskZipf
+		case "onoff.on_mean", "onoff.off_mean":
+			if kind == KindLC && s.Tasks[idx].Load.OnOff == nil {
+				return paramRef{}, errf(path, "%q sweeps an onoff field but tasks[%d].load declares no onoff stanza", name, idx)
+			}
+			ref.kind = paramTaskOnMean
+			if loadField == "onoff.off_mean" {
+				ref.kind = paramTaskOffMean
+			}
+		default:
+			rest, isPhase := strings.CutPrefix(loadField, "phases[")
+			if !isPhase {
+				return paramRef{}, errf(path, "unknown sweep parameter %q", name)
+			}
+			phStr, phField, ok := strings.Cut(rest, "].")
+			if !ok {
+				return paramRef{}, errf(path, "malformed sweep parameter %q", name)
+			}
+			ph, err := strconv.Atoi(phStr)
+			if err != nil || ph < 0 {
+				return paramRef{}, errf(path, "malformed phase index in %q", name)
+			}
+			if kind == KindLC && ph >= len(s.Tasks[idx].Load.Phases) {
+				return paramRef{}, errf(path, "phase index %d out of range (tasks[%d].load has %d phases)",
+					ph, idx, len(s.Tasks[idx].Load.Phases))
+			}
+			ref.phase = ph
+			switch phField {
+			case "scale":
+				ref.kind = paramTaskPhaseScale
+			case "cycles":
+				ref.kind = paramTaskPhaseCycles
+			default:
+				return paramRef{}, errf(path, "unknown sweep parameter %q", name)
+			}
+		}
 	}
-	if (ref.kind == paramTaskLoad || ref.kind == paramTaskIA) && kind != KindLC {
+	if (ref.kind == paramTaskLoad || ref.kind == paramTaskIA || lcField) && kind != KindLC {
 		return paramRef{}, errf(path, "%q sweeps an LC field of a %q task", name, kind)
 	}
 	if ref.kind == paramTaskThreads && kind != KindBE {
@@ -290,6 +343,51 @@ func (s *Scenario) setParam(ref paramRef, raw json.RawMessage, path string) erro
 		}
 		s.Tasks[ref.task].Threads = v
 		return nil
+	case paramTaskZipf:
+		var v float64
+		if err := unmarshalField(raw, &v, path); err != nil {
+			return err
+		}
+		if v < 0 || v >= 1 {
+			return errf(path, "zipf_theta %v must be in [0, 1)", v)
+		}
+		s.Tasks[ref.task].Load.ZipfTheta = v
+		return nil
+	case paramTaskPhaseScale:
+		var v float64
+		if err := unmarshalField(raw, &v, path); err != nil {
+			return err
+		}
+		p := &s.Tasks[ref.task].Load.Phases[ref.phase]
+		if v <= 0 && p.Shape != ShapeOff {
+			return errf(path, "scale %v must be positive for shape %q", v, p.Shape)
+		}
+		p.Scale = v
+		return nil
+	case paramTaskPhaseCycles:
+		var v uint64
+		if err := unmarshalField(raw, &v, path); err != nil {
+			return err
+		}
+		if v == 0 {
+			return errf(path, "cycles must be positive")
+		}
+		s.Tasks[ref.task].Load.Phases[ref.phase].Cycles = v
+		return nil
+	case paramTaskOnMean, paramTaskOffMean:
+		var v float64
+		if err := unmarshalField(raw, &v, path); err != nil {
+			return err
+		}
+		if v <= 0 {
+			return errf(path, "sojourn mean %v must be positive", v)
+		}
+		if ref.kind == paramTaskOnMean {
+			s.Tasks[ref.task].Load.OnOff.OnMean = v
+		} else {
+			s.Tasks[ref.task].Load.OnOff.OffMean = v
+		}
+		return nil
 	case paramOptExpectedLCBW:
 		if err := unmarshalField(raw, &s.Options.ExpectedLCBW, path); err != nil {
 			return err
@@ -361,6 +459,16 @@ func (s *Scenario) clone() *Scenario {
 		if p := out.Tasks[i].BEParams; p != nil {
 			cp := *p
 			out.Tasks[i].BEParams = &cp
+		}
+		if l := out.Tasks[i].Load; l != nil {
+			cl := *l
+			cl.Phases = append([]LoadPhase(nil), l.Phases...)
+			cl.Windows = append([]LoadWindow(nil), l.Windows...)
+			if l.OnOff != nil {
+				oo := *l.OnOff
+				cl.OnOff = &oo
+			}
+			out.Tasks[i].Load = &cl
 		}
 	}
 	if s.Faults != nil {

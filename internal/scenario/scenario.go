@@ -186,8 +186,85 @@ type Task struct {
 	// tasks).
 	ExpectedBW float64 `json:"expected_bw,omitempty"`
 
+	// Load shapes the LC task's arrival process and request population on
+	// top of the base rate set by load_pct or interarrival: phase curves
+	// (step/spike/ramp/diurnal sine), on-off bursts (MMPP-2), activity
+	// windows (tenant churn) and Zipf-skewed payloads. Absent means the
+	// historical stationary Poisson process.
+	Load *LoadSpec `json:"load,omitempty"`
+
 	// Threads is the BE thread count (one core each); 0 means 1.
 	Threads int `json:"threads,omitempty"`
+}
+
+// Load phase shape names.
+const (
+	ShapeFlat = "flat"
+	ShapeRamp = "ramp"
+	ShapeSine = "sine"
+	ShapeOff  = "off"
+)
+
+// LoadShapes lists the valid LoadPhase.Shape values.
+func LoadShapes() []string { return []string{ShapeFlat, ShapeRamp, ShapeSine, ShapeOff} }
+
+// LoadSpec mirrors load.Spec with a stable snake_case JSON surface. The
+// base mean inter-arrival time is not declared here — it comes from the
+// task's load_pct (calibrated) or interarrival (explicit); the spec scales
+// it over time.
+type LoadSpec struct {
+	// ZipfTheta skews the payload-line and payload-PC populations
+	// Zipfian with skew in [0, 1); 0 keeps the uniform population.
+	ZipfTheta float64 `json:"zipf_theta,omitempty"`
+	// Phases is a piecewise rate program, played once (holding the final
+	// level) or cycled forever when Repeat is set.
+	Phases []LoadPhase `json:"phases,omitempty"`
+	Repeat bool        `json:"repeat,omitempty"`
+	// OnOff superimposes two-state Markov-modulated bursts.
+	OnOff *LoadOnOff `json:"onoff,omitempty"`
+	// Windows restricts arrivals to the declared [from, until) intervals —
+	// a tenant that joins, leaves, and possibly rejoins.
+	Windows []LoadWindow `json:"windows,omitempty"`
+	_       [0]func()
+}
+
+// Shaped reports whether the spec shapes the arrival process itself (phases,
+// bursts or windows) as opposed to only skewing the request population. A nil
+// spec is unshaped.
+func (l *LoadSpec) Shaped() bool {
+	return l != nil && (len(l.Phases) > 0 || l.OnOff != nil || len(l.Windows) > 0)
+}
+
+// LoadPhase is one segment of the rate program. Scale multiplies the task's
+// base arrival rate.
+type LoadPhase struct {
+	// Shape is one of LoadShapes(): "flat" holds scale, "ramp" moves
+	// linearly from scale to to, "sine" oscillates around scale with
+	// relative amplitude amp and the given period, "off" silences arrivals.
+	Shape  string  `json:"shape"`
+	Cycles uint64  `json:"cycles"`
+	Scale  float64 `json:"scale,omitempty"`
+	To     float64 `json:"to,omitempty"`
+	Amp    float64 `json:"amp,omitempty"`
+	Period uint64  `json:"period,omitempty"`
+	_      [0]func()
+}
+
+// LoadOnOff is the MMPP-2 burst modulator: exponential sojourns with the
+// given means alternate between on_scale and off_scale rate multipliers.
+type LoadOnOff struct {
+	OnMean   float64 `json:"on_mean"`
+	OffMean  float64 `json:"off_mean"`
+	OnScale  float64 `json:"on_scale"`
+	OffScale float64 `json:"off_scale,omitempty"`
+	_        [0]func()
+}
+
+// LoadWindow is one half-open activity interval [from, until) in cycles.
+type LoadWindow struct {
+	From  uint64 `json:"from,omitempty"`
+	Until uint64 `json:"until"`
+	_     [0]func()
 }
 
 // ThreadCount is the number of cores the task occupies.

@@ -1,12 +1,14 @@
 package scenario
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"pivot/internal/load"
 	"pivot/internal/workload"
 )
 
@@ -42,8 +44,23 @@ func TestParseErrors(t *testing.T) {
 		{
 			name: "unknown task field",
 			doc: `{"version":1,"name":"t","policy":"Default",
-			       "tasks":[{"kind":"lc","app":"silo","load":70}]}`,
-			path: "tasks[0]", msg: `unknown field "load"`,
+			       "tasks":[{"kind":"lc","app":"silo","loadpct":70}]}`,
+			path: "tasks[0]", msg: `unknown field "loadpct"`,
+		},
+		{
+			name: "unknown load field",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"theta":0.5}}]}`,
+			path: "tasks[0].load", msg: `unknown field "theta"`,
+		},
+		{
+			name: "unknown load phase field",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"flat","cycles":10,"scale":1},
+			                                   {"shape":"flat","cycles":10,"slope":2}]}}]}`,
+			path: "tasks[0].load.phases[1]", msg: `unknown field "slope"`,
 		},
 		{
 			name: "unknown lc_params field",
@@ -263,6 +280,75 @@ func TestParseErrors(t *testing.T) {
 			msg:  "tuple has 1 elements for 2 params",
 		},
 		{
+			name: "load zipf_theta out of range",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"zipf_theta":1.5}}]}`,
+			path: "tasks[0].load.zipf_theta", msg: "must be in [0, 1)",
+		},
+		{
+			name: "load shaping without base rate",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"flat","cycles":100,"scale":1}]}},
+			                {"kind":"lc","app":"moses",
+			                 "load":{"phases":[{"shape":"flat","cycles":100,"scale":1}]}}]}`,
+			path: "tasks[1].load", msg: "needs a base rate",
+		},
+		{
+			name: "load phase field not valid for shape",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"flat","cycles":100,"scale":1,"to":2}]}}]}`,
+			path: "tasks[0].load.phases[0].to", msg: `not valid for shape "flat"`,
+		},
+		{
+			name: "load unknown shape",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"square","cycles":100,"scale":1}]}}]}`,
+			path: "tasks[0].load.phases[0].shape", msg: `unknown shape "square"`,
+		},
+		{
+			name: "load all phases silent",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"off","cycles":100}]}}]}`,
+			path: "tasks[0].load.phases", msg: "every phase is silent",
+		},
+		{
+			name: "load windows out of order",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"windows":[{"from":0,"until":500},
+			                                    {"from":400,"until":900}]}}]}`,
+			path: "tasks[0].load.windows[1].from", msg: "ordered and disjoint",
+		},
+		{
+			name: "load stanza on be task",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"be","app":"ibench","threads":2,
+			                 "load":{"zipf_theta":0.5}}]}`,
+			path: "tasks[0].load", msg: `only valid on "lc" tasks`,
+		},
+		{
+			name: "load sweep value out of range",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"zipf_theta":0.5}}],
+			       "sweep":[{"param":"tasks[0].load.zipf_theta","values":[0.2,1.0]}]}`,
+			path: "sweep[tasks[0].load.zipf_theta].values[1]", msg: "must be in [0, 1)",
+		},
+		{
+			name: "load sweep phase index out of range",
+			doc: `{"version":1,"name":"t","policy":"Default",
+			       "tasks":[{"kind":"lc","app":"silo","load_pct":70,
+			                 "load":{"phases":[{"shape":"flat","cycles":100,"scale":1}]}}],
+			       "sweep":[{"param":"tasks[0].load.phases[1].scale","values":[2]}]}`,
+			path: "sweep[tasks[0].load.phases[1].scale].values[0]",
+			msg:  "phase index 1 out of range",
+		},
+		{
 			name: "axis value breaks core budget",
 			doc: `{"version":1,"name":"t","policy":"Default",
 			       "machine":{"cores":4},
@@ -377,6 +463,71 @@ func TestLoad(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
 		t.Error("Load(absent) succeeded")
+	}
+}
+
+// TestLoadStanza round-trips a scenario exercising every load-model
+// feature: parse, canonical-encode fixed point, conversion to the
+// simulator spec, and sweeping load fields.
+func TestLoadStanza(t *testing.T) {
+	doc := `{"version":1,"name":"shapes","policy":"Default",
+	  "tasks":[
+	    {"kind":"lc","app":"silo","load_pct":70,
+	     "load":{"zipf_theta":0.8,
+	             "phases":[{"shape":"flat","cycles":200000,"scale":1},
+	                       {"shape":"sine","cycles":400000,"scale":1,"amp":0.5,"period":200000},
+	                       {"shape":"ramp","cycles":100000,"scale":1,"to":2},
+	                       {"shape":"off","cycles":50000}],
+	             "repeat":true,
+	             "onoff":{"on_mean":50000,"off_mean":25000,"on_scale":1.5},
+	             "windows":[{"until":800000},{"from":900000,"until":1500000}]}},
+	    {"kind":"be","app":"ibench","threads":2}
+	  ],
+	  "sweep":[{"param":"tasks[0].load.zipf_theta","values":[0,0.8]},
+	           {"param":"tasks[0].load.phases[2].scale","values":[1,0.5]}]}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	enc := s.MustEncode()
+	s2, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if enc2 := s2.MustEncode(); !bytes.Equal(enc, enc2) {
+		t.Errorf("Encode is not a fixed point:\n%s\n%s", enc, enc2)
+	}
+	ls := s.Tasks[0].Load.ToLoad()
+	if ls.ZipfTheta != 0.8 || !ls.Repeat || len(ls.Phases) != 4 ||
+		len(ls.Windows) != 2 || !ls.OnOff.Enabled() {
+		t.Errorf("ToLoad conversion wrong: %+v", ls)
+	}
+	if ls.Phases[1].Shape != load.ShapeSine || ls.Phases[1].Amp != 0.5 ||
+		ls.Phases[2].To != 2 || ls.Phases[3].Shape != load.ShapeOff {
+		t.Errorf("phase conversion wrong: %+v", ls.Phases)
+	}
+	if ls.Stationary() {
+		t.Error("shaped spec reports Stationary")
+	}
+	if (load.Spec{Mean: 800}).Shaped() {
+		t.Error("bare-mean spec reports Shaped")
+	}
+	units, err := s.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("Expand produced %d units, want 4", len(units))
+	}
+	u := units[3].Scenario
+	if u.Tasks[0].Load.ZipfTheta != 0.8 || u.Tasks[0].Load.Phases[2].Scale != 0.5 {
+		t.Errorf("sweep did not resolve load fields: %+v", u.Tasks[0].Load)
+	}
+	// Expansion must deep-copy the stanza: mutating a unit's phases must
+	// not touch the source scenario.
+	u.Tasks[0].Load.Phases[0].Scale = 99
+	if s.Tasks[0].Load.Phases[0].Scale != 1 {
+		t.Error("expansion aliased the source load stanza")
 	}
 }
 

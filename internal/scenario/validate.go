@@ -230,6 +230,7 @@ func (s *Scenario) validateTasks() error {
 				{"load_pct", t.LoadPct != 0},
 				{"interarrival", t.Interarrival != 0},
 				{"expected_bw", t.ExpectedBW != 0},
+				{"load", t.Load != nil},
 			} {
 				if f.set {
 					return errf(path+"."+f.name, "only valid on %q tasks", KindLC)
@@ -256,8 +257,130 @@ func (s *Scenario) validateTasks() error {
 		if t.ExpectedBW < 0 || t.ExpectedBW > 1 {
 			return errf(path+".expected_bw", "expected bandwidth fraction %v must be in 0..1", t.ExpectedBW)
 		}
+		if err := t.validateLoad(path + ".load"); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// validateLoad checks an LC task's load stanza: known shapes with only
+// their relevant fields set, positive durations, bounded skew, ordered
+// windows, and a base rate for every arrival-shaping feature.
+func (t *Task) validateLoad(path string) error {
+	l := t.Load
+	if l == nil {
+		return nil
+	}
+	if l.ZipfTheta < 0 || l.ZipfTheta >= 1 {
+		return errf(path+".zipf_theta", "skew %v must be in [0, 1)", l.ZipfTheta)
+	}
+	shaped := len(l.Phases) > 0 || l.OnOff != nil || len(l.Windows) > 0
+	if shaped && t.LoadPct == 0 && t.Interarrival == 0 {
+		return errf(path, "rate shaping needs a base rate: set load_pct or interarrival")
+	}
+	if l.Repeat && len(l.Phases) == 0 {
+		return errf(path+".repeat", "set without phases")
+	}
+	if len(l.Phases) > 32 {
+		return errf(path+".phases", "at most 32 phases (got %d)", len(l.Phases))
+	}
+	anyRate := len(l.Phases) == 0
+	for i := range l.Phases {
+		p := &l.Phases[i]
+		ppath := fmt.Sprintf("%s.phases[%d]", path, i)
+		if p.Cycles == 0 {
+			return errf(ppath+".cycles", "must be positive")
+		}
+		fields := []struct {
+			name string
+			set  bool
+			want bool
+		}{
+			{"scale", p.Scale != 0, p.Shape != ShapeOff},
+			{"to", p.To != 0, p.Shape == ShapeRamp},
+			{"amp", p.Amp != 0, p.Shape == ShapeSine},
+			{"period", p.Period != 0, p.Shape == ShapeSine},
+		}
+		switch p.Shape {
+		case ShapeFlat, ShapeRamp, ShapeSine:
+			if p.Scale <= 0 {
+				return errf(ppath+".scale", "must be positive for shape %q", p.Shape)
+			}
+		case ShapeOff:
+		default:
+			return errf(ppath+".shape", "unknown shape %q (one of %s)",
+				p.Shape, strings.Join(LoadShapes(), ", "))
+		}
+		for _, f := range fields {
+			if f.set && !f.want {
+				return errf(ppath+"."+f.name, "not valid for shape %q", p.Shape)
+			}
+		}
+		switch p.Shape {
+		case ShapeRamp:
+			if p.To < 0 {
+				return errf(ppath+".to", "must not be negative")
+			}
+		case ShapeSine:
+			if p.Amp < 0 || p.Amp > 1 {
+				return errf(ppath+".amp", "amplitude %v must be in 0..1", p.Amp)
+			}
+			if p.Period == 0 {
+				return errf(ppath+".period", "must be positive for shape %q", ShapeSine)
+			}
+		}
+		if p.maxScale() > 0 {
+			anyRate = true
+		}
+	}
+	if !anyRate {
+		return errf(path+".phases", "every phase is silent — the task would never issue a request")
+	}
+	if o := l.OnOff; o != nil {
+		opath := path + ".onoff"
+		if o.OnMean <= 0 {
+			return errf(opath+".on_mean", "must be positive")
+		}
+		if o.OffMean <= 0 {
+			return errf(opath+".off_mean", "must be positive")
+		}
+		if o.OnScale < 0 || o.OffScale < 0 {
+			return errf(opath, "scales must not be negative")
+		}
+		if o.OnScale == 0 && o.OffScale == 0 {
+			return errf(opath, "both scales are zero — the task would never issue a request")
+		}
+	}
+	for i := range l.Windows {
+		w := l.Windows[i]
+		wpath := fmt.Sprintf("%s.windows[%d]", path, i)
+		if w.Until <= w.From {
+			return errf(wpath, "until %d must exceed from %d", w.Until, w.From)
+		}
+		if i > 0 && w.From < l.Windows[i-1].Until {
+			return errf(wpath+".from", "window overlaps or precedes windows[%d] (windows must be ordered and disjoint)", i-1)
+		}
+	}
+	return nil
+}
+
+// maxScale mirrors load.Phase.maxScale for validation (the schema must not
+// depend on conversion to reason about silence).
+func (p *LoadPhase) maxScale() float64 {
+	switch p.Shape {
+	case ShapeRamp:
+		if p.To > p.Scale {
+			return p.To
+		}
+		return p.Scale
+	case ShapeSine:
+		return p.Scale * (1 + p.Amp)
+	case ShapeOff:
+		return 0
+	default:
+		return p.Scale
+	}
 }
 
 // validateApp checks App against the catalogue for the task's kind.

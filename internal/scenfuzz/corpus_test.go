@@ -97,6 +97,66 @@ func TestSeedCorpusRegenerate(t *testing.T) {
 	if _, err := WriteEntry(testdataCorpus, parEntry); err != nil {
 		t.Fatal(err)
 	}
+
+	// Pinned load-shape scenario: every load-model feature (phase program
+	// with ramp/sine/off segments, MMPP-2 bursts, tenant windows, Zipf skew)
+	// in one stanza, replayed through the whole bank — including the
+	// stationary-equivalence oracle, whose neutral-program contract anchors
+	// the refactored arrival path.
+	loadSc := loadShapeScenario()
+	if err := loadSc.Validate(); err != nil {
+		t.Fatalf("load-shape scenario invalid: %v", err)
+	}
+	if got := CheckAll(ctx, loadSc, Oracles(), Env{}); got != nil {
+		t.Fatalf("load-shape scenario not green: %s: %s", got.Oracle, got.Detail)
+	}
+	loadEntry := &Finding{
+		Oracle:   "all",
+		Detail:   "pinned: phase/onoff/window/zipf load stanza through the whole bank",
+		Scenario: loadSc,
+	}
+	if _, err := WriteEntry(testdataCorpus, loadEntry); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// loadShapeScenario is the hand-built load-stanza pin: one LC task carrying
+// a diurnal sine, a spike, a ramp and a silence in its phase program plus
+// bursts, windows and skew, co-located with one BE thread.
+func loadShapeScenario() *scenario.Scenario {
+	sc := &scenario.Scenario{
+		Version: scenario.Version,
+		Name:    "load-shapes-pin",
+		Policy:  "PIVOT",
+		Warmup:  8_000,
+		Measure: 16_000,
+		Seed:    11,
+	}
+	sc.Machine.Cores = 2
+	sc.Tasks = []scenario.Task{
+		{
+			Kind:         scenario.KindLC,
+			App:          "masstree",
+			Interarrival: 2_500,
+			Load: &scenario.LoadSpec{
+				ZipfTheta: 0.8,
+				Phases: []scenario.LoadPhase{
+					{Shape: scenario.ShapeSine, Cycles: 8_000, Scale: 1, Amp: 0.4, Period: 4_000},
+					{Shape: scenario.ShapeFlat, Cycles: 2_000, Scale: 2},
+					{Shape: scenario.ShapeRamp, Cycles: 4_000, Scale: 2, To: 0.5},
+					{Shape: scenario.ShapeOff, Cycles: 1_000},
+				},
+				Repeat: true,
+				OnOff:  &scenario.LoadOnOff{OnMean: 3_000, OffMean: 1_500, OnScale: 1.2, OffScale: 0.4},
+				Windows: []scenario.LoadWindow{
+					{Until: 14_000},
+					{From: 16_000, Until: 48_000},
+				},
+			},
+		},
+		{Kind: scenario.KindBE, App: "ibench", Threads: 1},
+	}
+	return sc
 }
 
 // TestSeedCorpusReplays: the checked-in corpus replays clean without the

@@ -113,6 +113,7 @@ func build(sc *scenario.Scenario, md mode) (*machine.Machine, error) {
 				MeanInterarrival: t.Interarrival,
 				ExpectedBW:       t.ExpectedBW,
 				Seed:             seed,
+				Load:             t.Load.ToLoad(),
 			})
 			continue
 		}

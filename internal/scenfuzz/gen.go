@@ -51,6 +51,10 @@ func Generate(seed uint64, index int) *scenario.Scenario {
 	if rng.Float64() < 0.40 {
 		genSweep(rng, s)
 	}
+	// Load stanzas draw last so the campaign prefix (machine, options, tasks,
+	// faults, sweep) of a given (seed, index) stays what it was before load
+	// shaping existed — pinned corpus indices keep their geometry.
+	genLoads(rng, s)
 	if err := s.Validate(); err != nil {
 		panic(fmt.Sprintf("scenfuzz: generated invalid scenario (seed %d, index %d): %v", seed, index, err))
 	}
@@ -165,6 +169,83 @@ func genBEParams(rng *sim.RNG, i int) *scenario.BEParams {
 		MLP:         2 + rng.Intn(6),
 		PCs:         4 + rng.Intn(8),
 	}
+}
+
+// genLoads attaches a bounded load stanza to each LC task with modest
+// probability: phase programs, on-off bursts and tenant windows sized to the
+// run so shaped arrivals neither starve the mix nor saturate it, scales
+// capped at 2x. When the first LC task gets a stanza and the scenario has no
+// sweep yet, it sometimes gains a zipf_theta axis so campaigns exercise
+// load-field sweeping.
+func genLoads(rng *sim.RNG, s *scenario.Scenario) {
+	for i := range s.Tasks {
+		if s.Tasks[i].Kind != scenario.KindLC || rng.Float64() >= 0.35 {
+			continue
+		}
+		s.Tasks[i].Load = genLoad(rng, s)
+	}
+	if s.Tasks[0].Load != nil && len(s.Sweep) == 0 && rng.Float64() < 0.30 {
+		s.Sweep = []scenario.Axis{{
+			Param:  "tasks[0].load.zipf_theta",
+			Values: []json.RawMessage{json.RawMessage("0"), json.RawMessage("0.9")},
+		}}
+	}
+}
+
+func genLoad(rng *sim.RNG, s *scenario.Scenario) *scenario.LoadSpec {
+	l := &scenario.LoadSpec{}
+	if rng.Float64() < 0.40 {
+		l.ZipfTheta = 0.2 + 0.7*rng.Float64()
+	}
+	total := s.Warmup + s.Measure
+	if rng.Float64() < 0.70 {
+		n := 1 + rng.Intn(3)
+		for p := 0; p < n; p++ {
+			cycles := total/4 + rng.Uint64n(total/2)
+			var ph scenario.LoadPhase
+			switch rng.Intn(4) {
+			case 0:
+				ph = scenario.LoadPhase{Shape: scenario.ShapeFlat, Cycles: cycles,
+					Scale: 0.5 + 1.5*rng.Float64()}
+			case 1:
+				ph = scenario.LoadPhase{Shape: scenario.ShapeRamp, Cycles: cycles,
+					Scale: 0.5 + 0.5*rng.Float64(), To: 1 + rng.Float64()}
+			case 2:
+				ph = scenario.LoadPhase{Shape: scenario.ShapeSine, Cycles: cycles,
+					Scale: 0.6 + 0.8*rng.Float64(), Amp: 0.2 + 0.5*rng.Float64(),
+					Period: cycles/2 + 1}
+			default:
+				ph = scenario.LoadPhase{Shape: scenario.ShapeOff, Cycles: 1 + cycles/8}
+			}
+			l.Phases = append(l.Phases, ph)
+		}
+		if l.Phases[0].Shape == scenario.ShapeOff {
+			// Guarantee an audible phase (and on non-repeat programs a live
+			// terminal phase) regardless of the shape draws above.
+			l.Phases[0] = scenario.LoadPhase{Shape: scenario.ShapeFlat,
+				Cycles: l.Phases[0].Cycles, Scale: 1}
+		}
+		l.Repeat = rng.Float64() < 0.80
+	}
+	if rng.Float64() < 0.25 {
+		l.OnOff = &scenario.LoadOnOff{
+			OnMean:   float64(2_000 + rng.Intn(6_000)),
+			OffMean:  float64(1_000 + rng.Intn(3_000)),
+			OnScale:  1 + 0.5*rng.Float64(),
+			OffScale: 0.5 * rng.Float64(),
+		}
+	}
+	if rng.Float64() < 0.20 {
+		cut := total/2 + rng.Uint64n(total/4)
+		l.Windows = []scenario.LoadWindow{
+			{Until: cut},
+			{From: cut + total/8, Until: 2 * total},
+		}
+	}
+	if l.ZipfTheta == 0 && len(l.Phases) == 0 && l.OnOff == nil && len(l.Windows) == 0 {
+		l.ZipfTheta = 0.5 // never emit an empty stanza
+	}
+	return l
 }
 
 // genFaults attaches small per-station fault rates to one or two stations.

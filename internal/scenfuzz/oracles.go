@@ -45,6 +45,7 @@ func Oracles() []Oracle {
 		{"parallel", "a sharded parallel run ends byte-identical to -dense (state, stats, checkpoint payload)", parallelCheck},
 		{"checkpoint", "a run killed at a derived cycle and resumed equals an uninterrupted run", checkpointCheck},
 		{"flight", "the flight recorder changes nothing observable", flightCheck},
+		{"stationary", "a task without a load stanza equals one shaped by the neutral flat program", stationaryCheck},
 		{"audit", "the run completes cleanly under auditor, watchdog and cycle budget", auditCheck},
 		{"fabric", "a coordinator/worker sweep renders tables byte-identical to the in-process path", fabricCheck},
 	}
@@ -356,6 +357,102 @@ func flightCheck(ctx context.Context, sc *scenario.Scenario, env Env, tr *Transc
 		faultinject.Detach(off)
 		tr.Logf("%s: comparing recorder-on (flight section stripped) vs recorder-off", label)
 		return compareMachines(tr, label, on, off, "recorder-on", "recorder-off", true, false)
+	})
+}
+
+// stationaryCheck: the load-model refactor's anchor contract. For every run
+// unit it derives two variants — one with all arrival shaping stripped from
+// the LC tasks (pure stationary Poisson) and one shaping every LC task with
+// the neutral flat program (one scale-1.0 phase, repeating) — and demands
+// byte-identical machine state, result snapshot and stats dump. The neutral
+// program's thinning loop accepts every candidate without consuming extra
+// RNG draws, so any divergence means the shaped path corrupted the pinned
+// stationary arrival law. Fingerprints are NOT compared: the load spec is
+// deliberately part of the checkpoint key, so the two variants differ there
+// by design. Reference skew (zipf_theta) is preserved on both legs.
+func stationaryCheck(ctx context.Context, sc *scenario.Scenario, env Env, tr *Transcript) error {
+	return eachUnit(sc, func(u *scenario.Scenario, label string) error {
+		warmup, measure := windows(u)
+		bare := u.Clone()
+		neutral := u.Clone()
+		shaped := 0
+		for i := range u.Tasks {
+			if u.Tasks[i].Kind != scenario.KindLC {
+				continue
+			}
+			var theta float64
+			if l := u.Tasks[i].Load; l != nil {
+				theta = l.ZipfTheta
+				if l.Shaped() {
+					shaped++
+				}
+			}
+			bare.Tasks[i].Load = nil
+			if theta > 0 {
+				bare.Tasks[i].Load = &scenario.LoadSpec{ZipfTheta: theta}
+			}
+			neutral.Tasks[i].Load = &scenario.LoadSpec{
+				ZipfTheta: theta,
+				Phases: []scenario.LoadPhase{{Shape: scenario.ShapeFlat,
+					Cycles: uint64(warmup+measure) + 1, Scale: 1}},
+				Repeat: true,
+			}
+		}
+		a, err := build(bare, mode{stats: true})
+		if err != nil {
+			return fmt.Errorf("building stationary machine: %w", err)
+		}
+		b, err := build(neutral, mode{stats: true})
+		if err != nil {
+			return fmt.Errorf("building neutral-shaped machine: %w", err)
+		}
+		attachFaults(a, bare)
+		attachFaults(b, neutral)
+		tr.Logf("%s: stationary vs neutral-shaped (%d task(s) had real shaping stripped)", label, shaped)
+		if err := a.RunChecked(ctx, warmup, measure); err != nil {
+			return fmt.Errorf("stationary run: %w", err)
+		}
+		if err := b.RunChecked(ctx, warmup, measure); err != nil {
+			return fmt.Errorf("neutral-shaped run: %w", err)
+		}
+		faultinject.Detach(a)
+		faultinject.Detach(b)
+		ab, err := stateBytes(a, false)
+		if err != nil {
+			return fmt.Errorf("stationary state: %w", err)
+		}
+		bb, err := stateBytes(b, false)
+		if err != nil {
+			return fmt.Errorf("neutral-shaped state: %w", err)
+		}
+		if !bytes.Equal(ab, bb) {
+			return fmt.Errorf("serialised machine state differs between stationary and neutral-shaped (%d vs %d bytes): %s",
+				len(ab), len(bb), firstDiff(ab, bb))
+		}
+		aj, err := snapshotJSON(a)
+		if err != nil {
+			return err
+		}
+		bj, err := snapshotJSON(b)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(aj, bj) {
+			return fmt.Errorf("result snapshots differ between stationary and neutral-shaped: %s", firstDiff(aj, bj))
+		}
+		as, err := statsJSON(a)
+		if err != nil {
+			return err
+		}
+		bs, err := statsJSON(b)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(as, bs) {
+			return fmt.Errorf("stats dumps differ between stationary and neutral-shaped: %s", firstDiff(as, bs))
+		}
+		tr.Logf("%s: stationary == neutral-shaped (state %d bytes)", label, len(ab))
+		return nil
 	})
 }
 

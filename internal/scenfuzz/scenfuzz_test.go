@@ -32,7 +32,7 @@ func TestGenerateDeterministic(t *testing.T) {
 // executable by the oracle bank, and the population exercises the schema's
 // optional dimensions (faults, sweeps, inline apps, BE co-runners).
 func TestGenerateValidAndDiverse(t *testing.T) {
-	var faults, sweeps, inline, be int
+	var faults, sweeps, inline, be, loads, shaped int
 	const n = 150
 	for i := 0; i < n; i++ {
 		sc := Generate(7, i) // Generate panics on an invalid scenario
@@ -57,8 +57,20 @@ func TestGenerateValidAndDiverse(t *testing.T) {
 				break
 			}
 		}
+		for _, task := range sc.Tasks {
+			if task.Load != nil {
+				loads++
+				break
+			}
+		}
+		for _, task := range sc.Tasks {
+			if task.Load.Shaped() {
+				shaped++
+				break
+			}
+		}
 	}
-	for name, got := range map[string]int{"faults": faults, "sweeps": sweeps, "inline params": inline, "BE tasks": be} {
+	for name, got := range map[string]int{"faults": faults, "sweeps": sweeps, "inline params": inline, "BE tasks": be, "load stanzas": loads, "shaped arrivals": shaped} {
 		if got == 0 {
 			t.Errorf("no generated scenario out of %d used %s", n, name)
 		}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"pivot/internal/cpu"
+	"pivot/internal/load"
 	"pivot/internal/sim"
 )
 
@@ -30,6 +31,12 @@ type ReqGen struct {
 
 	seqPos   uint64 // sequential payload cursor
 	storePos uint64 // response-buffer cursor
+
+	// Zipf-skewed payload population (nil = uniform, the historical
+	// behaviour). The samplers are derived constants, not mutable state —
+	// they never appear in ReqGenState.
+	zipfLines *load.Zipf
+	zipfPCs   *load.Zipf
 }
 
 // NewReqGen builds a generator for core slot core.
@@ -50,6 +57,20 @@ func NewReqGen(p LCParams, core int, rng *sim.RNG) *ReqGen {
 	g.aluPCs = alloc(max(1, p.ALUPerStep))
 	g.endPC = pc
 	return g
+}
+
+// SetZipf skews the payload population: payload line addresses and payload
+// PCs are drawn Zipfian with skew theta in (0, 1) instead of uniformly, so
+// a few lines/PCs become hot — the datacenter key-popularity pattern. theta
+// <= 0 keeps the historical uniform draws (and their exact RNG stream).
+// Call before the first Generate.
+func (g *ReqGen) SetZipf(theta float64) {
+	if theta <= 0 {
+		g.zipfLines, g.zipfPCs = nil, nil
+		return
+	}
+	g.zipfLines = load.NewZipf(g.p.PayloadLines, theta)
+	g.zipfPCs = load.NewZipf(uint64(len(g.payloadPCs)), theta)
 }
 
 // ChasePCs exposes the static chase-load PCs (tests verify the profiler
@@ -93,11 +114,19 @@ func (g *ReqGen) Generate(buf []cpu.MicroOp, reqID uint64) []cpu.MicroOp {
 			if p.PayloadSeq {
 				paddr = g.base + (1 << 30) + (g.seqPos%p.PayloadLines)*LineBytes
 				g.seqPos++
+			} else if g.zipfLines != nil {
+				paddr = g.base + (1 << 30) + g.zipfLines.Next(g.rng)*LineBytes
 			} else {
 				paddr = g.base + (1 << 30) + g.rng.Uint64n(p.PayloadLines)*LineBytes
 			}
+			var pcIdx int
+			if g.zipfPCs != nil {
+				pcIdx = int(g.zipfPCs.Next(g.rng))
+			} else {
+				pcIdx = g.rng.Intn(len(g.payloadPCs))
+			}
 			buf = append(buf, cpu.MicroOp{
-				PC:   g.payloadPCs[g.rng.Intn(len(g.payloadPCs))],
+				PC:   g.payloadPCs[pcIdx],
 				Kind: cpu.OpLoad, Dest: regPayload + cpu.RegID(l%8),
 				Addr: paddr,
 			})

@@ -97,8 +97,18 @@ fi
 
 commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
 date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-serial_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${serial}\", \"ns_per_cycle\": $(to_npc "$serial_ns"), \"cycles_per_sec\": ${serial_cps}}"
-par_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${parallel}\", \"workers\": ${par_workers:-1}, \"ns_per_cycle\": $(to_npc "$par_ns"), \"cycles_per_sec\": ${par_cps}}"
+# Host parallelism context: without it a history mixing an 8-core laptop and
+# a 96-core CI runner reads as a perf cliff. GOMAXPROCS is what the Go
+# runtime actually used (it may be capped below the core count by the
+# environment); host_cores is the hardware ceiling.
+host_cores=$( (nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0) | head -n 1)
+gomaxprocs=$(go env GOMAXPROCS 2>/dev/null)
+if [ -z "$gomaxprocs" ] || [ "$gomaxprocs" = "0" ]; then
+    gomaxprocs=${GOMAXPROCS:-$host_cores}
+fi
+host_stamp="\"host_cores\": ${host_cores}, \"gomaxprocs\": ${gomaxprocs}"
+serial_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${serial}\", ${host_stamp}, \"ns_per_cycle\": $(to_npc "$serial_ns"), \"cycles_per_sec\": ${serial_cps}}"
+par_rec="{\"commit\": \"${commit}\", \"date\": \"${date}\", \"benchmark\": \"${parallel}\", \"workers\": ${par_workers:-1}, ${host_stamp}, \"ns_per_cycle\": $(to_npc "$par_ns"), \"cycles_per_sec\": ${par_cps}}"
 
 # Existing records, one per line (records are flat objects, so this parses
 # both the array form and the pre-history single object), minus any previous
